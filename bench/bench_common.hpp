@@ -1,0 +1,37 @@
+#pragma once
+// Shared support for the experiment binaries: every experiment prints the
+// table/series it reproduces (DESIGN.md experiment index), echoes its seed,
+// and drops a CSV next to the binary for re-plotting.
+
+#include <iostream>
+#include <string>
+
+#include "gapsched/io/csv.hpp"
+#include "gapsched/parallel/thread_pool.hpp"
+#include "gapsched/util/prng.hpp"
+#include "gapsched/util/stopwatch.hpp"
+#include "gapsched/util/table.hpp"
+
+namespace gapsched::bench {
+
+/// Master seed used by every experiment (printed for reproducibility).
+constexpr std::uint64_t kSeed = 20070609;  // SPAA 2007 vintage
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "=== " << id << " ===\n";
+  std::cout << "paper claim: " << claim << "\n";
+  std::cout << "seed: " << kSeed << "\n\n";
+}
+
+/// Prints the table and writes `<argv0>.csv`.
+inline void emit(const std::string& argv0, const Table& table) {
+  table.print(std::cout);
+  const std::string csv = argv0 + ".csv";
+  if (write_csv(csv, table)) {
+    std::cout << "\n[csv] " << csv << "\n";
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace gapsched::bench

@@ -1,0 +1,44 @@
+// F5 — multiprocessor structure (Section 2).
+// Paper claim: the Theorem 1 DP is polynomial in p as well as n, and by
+// Lemma 1 an optimal staircase solution exists. Adding processors can only
+// help the transition count (and stops helping once capacity is no longer
+// binding).
+// Protocol: fixed bursty workload, p sweep; exact transitions, runtime and
+// state counts per p. Shape: transitions non-increasing in p, flattening;
+// states grow polynomially in p.
+
+#include "bench_common.hpp"
+
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/gen/generators.hpp"
+
+using namespace gapsched;
+
+int main(int, char** argv) {
+  bench::banner("F5 (multiprocessor benefit & Lemma 1 structure)",
+                "transitions non-increasing in p; DP polynomial in p");
+
+  Table table({"workload", "p", "feasible", "transitions", "ms", "states"});
+
+  for (int variant = 0; variant < 3; ++variant) {
+    Prng rng(bench::kSeed + static_cast<std::uint64_t>(variant) * 5);
+    // Bursts wider than one processor can absorb.
+    Instance base = gen_bursty(rng, 3, 4, 9, 3, 1);
+    const std::string name = "bursty#" + std::to_string(variant);
+    for (int p = 1; p <= 6; ++p) {
+      Instance inst = base;
+      inst.processors = p;
+      Stopwatch sw;
+      const GapDpResult r = solve_gap_dp(inst);
+      table.row()
+          .add(name)
+          .add(p)
+          .add(r.feasible ? "yes" : "no")
+          .add(r.feasible ? std::to_string(r.transitions) : "-")
+          .add(sw.millis(), 2)
+          .add(r.states);
+    }
+  }
+  bench::emit(argv[0], table);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Google-benchmark microbenchmarks of the library's hot paths: the Theorem
+// 1/2 dynamic programs, the matching feasibility oracle, and the Theorem 3
+// pipeline. Complements the table-emitting experiment binaries with
+// statistically robust per-call timings.
+
+#include <benchmark/benchmark.h>
+
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/dp/power_dp.hpp"
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/greedy/fhkn_greedy.hpp"
+#include "gapsched/matching/feasibility.hpp"
+#include "gapsched/powermin/powermin_approx.hpp"
+
+namespace {
+
+using namespace gapsched;
+
+Instance make_instance(std::int64_t n, int p) {
+  Prng rng(12345 + static_cast<std::uint64_t>(n) * 31 +
+           static_cast<std::uint64_t>(p));
+  return gen_feasible_one_interval(rng, static_cast<std::size_t>(n),
+                                   2 * static_cast<Time>(n), 3, p);
+}
+
+void BM_GapDp(benchmark::State& state) {
+  Instance inst = make_instance(state.range(0), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_gap_dp(inst));
+  }
+}
+BENCHMARK(BM_GapDp)
+    ->Args({6, 1})
+    ->Args({10, 1})
+    ->Args({14, 1})
+    ->Args({6, 2})
+    ->Args({10, 2})
+    ->Args({6, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PowerDp(benchmark::State& state) {
+  Instance inst = make_instance(state.range(0), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_power_dp(inst, 2.0));
+  }
+}
+BENCHMARK(BM_PowerDp)
+    ->Args({6, 1})
+    ->Args({10, 1})
+    ->Args({6, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FeasibilityOracle(benchmark::State& state) {
+  Prng rng(777);
+  Instance inst = gen_uniform_one_interval(
+      rng, static_cast<std::size_t>(state.range(0)), 3 * state.range(0), 6, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_feasible(inst));
+  }
+}
+BENCHMARK(BM_FeasibilityOracle)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FhknGreedy(benchmark::State& state) {
+  Instance inst = make_instance(state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fhkn_greedy(inst));
+  }
+}
+BENCHMARK(BM_FhknGreedy)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_PowerMinApprox(benchmark::State& state) {
+  Prng rng(999);
+  Instance inst = gen_multi_interval(
+      rng, static_cast<std::size_t>(state.range(0)), 3 * state.range(0), 2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(powermin_approx(inst, 2.0));
+  }
+}
+BENCHMARK(BM_PowerMinApprox)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Command-line solver: reads an instance file (io/serialize.hpp format) and
+// solves the requested objective.
+//
+//   $ ./solver_cli gaps instance.txt            # Theorem 1 exact
+//   $ ./solver_cli power 2.5 instance.txt       # Theorem 2 exact, alpha=2.5
+//   $ ./solver_cli power-approx 2.5 instance.txt# Theorem 3 approximation
+//   $ ./solver_cli greedy instance.txt          # FHKN 3-approximation
+//   $ ./solver_cli throughput 3 instance.txt    # Theorem 11, k=3 spans
+//
+// Prints the schedule in the text format plus a Gantt chart and metrics.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "gapsched/baptiste/baptiste.hpp"
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/dp/power_dp.hpp"
+#include "gapsched/greedy/fhkn_greedy.hpp"
+#include "gapsched/io/render.hpp"
+#include "gapsched/io/serialize.hpp"
+#include "gapsched/powermin/powermin_approx.hpp"
+#include "gapsched/restart/restart_greedy.hpp"
+
+using namespace gapsched;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: solver_cli gaps <file>\n"
+      << "       solver_cli power <alpha> <file>\n"
+      << "       solver_cli power-approx <alpha> <file>\n"
+      << "       solver_cli greedy <file>\n"
+      << "       solver_cli throughput <k> <file>\n";
+  return 2;
+}
+
+std::optional<Instance> load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::string error;
+  auto inst = read_instance(is, &error);
+  if (!inst) std::cerr << "parse error: " << error << "\n";
+  return inst;
+}
+
+void report(const Instance& inst, const Schedule& s, double alpha) {
+  std::cout << render_gantt(inst, s);
+  std::cout << describe_schedule(s, alpha) << "\n\n";
+  write_schedule(std::cout, s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+
+  if (mode == "gaps" && argc == 3) {
+    auto inst = load(argv[2]);
+    if (!inst) return 1;
+    GapDpResult r = solve_gap_dp(*inst);
+    if (!r.feasible) {
+      std::cout << "infeasible\n";
+      return 1;
+    }
+    std::cout << "optimal transitions: " << r.transitions << "\n";
+    report(*inst, r.schedule, 1.0);
+    return 0;
+  }
+  if (mode == "power" && argc == 4) {
+    const double alpha = std::stod(argv[2]);
+    auto inst = load(argv[3]);
+    if (!inst) return 1;
+    PowerDpResult r = solve_power_dp(*inst, alpha);
+    if (!r.feasible) {
+      std::cout << "infeasible\n";
+      return 1;
+    }
+    std::cout << "optimal power: " << r.power << "\n";
+    report(*inst, r.schedule, alpha);
+    return 0;
+  }
+  if (mode == "power-approx" && argc == 4) {
+    const double alpha = std::stod(argv[2]);
+    auto inst = load(argv[3]);
+    if (!inst) return 1;
+    PowerMinApproxResult r = powermin_approx(*inst, alpha);
+    if (!r.feasible) {
+      std::cout << "infeasible\n";
+      return 1;
+    }
+    std::cout << "approximate power: " << r.power << " (guarantee factor "
+              << theorem3_bound(alpha) << ")\n";
+    report(*inst, r.schedule, alpha);
+    return 0;
+  }
+  if (mode == "greedy" && argc == 3) {
+    auto inst = load(argv[2]);
+    if (!inst) return 1;
+    FhknResult r = fhkn_greedy(*inst);
+    if (!r.feasible) {
+      std::cout << "infeasible\n";
+      return 1;
+    }
+    std::cout << "greedy transitions: " << r.transitions
+              << " (3-approximation)\n";
+    report(*inst, r.schedule, 1.0);
+    return 0;
+  }
+  if (mode == "throughput" && argc == 4) {
+    const std::size_t k = std::stoul(argv[2]);
+    auto inst = load(argv[3]);
+    if (!inst) return 1;
+    RestartResult r = restart_greedy(*inst, k);
+    std::cout << "scheduled " << r.scheduled << "/" << inst->n()
+              << " jobs in " << r.working_intervals.size() << " spans\n";
+    report(*inst, r.schedule, 1.0);
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,23 @@
+#include "gapsched/baptiste/baptiste.hpp"
+
+#include "gapsched/dp/gap_dp.hpp"
+
+namespace gapsched {
+
+BaptisteResult solve_baptiste(const Instance& inst) {
+  Instance single = inst;
+  single.processors = 1;
+  GapDpResult r = solve_gap_dp(single);
+  BaptisteResult out;
+  out.feasible = r.feasible;
+  if (r.feasible) {
+    out.spans = r.transitions;
+    out.gaps = r.transitions > 0 ? r.transitions - 1 : 0;
+    out.schedule = std::move(r.schedule);
+  } else {
+    out.schedule = Schedule(inst.n());
+  }
+  return out;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,94 @@
+#include "gapsched/core/profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gapsched {
+
+OccupancyProfile OccupancyProfile::from_times(std::vector<Time> times) {
+  std::sort(times.begin(), times.end());
+  OccupancyProfile p;
+  for (Time t : times) {
+    if (!p.entries_.empty() && p.entries_.back().first == t) {
+      ++p.entries_.back().second;
+    } else {
+      p.entries_.push_back({t, 1});
+    }
+  }
+  return p;
+}
+
+std::int64_t OccupancyProfile::busy_time() const {
+  std::int64_t total = 0;
+  for (const auto& [t, c] : entries_) total += c;
+  return total;
+}
+
+int OccupancyProfile::max_occupancy() const {
+  int best = 0;
+  for (const auto& [t, c] : entries_) best = std::max(best, c);
+  return best;
+}
+
+std::int64_t OccupancyProfile::transitions() const {
+  std::int64_t total = 0;
+  Time prev_t = 0;
+  int prev_c = 0;
+  bool have_prev = false;
+  for (const auto& [t, c] : entries_) {
+    if (have_prev && t == prev_t + 1) {
+      total += std::max(0, c - prev_c);
+    } else {
+      total += c;  // woke from a fully idle time unit (or schedule start)
+    }
+    prev_t = t;
+    prev_c = c;
+    have_prev = true;
+  }
+  return total;
+}
+
+std::int64_t OccupancyProfile::interior_gaps() const {
+  return transitions() - max_occupancy();
+}
+
+std::int64_t OccupancyProfile::spans() const {
+  std::int64_t total = 0;
+  Time prev_t = 0;
+  bool have_prev = false;
+  for (const auto& [t, c] : entries_) {
+    (void)c;
+    if (!have_prev || t != prev_t + 1) ++total;
+    prev_t = t;
+    have_prev = true;
+  }
+  return total;
+}
+
+double OccupancyProfile::optimal_power(double alpha) const {
+  assert(alpha >= 0);
+  double total = static_cast<double>(busy_time());
+  const int levels = max_occupancy();
+  for (int q = 1; q <= levels; ++q) {
+    total += alpha;  // initial wake-up of processor level q
+    bool have_prev = false;
+    Time prev_t = 0;
+    for (const auto& [t, c] : entries_) {
+      if (c < q) continue;
+      if (have_prev && t > prev_t + 1) {
+        const double idle = static_cast<double>(t - prev_t - 1);
+        total += std::min(idle, alpha);  // bridge iff cheaper than re-waking
+      }
+      prev_t = t;
+      have_prev = true;
+    }
+  }
+  return total;
+}
+
+double OccupancyProfile::power_without_bridging(double alpha) const {
+  return static_cast<double>(busy_time()) +
+         alpha * static_cast<double>(transitions());
+}
+
+}  // namespace gapsched

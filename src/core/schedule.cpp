@@ -1,0 +1,94 @@
+#include "gapsched/core/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gapsched {
+
+std::size_t Schedule::scheduled_count() const {
+  std::size_t c = 0;
+  for (const auto& s : slots_) {
+    if (s.has_value()) ++c;
+  }
+  return c;
+}
+
+void Schedule::place(std::size_t job, Time t, int processor) {
+  slots_[job] = Placement{t, processor};
+}
+
+void Schedule::unschedule(std::size_t job) { slots_[job].reset(); }
+
+std::vector<Time> Schedule::times() const {
+  std::vector<Time> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) {
+    if (s) out.push_back(s->time);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+OccupancyProfile Schedule::profile() const {
+  return OccupancyProfile::from_times(times());
+}
+
+std::string Schedule::validate(const Instance& inst,
+                               bool require_complete) const {
+  if (slots_.size() != inst.n()) return "schedule size differs from instance";
+  std::map<Time, int> occupancy;
+  std::set<std::pair<Time, int>> proc_slots;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i]) {
+      if (require_complete) return "job " + std::to_string(i) + " unscheduled";
+      continue;
+    }
+    const Placement& pl = *slots_[i];
+    if (!inst.jobs[i].allowed.contains(pl.time)) {
+      return "job " + std::to_string(i) + " scheduled at disallowed time " +
+             std::to_string(pl.time);
+    }
+    if (pl.processor != Placement::kUnassigned) {
+      if (pl.processor < 0 || pl.processor >= inst.processors) {
+        return "job " + std::to_string(i) + " on out-of-range processor";
+      }
+      if (!proc_slots.insert({pl.time, pl.processor}).second) {
+        return "two jobs share time " + std::to_string(pl.time) +
+               " on processor " + std::to_string(pl.processor);
+      }
+    }
+    if (++occupancy[pl.time] > inst.processors) {
+      return "more than p jobs at time " + std::to_string(pl.time);
+    }
+  }
+  return {};
+}
+
+void Schedule::assign_processors_staircase() {
+  std::map<Time, int> next_proc;
+  for (auto& s : slots_) {
+    if (s) s->processor = next_proc[s->time]++;
+  }
+}
+
+std::int64_t Schedule::per_processor_transitions(const Instance& inst) const {
+  // Busy time lists per processor, then count run starts on each.
+  std::vector<std::vector<Time>> busy(
+      static_cast<std::size_t>(inst.processors));
+  for (const auto& s : slots_) {
+    if (s && s->processor != Placement::kUnassigned) {
+      busy[static_cast<std::size_t>(s->processor)].push_back(s->time);
+    }
+  }
+  std::int64_t total = 0;
+  for (auto& b : busy) {
+    std::sort(b.begin(), b.end());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (i == 0 || b[i] != b[i - 1] + 1) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,62 @@
+#include "gapsched/core/transforms.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gapsched {
+
+Time CompressedInstance::to_original(Time compressed) const {
+  // Find the compressed interval containing the time.
+  for (std::size_t i = 0; i < compressed_intervals.size(); ++i) {
+    if (compressed_intervals[i].contains(compressed)) {
+      return original_intervals[i].lo +
+             (compressed - compressed_intervals[i].lo);
+    }
+  }
+  assert(false && "time is not in any allowed interval");
+  return compressed;
+}
+
+Time CompressedInstance::to_compressed(Time original) const {
+  for (std::size_t i = 0; i < original_intervals.size(); ++i) {
+    if (original_intervals[i].contains(original)) {
+      return compressed_intervals[i].lo +
+             (original - original_intervals[i].lo);
+    }
+  }
+  assert(false && "time is not in any allowed interval");
+  return original;
+}
+
+CompressedInstance compress_dead_time(const Instance& inst) {
+  CompressedInstance out;
+  out.instance.processors = inst.processors;
+  if (inst.n() == 0) return out;
+
+  // Union of all allowed times: its maximal intervals are the live regions.
+  TimeSet live;
+  for (const Job& j : inst.jobs) live = live.unite(j.allowed);
+
+  // Lay live intervals out left to right, one dead unit between them.
+  Time cursor = 0;
+  for (const Interval& iv : live.intervals()) {
+    out.original_intervals.push_back(iv);
+    out.compressed_intervals.push_back({cursor, cursor + iv.length() - 1});
+    out.anchors.push_back({cursor, iv.lo});
+    cursor += iv.length() + 1;  // +1 = the single compressed dead unit
+  }
+
+  out.instance.jobs.reserve(inst.n());
+  for (const Job& j : inst.jobs) {
+    std::vector<Interval> mapped;
+    mapped.reserve(j.allowed.interval_count());
+    for (const Interval& iv : j.allowed.intervals()) {
+      const Time lo = out.to_compressed(iv.lo);
+      mapped.push_back({lo, lo + iv.length() - 1});
+    }
+    out.instance.jobs.push_back(Job{TimeSet(std::move(mapped))});
+  }
+  return out;
+}
+
+}  // namespace gapsched

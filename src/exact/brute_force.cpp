@@ -1,0 +1,121 @@
+#include "gapsched/exact/brute_force.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "gapsched/core/candidate_times.hpp"
+
+namespace gapsched {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+struct Entry {
+  std::int64_t cost = std::numeric_limits<std::int64_t>::max();
+  Mask parent_mask = 0;
+  int parent_prev = 0;
+  Mask chosen = 0;  // subset scheduled at this layer's time
+};
+
+// State key within one layer: mask * (p+1) + prev_occupancy.
+std::uint64_t key_of(Mask mask, int prev, int p) {
+  return static_cast<std::uint64_t>(mask) * static_cast<std::uint64_t>(p + 1) +
+         static_cast<std::uint64_t>(prev);
+}
+
+}  // namespace
+
+ExactGapResult brute_force_min_transitions(const Instance& inst) {
+  assert(inst.n() <= 20 && "brute force is exponential in n");
+  const int p = inst.processors;
+  const std::size_t n = inst.n();
+  if (n == 0) return ExactGapResult{true, 0, Schedule(0)};
+  const Mask full = (Mask{1} << n) - 1;
+
+  const std::vector<Time> theta = candidate_times(inst);
+  const std::size_t m = theta.size();
+
+  // avail[i] = jobs allowed to run at theta[i];
+  // last_chance[i] = jobs whose last allowed candidate time is theta[i].
+  std::vector<Mask> avail(m, 0), last_chance(m, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t last = m;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (inst.jobs[j].allowed.contains(theta[i])) {
+        avail[i] |= Mask{1} << j;
+        last = i;
+      }
+    }
+    if (last == m) return {};  // no candidate time at all: infeasible
+    last_chance[last] |= Mask{1} << j;
+  }
+
+  // layers[i]: states after processing theta[0..i-1].
+  std::vector<std::unordered_map<std::uint64_t, Entry>> layers(m + 1);
+  layers[0][key_of(0, 0, p)] = Entry{0, 0, 0, 0};
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool adjacent = i > 0 && theta[i] == theta[i - 1] + 1;
+    for (const auto& [key, entry] : layers[i]) {
+      const Mask mask =
+          static_cast<Mask>(key / static_cast<std::uint64_t>(p + 1));
+      const int prev = static_cast<int>(key % static_cast<std::uint64_t>(p + 1));
+      const Mask candidates = avail[i] & ~mask;
+      const Mask must = last_chance[i] & ~mask;
+      if ((must & ~candidates) != 0) continue;  // a dying job is unavailable
+      if (std::popcount(must) > p) continue;    // too many forced jobs
+      // Enumerate subsets S with must <= S <= candidates, |S| <= p.
+      const Mask optional_bits = candidates & ~must;
+      for (Mask sub = optional_bits;; sub = (sub - 1) & optional_bits) {
+        const Mask s = sub | must;
+        const int cnt = std::popcount(s);
+        if (cnt <= p) {
+          const std::int64_t step = adjacent ? std::max(0, cnt - prev) : cnt;
+          const std::uint64_t nk = key_of(mask | s, cnt, p);
+          Entry& slot = layers[i + 1][nk];
+          if (entry.cost + step < slot.cost) {
+            slot = Entry{entry.cost + step, mask, prev, s};
+          }
+        }
+        if (sub == 0) break;
+      }
+    }
+  }
+
+  // Best final state over any ending occupancy.
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  int best_prev = -1;
+  for (int prev = 0; prev <= p; ++prev) {
+    auto it = layers[m].find(key_of(full, prev, p));
+    if (it != layers[m].end() && it->second.cost < best) {
+      best = it->second.cost;
+      best_prev = prev;
+    }
+  }
+  if (best_prev < 0) return {};
+
+  // Reconstruct by walking parent pointers backwards through the layers.
+  Schedule sched(n);
+  Mask mask = full;
+  int prev = best_prev;
+  for (std::size_t i = m; i > 0; --i) {
+    const Entry& e = layers[i].at(key_of(mask, prev, p));
+    Mask s = e.chosen;
+    while (s != 0) {
+      const int j = std::countr_zero(s);
+      sched.place(static_cast<std::size_t>(j), theta[i - 1]);
+      s &= s - 1;
+    }
+    mask = e.parent_mask;
+    prev = e.parent_prev;
+  }
+  sched.assign_processors_staircase();
+  return ExactGapResult{true, best, std::move(sched)};
+}
+
+}  // namespace gapsched

@@ -1,0 +1,135 @@
+#include "gapsched/exact/power_brute_force.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "gapsched/core/candidate_times.hpp"
+
+namespace gapsched {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+struct Entry {
+  double cost = std::numeric_limits<double>::infinity();
+  Mask parent_mask = 0;
+  int parent_active = 0;
+  Mask chosen = 0;
+};
+
+std::uint64_t key_of(Mask mask, int active, int p) {
+  return static_cast<std::uint64_t>(mask) * static_cast<std::uint64_t>(p + 1) +
+         static_cast<std::uint64_t>(active);
+}
+
+// Cost of arriving at a time with `m_new` active processors, `m_prev` active
+// at the previous candidate time, separated by `idle` fully idle time units
+// (idle < 0 encodes "start of schedule": everything wakes fresh).
+double step_cost(int m_prev, int m_new, std::int64_t idle, double alpha) {
+  if (m_new == 0) return 0.0;
+  double cost = static_cast<double>(m_new);  // active time at the new unit
+  if (idle < 0) return cost + alpha * m_new;
+  if (idle == 0) {
+    return cost + alpha * std::max(0, m_new - m_prev);
+  }
+  const int carried = std::min(m_prev, m_new);
+  const double carry_unit = std::min(static_cast<double>(idle), alpha);
+  return cost + carried * carry_unit + alpha * (m_new - carried);
+}
+
+}  // namespace
+
+ExactPowerResult brute_force_min_power(const Instance& inst, double alpha) {
+  assert(inst.n() <= 20 && "brute force is exponential in n");
+  assert(alpha >= 0.0);
+  const int p = inst.processors;
+  const std::size_t n = inst.n();
+  if (n == 0) return ExactPowerResult{true, 0.0, Schedule(0)};
+  const Mask full = (Mask{1} << n) - 1;
+
+  const std::vector<Time> theta = candidate_times(inst);
+  const std::size_t m = theta.size();
+
+  std::vector<Mask> avail(m, 0), last_chance(m, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t last = m;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (inst.jobs[j].allowed.contains(theta[i])) {
+        avail[i] |= Mask{1} << j;
+        last = i;
+      }
+    }
+    if (last == m) return {};
+    last_chance[last] |= Mask{1} << j;
+  }
+
+  std::vector<std::unordered_map<std::uint64_t, Entry>> layers(m + 1);
+  layers[0][key_of(0, 0, p)] = Entry{0.0, 0, 0, 0};
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int64_t idle = (i == 0) ? -1 : theta[i] - theta[i - 1] - 1;
+    for (const auto& [key, entry] : layers[i]) {
+      const Mask mask =
+          static_cast<Mask>(key / static_cast<std::uint64_t>(p + 1));
+      const int active =
+          static_cast<int>(key % static_cast<std::uint64_t>(p + 1));
+      const Mask candidates = avail[i] & ~mask;
+      const Mask must = last_chance[i] & ~mask;
+      if ((must & ~candidates) != 0) continue;
+      if (std::popcount(must) > p) continue;
+      const Mask optional_bits = candidates & ~must;
+      for (Mask sub = optional_bits;; sub = (sub - 1) & optional_bits) {
+        const Mask s = sub | must;
+        const int cnt = std::popcount(s);
+        if (cnt <= p) {
+          // Choose how many processors stay/become active here (>= cnt;
+          // extra active-but-idle processors may pay off by bridging).
+          for (int m_new = cnt; m_new <= p; ++m_new) {
+            const double step = step_cost(active, m_new, idle, alpha);
+            const std::uint64_t nk = key_of(mask | s, m_new, p);
+            Entry& slot = layers[i + 1][nk];
+            if (entry.cost + step < slot.cost) {
+              slot = Entry{entry.cost + step, mask, active, s};
+            }
+          }
+        }
+        if (sub == 0) break;
+      }
+    }
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  int best_active = -1;
+  for (int a = 0; a <= p; ++a) {
+    auto it = layers[m].find(key_of(full, a, p));
+    if (it != layers[m].end() && it->second.cost < best) {
+      best = it->second.cost;
+      best_active = a;
+    }
+  }
+  if (best_active < 0) return {};
+
+  Schedule sched(n);
+  Mask mask = full;
+  int active = best_active;
+  for (std::size_t i = m; i > 0; --i) {
+    const Entry& e = layers[i].at(key_of(mask, active, p));
+    Mask s = e.chosen;
+    while (s != 0) {
+      const int j = std::countr_zero(s);
+      sched.place(static_cast<std::size_t>(j), theta[i - 1]);
+      s &= s - 1;
+    }
+    mask = e.parent_mask;
+    active = e.parent_active;
+  }
+  sched.assign_processors_staircase();
+  return ExactPowerResult{true, best, std::move(sched)};
+}
+
+}  // namespace gapsched

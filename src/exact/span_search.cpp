@@ -1,0 +1,165 @@
+#include "gapsched/exact/span_search.hpp"
+
+#include <algorithm>
+
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Incremental time->job matcher with snapshot-based rollback: push a time
+// unit (augment), pop by restoring the saved matching.
+class IncrementalFill {
+ public:
+  explicit IncrementalFill(const Instance& inst) : inst_(inst) {
+    match_job_.assign(inst.n(), kNone);
+  }
+
+  /// Tries to assign time t a distinct job. On success the time is pushed;
+  /// on failure the state is unchanged.
+  bool push(Time t) {
+    snapshots_.push_back(match_job_);
+    times_.push_back(t);
+    std::vector<char> visited(inst_.n(), 0);
+    if (augment(static_cast<std::size_t>(times_.size()) - 1, visited)) {
+      return true;
+    }
+    match_job_ = std::move(snapshots_.back());
+    snapshots_.pop_back();
+    times_.pop_back();
+    return false;
+  }
+
+  void pop() {
+    match_job_ = std::move(snapshots_.back());
+    snapshots_.pop_back();
+    times_.pop_back();
+  }
+
+  /// job -> position in the pushed time list (kNone when unmatched).
+  const std::vector<std::size_t>& job_positions() const { return match_job_; }
+  const std::vector<Time>& times() const { return times_; }
+
+ private:
+  bool augment(std::size_t pos, std::vector<char>& visited) {
+    const Time t = times_[pos];
+    for (std::size_t j = 0; j < inst_.n(); ++j) {
+      if (visited[j] || !inst_.jobs[j].allowed.contains(t)) continue;
+      visited[j] = 1;
+      if (match_job_[j] == kNone || augment(match_job_[j], visited)) {
+        match_job_[j] = pos;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Instance& inst_;
+  std::vector<std::size_t> match_job_;  // job -> time position
+  std::vector<Time> times_;
+  std::vector<std::vector<std::size_t>> snapshots_;
+};
+
+class Searcher {
+ public:
+  explicit Searcher(const Instance& inst)
+      : inst_(inst), fill_(inst) {
+    const SlotSpace slots = make_slot_space(inst);
+    vt_ = slots.slot_times;
+    // run_end_[i]: last slot index of the consecutive-time run containing i.
+    run_end_.resize(vt_.size());
+    for (std::size_t i = vt_.size(); i-- > 0;) {
+      if (i + 1 < vt_.size() && vt_[i + 1] == vt_[i] + 1) {
+        run_end_[i] = run_end_[i + 1];
+      } else {
+        run_end_[i] = i;
+      }
+    }
+  }
+
+  bool solve_with(std::size_t spans) {
+    spans_budget_ = spans;
+    return dfs(0, spans, inst_.n());
+  }
+
+  Schedule extract_schedule() const {
+    Schedule s(inst_.n());
+    const auto& pos = fill_.job_positions();
+    for (std::size_t j = 0; j < inst_.n(); ++j) {
+      if (pos[j] != kNone) s.place(j, fill_.times()[pos[j]], 0);
+    }
+    return s;
+  }
+
+  std::size_t nodes() const { return nodes_; }
+
+ private:
+  // Place `remaining` jobs into at most `spans_left` spans starting at slot
+  // index >= from.
+  bool dfs(std::size_t from, std::size_t spans_left, std::size_t remaining) {
+    ++nodes_;
+    if (remaining == 0) return true;
+    if (spans_left == 0 || from >= vt_.size()) return false;
+    // Capacity bound: even maximal spans cannot host the remaining jobs.
+    if (spans_left * vt_.size() < remaining) return false;
+
+    for (std::size_t a = from; a < vt_.size(); ++a) {
+      // Span starting exactly at slot a.
+      const std::size_t max_end = run_end_[a];
+      std::size_t pushed = 0;
+      for (std::size_t b = a; b <= max_end && pushed < remaining; ++b) {
+        if (!fill_.push(vt_[b])) break;  // longer spans only harder
+        ++pushed;
+        // Next span must start after a >= 1 unit idle gap.
+        std::size_t next = b + 1;
+        while (next < vt_.size() && vt_[next] <= vt_[b] + 1) ++next;
+        if (dfs(next, spans_left - 1, remaining - pushed)) return true;
+      }
+      for (std::size_t i = 0; i < pushed; ++i) fill_.pop();
+    }
+    return false;
+  }
+
+  const Instance& inst_;
+  IncrementalFill fill_;
+  std::vector<Time> vt_;
+  std::vector<std::size_t> run_end_;
+  std::size_t spans_budget_ = 0;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+SpanSearchResult span_search_min_transitions(const Instance& inst) {
+  Instance single = inst;
+  single.processors = 1;
+  SpanSearchResult out;
+  if (single.n() == 0) {
+    out.feasible = true;
+    out.schedule = Schedule(0);
+    return out;
+  }
+  if (!is_feasible(single)) {
+    out.schedule = Schedule(single.n());
+    return out;
+  }
+  for (std::size_t t = 1; t <= single.n(); ++t) {
+    Searcher searcher(single);
+    if (searcher.solve_with(t)) {
+      out.feasible = true;
+      out.transitions = static_cast<std::int64_t>(t);
+      out.schedule = searcher.extract_schedule();
+      out.nodes = searcher.nodes();
+      return out;
+    }
+    out.nodes += searcher.nodes();
+  }
+  // Unreachable for feasible instances: n singleton spans always work.
+  out.schedule = Schedule(single.n());
+  return out;
+}
+
+}  // namespace gapsched

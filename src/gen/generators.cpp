@@ -1,0 +1,127 @@
+#include "gapsched/gen/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gapsched {
+
+namespace {
+
+// n distinct (time, processor) anchor slots within [0, horizon) x [0, p).
+std::vector<Time> sample_anchor_times(Prng& rng, std::size_t n, Time horizon,
+                                      int processors) {
+  assert(horizon * processors >= static_cast<Time>(n) &&
+         "not enough slots for anchors");
+  // Sample distinct slot ids, then map to times (slot id / p).
+  const std::int64_t total = horizon * processors;
+  std::vector<std::int64_t> ids;
+  ids.reserve(n);
+  // Floyd's algorithm for a distinct sample.
+  for (std::int64_t j = total - static_cast<std::int64_t>(n); j < total; ++j) {
+    std::int64_t t = rng.uniform(0, j);
+    if (std::find(ids.begin(), ids.end(), t) != ids.end()) t = j;
+    ids.push_back(t);
+  }
+  std::vector<Time> anchors;
+  anchors.reserve(n);
+  for (std::int64_t id : ids) anchors.push_back(id / processors);
+  return anchors;
+}
+
+}  // namespace
+
+Instance gen_uniform_one_interval(Prng& rng, std::size_t n, Time horizon,
+                                  Time max_window, int processors) {
+  Instance inst;
+  inst.processors = processors;
+  inst.jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time a = rng.uniform(0, horizon - 1);
+    const Time len = rng.uniform(1, max_window);
+    inst.jobs.push_back(Job{TimeSet::window(a, a + len - 1)});
+  }
+  return inst;
+}
+
+Instance gen_feasible_one_interval(Prng& rng, std::size_t n, Time horizon,
+                                   Time slack, int processors) {
+  const std::vector<Time> anchors =
+      sample_anchor_times(rng, n, horizon, processors);
+  Instance inst;
+  inst.processors = processors;
+  inst.jobs.reserve(n);
+  for (Time t : anchors) {
+    const Time lo = std::max<Time>(0, t - rng.uniform(0, slack));
+    const Time hi = t + rng.uniform(0, slack);
+    inst.jobs.push_back(Job{TimeSet::window(lo, hi)});
+  }
+  return inst;
+}
+
+Instance gen_bursty(Prng& rng, std::size_t bursts, std::size_t per_burst,
+                    Time spacing, Time window_len, int processors) {
+  Instance inst;
+  inst.processors = processors;
+  inst.jobs.reserve(bursts * per_burst);
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const Time start = static_cast<Time>(b) * spacing;
+    for (std::size_t j = 0; j < per_burst; ++j) {
+      const Time a = start + rng.uniform(0, std::max<Time>(1, window_len / 4));
+      inst.jobs.push_back(Job{TimeSet::window(a, a + window_len - 1)});
+    }
+  }
+  return inst;
+}
+
+Instance gen_multi_interval(Prng& rng, std::size_t n, Time horizon,
+                            std::size_t intervals, Time interval_len,
+                            int processors) {
+  assert(intervals >= 1);
+  const std::vector<Time> anchors =
+      sample_anchor_times(rng, n, horizon, processors);
+  Instance inst;
+  inst.processors = processors;
+  inst.jobs.reserve(n);
+  for (Time t : anchors) {
+    std::vector<Interval> ivs{{t, t}};
+    for (std::size_t d = 1; d < intervals; ++d) {
+      const Time lo = rng.uniform(0, std::max<Time>(0, horizon - interval_len));
+      ivs.push_back({lo, lo + interval_len - 1});
+    }
+    inst.jobs.push_back(Job{TimeSet(std::move(ivs))});
+  }
+  return inst;
+}
+
+Instance gen_unit_points(Prng& rng, std::size_t n, Time horizon, std::size_t k,
+                         int processors) {
+  assert(k >= 1);
+  const std::vector<Time> anchors =
+      sample_anchor_times(rng, n, horizon, processors);
+  Instance inst;
+  inst.processors = processors;
+  inst.jobs.reserve(n);
+  for (Time t : anchors) {
+    std::vector<Time> pts{t};
+    for (std::size_t d = 1; d < k; ++d) pts.push_back(rng.uniform(0, horizon - 1));
+    inst.jobs.push_back(Job{TimeSet::points(pts)});
+  }
+  return inst;
+}
+
+Instance gen_online_adversarial(std::size_t n) {
+  Instance inst;
+  inst.processors = 1;
+  const Time nn = static_cast<Time>(n);
+  inst.jobs.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.jobs.push_back(Job{TimeSet::window(0, 3 * nn)});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time a = nn + 2 * static_cast<Time>(i);
+    inst.jobs.push_back(Job{TimeSet::window(a, a + 1)});
+  }
+  return inst;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,187 @@
+#include "gapsched/greedy/fhkn_greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr std::int64_t kInfLen = std::numeric_limits<std::int64_t>::max() / 2;
+
+// Matching of jobs to slot indices with a mutable blocked set, supporting
+// cheap "would blocking these slots stay feasible?" trials that only rematch
+// the displaced jobs.
+class BlockableMatcher {
+ public:
+  BlockableMatcher(const Instance& inst, const std::vector<Time>& slot_times)
+      : adj_(inst.n()),
+        match_job_(inst.n(), kNone),
+        match_slot_(slot_times.size(), kNone),
+        blocked_(slot_times.size(), 0) {
+    for (std::size_t j = 0; j < inst.n(); ++j) {
+      for (const Interval& iv : inst.jobs[j].allowed.intervals()) {
+        auto lo = std::lower_bound(slot_times.begin(), slot_times.end(), iv.lo);
+        auto hi = std::upper_bound(lo, slot_times.end(), iv.hi);
+        for (auto it = lo; it != hi; ++it) {
+          adj_[j].push_back(static_cast<std::size_t>(it - slot_times.begin()));
+        }
+      }
+    }
+  }
+
+  bool match_all() {
+    for (std::size_t j = 0; j < adj_.size(); ++j) {
+      if (match_job_[j] == kNone && !augment(j)) return false;
+    }
+    return true;
+  }
+
+  /// Tests whether all jobs remain matchable if slots [s_lo, s_hi] are also
+  /// blocked. Leaves the matcher state unchanged.
+  bool feasible_if_blocked(std::size_t s_lo, std::size_t s_hi) {
+    const auto saved_job = match_job_;
+    const auto saved_slot = match_slot_;
+    std::vector<std::size_t> newly_blocked;
+    for (std::size_t s = s_lo; s <= s_hi; ++s) {
+      if (!blocked_[s]) {
+        blocked_[s] = 1;
+        newly_blocked.push_back(s);
+      }
+    }
+    bool ok = true;
+    for (std::size_t s = s_lo; s <= s_hi && ok; ++s) {
+      const std::size_t j = match_slot_[s];
+      if (j == kNone) continue;
+      match_slot_[s] = kNone;
+      match_job_[j] = kNone;
+      ok = augment(j);
+    }
+    for (std::size_t s : newly_blocked) blocked_[s] = 0;
+    match_job_ = saved_job;
+    match_slot_ = saved_slot;
+    return ok;
+  }
+
+  /// Permanently blocks slots [s_lo, s_hi], rematching displaced jobs.
+  /// Must only be called after feasible_if_blocked succeeded.
+  void commit_block(std::size_t s_lo, std::size_t s_hi) {
+    for (std::size_t s = s_lo; s <= s_hi; ++s) blocked_[s] = 1;
+    for (std::size_t s = s_lo; s <= s_hi; ++s) {
+      const std::size_t j = match_slot_[s];
+      if (j == kNone) continue;
+      match_slot_[s] = kNone;
+      match_job_[j] = kNone;
+      augment(j);
+    }
+  }
+
+  bool is_blocked(std::size_t s) const { return blocked_[s] != 0; }
+  std::size_t slot_of(std::size_t job) const { return match_job_[job]; }
+
+ private:
+  bool augment(std::size_t j) {
+    std::vector<char> visited(match_slot_.size(), 0);
+    return try_augment(j, visited);
+  }
+
+  bool try_augment(std::size_t j, std::vector<char>& visited) {
+    for (std::size_t s : adj_[j]) {
+      if (blocked_[s] || visited[s]) continue;
+      visited[s] = 1;
+      if (match_slot_[s] == kNone || try_augment(match_slot_[s], visited)) {
+        match_slot_[s] = j;
+        match_job_[j] = s;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::size_t> match_job_;
+  std::vector<std::size_t> match_slot_;
+  std::vector<char> blocked_;
+};
+
+}  // namespace
+
+FhknResult fhkn_greedy(const Instance& inst) {
+  Instance single = inst;
+  single.processors = 1;
+  if (single.n() == 0) return FhknResult{true, 0, {}, Schedule(0)};
+
+  const SlotSpace slots = make_slot_space(single);
+  const std::vector<Time>& vt = slots.slot_times;
+  const std::size_t m = vt.size();
+
+  BlockableMatcher matcher(single, vt);
+  if (!matcher.match_all()) {
+    return FhknResult{false, 0, {}, Schedule(single.n())};
+  }
+
+  // alive[s]: slot not yet removed from the timeline.
+  std::vector<char> alive(m, 1);
+  std::vector<Interval> committed;
+
+  for (;;) {
+    // Alive slot indices in order.
+    std::vector<std::size_t> live;
+    live.reserve(m);
+    for (std::size_t s = 0; s < m; ++s) {
+      if (alive[s]) live.push_back(s);
+    }
+    if (live.empty()) break;
+
+    // Real-time extent of blocking live[i..j]: dead time on both sides is
+    // free, so the gap stretches to the neighbouring live slots (or to
+    // infinity at the timeline edges).
+    auto gap_length = [&](std::size_t i, std::size_t j) -> std::int64_t {
+      if (i == 0 || j + 1 == live.size()) return kInfLen;
+      return vt[live[j + 1]] - vt[live[i - 1]] - 1;
+    };
+
+    std::int64_t best_len = 0;
+    std::size_t best_i = kNone, best_j = kNone;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (!matcher.feasible_if_blocked(live[i], live[i])) continue;
+      // Largest j >= i with live[i..j] blockable (monotone in j).
+      std::size_t lo = i, hi = live.size() - 1;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo + 1) / 2;
+        if (matcher.feasible_if_blocked(live[i], live[mid])) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      const std::int64_t len = gap_length(i, lo);
+      // Prefer longer gaps; among infinite (edge) gaps, prefer more slots.
+      const std::int64_t tie = static_cast<std::int64_t>(lo - i);
+      if (len > best_len ||
+          (len == best_len && best_i != kNone &&
+           tie > static_cast<std::int64_t>(best_j - best_i))) {
+        best_len = len;
+        best_i = i;
+        best_j = lo;
+      }
+    }
+    if (best_i == kNone) break;  // no further gap can be introduced
+
+    matcher.commit_block(live[best_i], live[best_j]);
+    for (std::size_t s = live[best_i]; s <= live[best_j]; ++s) alive[s] = 0;
+    committed.push_back(Interval{vt[live[best_i]], vt[live[best_j]]});
+  }
+
+  Schedule sched(single.n());
+  for (std::size_t j = 0; j < single.n(); ++j) {
+    sched.place(j, vt[matcher.slot_of(j)], 0);
+  }
+  const std::int64_t transitions = sched.profile().transitions();
+  return FhknResult{true, transitions, std::move(committed), std::move(sched)};
+}
+
+}  // namespace gapsched

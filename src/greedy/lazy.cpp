@@ -1,0 +1,86 @@
+#include "gapsched/greedy/lazy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+
+namespace {
+
+// Feasibility of scheduling every job of `ids` within allowed times > t.
+bool deferrable(const Instance& inst, const std::vector<std::size_t>& ids,
+                Time t) {
+  Instance rest;
+  rest.processors = 1;
+  rest.jobs.reserve(ids.size());
+  for (std::size_t j : ids) {
+    TimeSet clipped = inst.jobs[j].allowed.restricted_to(
+        {t + 1, inst.jobs[j].deadline()});
+    if (clipped.empty()) return false;
+    rest.jobs.push_back(Job{std::move(clipped)});
+  }
+  return rest.jobs.empty() || is_feasible(rest);
+}
+
+}  // namespace
+
+LazyResult lazy_schedule(const Instance& inst) {
+  assert(inst.is_one_interval() &&
+         "the procrastination heuristic runs on one-interval jobs");
+  Instance single = inst;
+  single.processors = 1;
+
+  LazyResult out;
+  out.schedule = Schedule(single.n());
+  if (single.n() == 0) {
+    out.feasible = true;
+    return out;
+  }
+  if (!is_feasible(single)) return out;
+
+  const SlotSpace slots = make_slot_space(single);
+  std::vector<char> done(single.n(), 0);
+  std::vector<std::size_t> unscheduled;
+
+  for (Time t : slots.slot_times) {
+    unscheduled.clear();
+    bool any_pending = false;
+    for (std::size_t j = 0; j < single.n(); ++j) {
+      if (done[j]) continue;
+      unscheduled.push_back(j);
+      if (single.jobs[j].release() <= t) any_pending = true;
+    }
+    if (unscheduled.empty()) break;
+    if (!any_pending) continue;
+    if (deferrable(single, unscheduled, t)) continue;
+
+    // Must run: earliest-deadline pending job takes this unit.
+    std::size_t pick = static_cast<std::size_t>(-1);
+    for (std::size_t j : unscheduled) {
+      if (single.jobs[j].release() > t || single.jobs[j].deadline() < t) {
+        continue;
+      }
+      if (pick == static_cast<std::size_t>(-1) ||
+          single.jobs[j].deadline() < single.jobs[pick].deadline()) {
+        pick = j;
+      }
+    }
+    assert(pick != static_cast<std::size_t>(-1) &&
+           "deferral infeasible but nothing runnable");
+    out.schedule.place(pick, t, 0);
+    done[pick] = 1;
+  }
+
+  // A feasible instance is always fully scheduled: deferral only fails when
+  // something is runnable now, and running the EDF job preserves
+  // feasibility of the remainder.
+  out.feasible = out.schedule.complete();
+  if (out.feasible) {
+    out.transitions = out.schedule.profile().transitions();
+  }
+  return out;
+}
+
+}  // namespace gapsched

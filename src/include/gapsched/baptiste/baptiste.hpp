@@ -1,0 +1,29 @@
+#pragma once
+// Baptiste's algorithm [Bap06]: exact single-processor gap scheduling for
+// one-interval unit jobs — the baseline the paper builds Theorem 1 on.
+//
+// The paper's multiprocessor DP instantiated at p = 1 *is* Baptiste's
+// dynamic program (the q / l1 / l2 indices collapse to {0, 1}); this module
+// is the single-processor entry point with the interface downstream users
+// expect (spans / interior gaps rather than multiprocessor transitions).
+
+#include <cstdint>
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct BaptisteResult {
+  bool feasible = false;
+  /// Number of spans (maximal busy stretches) = transitions for p = 1.
+  std::int64_t spans = 0;
+  /// Interior gaps between spans: spans - 1 (0 when infeasible/empty).
+  std::int64_t gaps = 0;
+  Schedule schedule;
+};
+
+/// Exact single-processor gap scheduling. Requires a one-interval instance;
+/// `inst.processors` is ignored (treated as 1).
+BaptisteResult solve_baptiste(const Instance& inst);
+
+}  // namespace gapsched

@@ -1,0 +1,28 @@
+#pragma once
+// Candidate execution times ("Theta").
+//
+// Baptiste [Bap06, Prop 2.1], reused by Theorem 1: some optimal schedule
+// executes every job within distance n of a release date or deadline. For
+// one-interval instances we therefore restrict the DP (and the brute-force
+// ground truth) to
+//
+//   Theta = union_i ( [a_i, a_i + n + 1] u [d_i - n - 1, d_i] )  ∩  [a_i, d_i]
+//
+// closed under +1 inside the global horizon, giving |Theta| = O(n^2) times.
+// For multi-interval instances the allowed sets are explicit and finite, so
+// Theta is simply the union of all allowed times (plus the +1 closure used
+// for window seams).
+
+#include <vector>
+
+#include "gapsched/core/instance.hpp"
+
+namespace gapsched {
+
+/// Sorted, duplicate-free candidate time list for `inst`.
+/// `plus_one_closure` additionally inserts t+1 for every candidate t (clipped
+/// to the global horizon); the Theorem 1 DP needs this for window seams.
+std::vector<Time> candidate_times(const Instance& inst,
+                                  bool plus_one_closure = true);
+
+}  // namespace gapsched

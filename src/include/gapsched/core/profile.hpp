@@ -1,0 +1,78 @@
+#pragma once
+// OccupancyProfile: the number of busy processors at each time, and the
+// paper's cost functions evaluated on it.
+//
+// Lemma 1 / Lemma 2 (staircase normal form: the jobs running at time t occupy
+// the lowest-numbered processors) make both objectives pure functions of the
+// profile:
+//
+//   transitions(l) = sum_t max(0, l(t) - l(t-1))        (gap objective)
+//   power(m)       = sum_t m(t) + alpha * transitions(m), minimized over
+//                    active-count profiles m >= l       (power objective)
+//
+// "Transitions" counts sleep->active wake-ups with every processor initially
+// asleep. This is the objective under which Lemma 1 is sound; the classic
+// "interior gaps only" count equals transitions - (#processors ever used)
+// and is exposed separately. For p = 1, transitions = #spans =
+// interior gaps + 1, matching Section 5's convention that one infinite idle
+// interval counts as a gap.
+//
+// The optimal bridging in power() is computed level-by-level: processor level
+// q is busy at t iff l(t) >= q; an interior idle run of length g at level q
+// is bridged (kept active) iff g <= alpha, costing min(g, alpha); each level
+// ever used pays one initial wake-up alpha. Level sets are nested, and
+// bridged level sets remain nested (a bridged level-(q+1) idle run of length
+// g <= alpha decomposes at level q into sub-runs of length <= g, every one of
+// which is bridged too), so the per-level optima assemble into a valid
+// active-count profile m.
+
+#include <cstdint>
+#include <vector>
+
+#include "gapsched/core/timeset.hpp"
+
+namespace gapsched {
+
+/// Sparse occupancy profile: (time, count) entries for busy times only,
+/// strictly increasing in time, counts >= 1.
+class OccupancyProfile {
+ public:
+  OccupancyProfile() = default;
+
+  /// Builds from the multiset of execution times of a schedule.
+  /// `times` need not be sorted.
+  static OccupancyProfile from_times(std::vector<Time> times);
+
+  const std::vector<std::pair<Time, int>>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total busy processor-time units (= number of scheduled jobs).
+  std::int64_t busy_time() const;
+
+  /// Maximum simultaneous occupancy (= processors used in staircase form).
+  int max_occupancy() const;
+
+  /// Number of sleep->active transitions (the canonical gap objective).
+  std::int64_t transitions() const;
+
+  /// Interior gaps in staircase form: transitions() - max_occupancy().
+  std::int64_t interior_gaps() const;
+
+  /// Number of spans (maximal busy stretches of the whole system, i.e. times
+  /// with occupancy >= 1). For p = 1 this equals transitions().
+  std::int64_t spans() const;
+
+  /// Minimum total power over all active-count profiles m >= this profile:
+  /// busy time + per-level optimal idle bridging (see file comment).
+  /// alpha >= 0 is the sleep->active transition cost.
+  double optimal_power(double alpha) const;
+
+  /// Power when the processor sleeps in every gap (no bridging):
+  /// busy_time() + alpha * transitions().
+  double power_without_bridging(double alpha) const;
+
+ private:
+  std::vector<std::pair<Time, int>> entries_;
+};
+
+}  // namespace gapsched

@@ -1,0 +1,74 @@
+#pragma once
+// Schedule: a (possibly partial) assignment of jobs to execution times and
+// processors, plus validation and metric helpers.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/core/profile.hpp"
+
+namespace gapsched {
+
+/// Assignment of one job.
+struct Placement {
+  Time time = 0;
+  /// Processor index in [0, p). kUnassigned means "profile form": only the
+  /// time is fixed and processors are implied by the staircase normal form.
+  int processor = kUnassigned;
+
+  static constexpr int kUnassigned = -1;
+  bool operator==(const Placement&) const = default;
+};
+
+/// Per-job placements; entry i is nullopt when job i is unscheduled (partial
+/// schedules arise in the Theorem 11 throughput problem and during the
+/// Lemma 3 extension).
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::size_t n) : slots_(n) {}
+
+  std::size_t size() const { return slots_.size(); }
+  bool is_scheduled(std::size_t job) const { return slots_[job].has_value(); }
+  std::size_t scheduled_count() const;
+  bool complete() const { return scheduled_count() == size(); }
+
+  void place(std::size_t job, Time t, int processor = Placement::kUnassigned);
+  void unschedule(std::size_t job);
+  const std::optional<Placement>& at(std::size_t job) const {
+    return slots_[job];
+  }
+
+  /// Sorted multiset of execution times of the scheduled jobs.
+  std::vector<Time> times() const;
+
+  /// Occupancy profile of the scheduled jobs.
+  OccupancyProfile profile() const;
+
+  /// Checks the schedule against the instance: allowed times, occupancy
+  /// <= p at every time, and (where processors are assigned) processor
+  /// indices in range with no (time, processor) collisions. When
+  /// `require_complete`, also checks that every job is scheduled.
+  /// Returns empty string when valid, else a diagnostic.
+  std::string validate(const Instance& inst, bool require_complete = true) const;
+
+  /// Assigns processors in staircase form (Lemma 1): at each time the jobs
+  /// occupy processors 0..l(t)-1, in increasing job-index order. Overwrites
+  /// any existing processor assignment of scheduled jobs.
+  void assign_processors_staircase();
+
+  /// Sum over processors of the number of busy-run starts, computed from the
+  /// explicit processor assignment (requires all scheduled jobs to have
+  /// processors). Equals profile().transitions() in staircase form; may be
+  /// larger for other assignments.
+  std::int64_t per_processor_transitions(const Instance& inst) const;
+
+  bool operator==(const Schedule&) const = default;
+
+ private:
+  std::vector<std::optional<Placement>> slots_;
+};
+
+}  // namespace gapsched

@@ -1,0 +1,33 @@
+#pragma once
+// Instance statistics: the workload descriptors the experiment harness and
+// examples use to characterize generated families.
+
+#include <cstdint>
+
+#include "gapsched/core/instance.hpp"
+
+namespace gapsched {
+
+struct InstanceStats {
+  std::size_t jobs = 0;
+  int processors = 1;
+  /// Horizon [earliest release, latest deadline] length (0 when empty).
+  std::int64_t horizon = 0;
+  /// Total distinct times some job may use.
+  std::int64_t live_time = 0;
+  /// Jobs per live time unit per processor (load factor in [0, 1] for
+  /// feasible instances; > 1 certifies infeasibility).
+  double contention = 0.0;
+  /// Mean and max slack = |allowed| - 1 (0 = pinned job).
+  double mean_slack = 0.0;
+  std::int64_t max_slack = 0;
+  /// Fraction of jobs with slack 0 (pinned).
+  double pinned_fraction = 0.0;
+  /// Max number of allowed intervals over jobs (1 = one-interval instance).
+  std::size_t max_intervals = 0;
+};
+
+/// Computes descriptive statistics of an instance.
+InstanceStats compute_stats(const Instance& inst);
+
+}  // namespace gapsched

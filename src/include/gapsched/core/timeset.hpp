@@ -1,0 +1,91 @@
+#pragma once
+// TimeSet: the set of integer times at which a unit job may execute,
+// represented as a sorted list of disjoint, inclusive intervals.
+//
+// This is the paper's `T_i` (Sections 3, 5, 6). One-interval jobs (Section 2)
+// are the special case of a single [release, deadline] interval; "k-unit"
+// jobs (Section 5) are k singleton intervals.
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace gapsched {
+
+/// Discrete time. Times may be as large as the Theorem 4 reduction's n^3
+/// spacing requires, hence 64-bit.
+using Time = std::int64_t;
+
+/// Inclusive integer interval [lo, hi]. Empty iff lo > hi.
+struct Interval {
+  Time lo = 0;
+  Time hi = -1;
+
+  bool empty() const { return lo > hi; }
+  /// Number of integer points in the interval (0 when empty).
+  std::int64_t length() const { return empty() ? 0 : hi - lo + 1; }
+  bool contains(Time t) const { return lo <= t && t <= hi; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// Immutable-after-construction union of disjoint inclusive intervals,
+/// normalized (sorted, non-adjacent, non-empty).
+class TimeSet {
+ public:
+  TimeSet() = default;
+
+  /// Builds from arbitrary (possibly overlapping, unsorted) intervals;
+  /// empty intervals are dropped and adjacent/overlapping ones merged.
+  explicit TimeSet(std::vector<Interval> intervals);
+  TimeSet(std::initializer_list<Interval> intervals);
+
+  /// Single window [a, d]; the one-interval job shape. Requires a <= d.
+  static TimeSet window(Time a, Time d);
+
+  /// Set of singleton times (need not be sorted or distinct).
+  static TimeSet points(const std::vector<Time>& times);
+
+  bool empty() const { return intervals_.empty(); }
+  /// Number of integer times in the set.
+  std::int64_t size() const;
+  /// Number of maximal intervals ("k" in the paper's k-interval problems).
+  std::size_t interval_count() const { return intervals_.size(); }
+  /// True iff the set is one contiguous interval.
+  bool is_single_interval() const { return intervals_.size() == 1; }
+  /// True iff every interval is an isolated single point. Note this is a
+  /// representation-level check: adjacent unit times merge during
+  /// normalization ({3} u {4} becomes [3,4]), so the paper's "k-unit job"
+  /// property is the semantic size() <= k, not this predicate.
+  bool is_unit_points() const;
+
+  bool contains(Time t) const;
+  /// Earliest allowed time. Requires non-empty.
+  Time min() const { return intervals_.front().lo; }
+  /// Latest allowed time. Requires non-empty.
+  Time max() const { return intervals_.back().hi; }
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Set intersection.
+  TimeSet intersect(const TimeSet& other) const;
+  /// Intersection with one interval.
+  TimeSet restricted_to(Interval window) const;
+  /// Set difference (this \ other).
+  TimeSet subtract(const TimeSet& other) const;
+  /// Set union.
+  TimeSet unite(const TimeSet& other) const;
+  /// The whole set shifted by delta.
+  TimeSet shifted(Time delta) const;
+
+  /// Enumerates every time in the set in increasing order. Only sensible for
+  /// small sets; callers working with wide windows must iterate intervals.
+  std::vector<Time> to_vector() const;
+
+  bool operator==(const TimeSet&) const = default;
+
+ private:
+  void normalize();
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace gapsched

@@ -1,0 +1,32 @@
+#pragma once
+// Gap-objective-preserving instance transforms.
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+/// Result of compress_dead_time: the compressed instance plus the time map.
+struct CompressedInstance {
+  Instance instance;
+  /// Maps a compressed time back to the original time.
+  Time to_original(Time compressed) const;
+  /// Maps an original allowed time to its compressed time.
+  Time to_compressed(Time original) const;
+
+  /// Sorted pairs (compressed interval start, original interval start) for
+  /// each maximal allowed-union interval; dead runs sit between them with
+  /// length exactly 1 in compressed coordinates.
+  std::vector<std::pair<Time, Time>> anchors;
+  std::vector<Interval> compressed_intervals;
+  std::vector<Interval> original_intervals;
+};
+
+/// Shrinks every maximal "dead" run (times no job can use) to a single unit
+/// and rebases the timeline at 0. No job can ever be scheduled in dead time,
+/// so busy-time adjacency — and hence the transition/gap objective — is
+/// preserved exactly. (Power objectives are NOT preserved: idle-bridging
+/// costs depend on real gap lengths.)
+CompressedInstance compress_dead_time(const Instance& inst);
+
+}  // namespace gapsched

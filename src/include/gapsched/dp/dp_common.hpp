@@ -1,0 +1,105 @@
+#pragma once
+// Shared machinery for the Theorem 1 / Theorem 2 dynamic programs.
+//
+// State layout (Section 2 of the paper, notation adapted):
+//   W(t1, t2, k, q, l1, l2)
+// where [t1, t2] is a window of candidate times, the job set is the k
+// earliest-deadline jobs (global (deadline, id) order) released in [t1, t2],
+// q of the occupants of time t2 were committed by ancestor subproblems, and
+// l1 / l2 are the occupancy (gap version) or active-processor count (power
+// version) at t1 / t2. The window owns the boundary cost Delta(t) for every
+// t in (t1, t2]; parents own the glue Delta at child seams.
+//
+// Scheduling times t' for the split job jk range over *core* candidate times
+// (Prop 2.1 neighbourhoods); window seams t'+1 live in the +1 closure.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gapsched/core/candidate_times.hpp"
+#include "gapsched/core/instance.hpp"
+
+namespace gapsched::dp {
+
+/// Immutable per-solve context: deadline-sorted jobs and the candidate-time
+/// axis with core flags.
+struct DpContext {
+  const Instance* inst = nullptr;
+  /// Job indices sorted by (deadline, id); the DP's canonical job order.
+  std::vector<std::size_t> by_deadline;
+  /// Sorted candidate times (core + plus-one closure).
+  std::vector<Time> theta;
+  /// is_core[i]: theta[i] is a legal scheduling time (Prop 2.1 core).
+  std::vector<char> is_core;
+
+  explicit DpContext(const Instance& instance) : inst(&instance) {
+    assert(instance.is_one_interval() &&
+           "the Theorem 1/2 DP requires one-interval (release/deadline) jobs");
+    by_deadline.resize(instance.n());
+    for (std::size_t i = 0; i < instance.n(); ++i) by_deadline[i] = i;
+    std::sort(by_deadline.begin(), by_deadline.end(),
+              [&](std::size_t a, std::size_t b) {
+                const Time da = instance.jobs[a].deadline();
+                const Time db = instance.jobs[b].deadline();
+                return da != db ? da < db : a < b;
+              });
+    theta = candidate_times(instance, /*plus_one_closure=*/true);
+    const std::vector<Time> core = candidate_times(instance, false);
+    is_core.assign(theta.size(), 0);
+    std::size_t ci = 0;
+    for (std::size_t i = 0; i < theta.size(); ++i) {
+      while (ci < core.size() && core[ci] < theta[i]) ++ci;
+      if (ci < core.size() && core[ci] == theta[i]) is_core[i] = 1;
+    }
+  }
+
+  std::size_t index_of(Time t) const {
+    auto it = std::lower_bound(theta.begin(), theta.end(), t);
+    assert(it != theta.end() && *it == t);
+    return static_cast<std::size_t>(it - theta.begin());
+  }
+
+  /// The k earliest-deadline jobs released in [t1, t2] (original job ids, in
+  /// deadline order). Returns fewer than k entries if not enough exist.
+  std::vector<std::size_t> job_set(Time t1, Time t2, std::size_t k) const {
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    for (std::size_t j : by_deadline) {
+      if (out.size() == k) break;
+      const Time a = inst->jobs[j].release();
+      if (t1 <= a && a <= t2) out.push_back(j);
+    }
+    return out;
+  }
+};
+
+/// Packed 64-bit state key. Limits: |theta| < 2^16, n <= 255, p <= 255.
+inline std::uint64_t pack_state(std::size_t i1, std::size_t i2, std::size_t k,
+                                int q, int l1, int l2) {
+  return (static_cast<std::uint64_t>(i1) << 48) |
+         (static_cast<std::uint64_t>(i2) << 32) |
+         (static_cast<std::uint64_t>(k) << 24) |
+         (static_cast<std::uint64_t>(q) << 16) |
+         (static_cast<std::uint64_t>(l1) << 8) |
+         static_cast<std::uint64_t>(l2);
+}
+
+/// How the optimum of a state was achieved, for schedule reconstruction.
+struct Choice {
+  enum class Kind : std::uint8_t {
+    kBasePoint,   // t1 == t2, all k jobs there
+    kBaseEmpty,   // k == 0
+    kAtRightEdge, // jk at t' == t2, recurse (k-1, q+1)
+    kSplit,       // jk at t' < t2, left/right children
+  };
+  Kind kind = Kind::kBaseEmpty;
+  std::size_t tprime_idx = 0;  // index into theta (kAtRightEdge/kSplit)
+  std::size_t right_jobs = 0;  // i = jobs released after t' (kSplit)
+  int lprime = 0;              // occupancy/active at t' (kSplit)
+  int ldprime = 0;             // occupancy/active at t'+1 (kSplit)
+};
+
+}  // namespace gapsched::dp

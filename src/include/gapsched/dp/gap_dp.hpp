@@ -1,0 +1,36 @@
+#pragma once
+// Theorem 1: polynomial-time exact multiprocessor gap scheduling.
+//
+// Minimizes the number of sleep->active transitions (see core/profile.hpp
+// for why transitions are the sound reading of the paper's gap count) for n
+// one-interval unit jobs on p processors, via the paper's dynamic program
+// over windows of candidate times with the 6-index state
+// (t1, t2, k, q, l1, l2). Implemented top-down with memoization so only
+// reachable states are materialized; the paper's bound is O(n^5 p^3) states
+// and O(n^7 p^5) time, and the exactness experiment (T1) checks the solver
+// against brute force while the scaling experiment (F1) measures the actual
+// reachable-state counts.
+//
+// p = 1 reproduces Baptiste's algorithm [Bap06] (see baptiste/baptiste.hpp).
+
+#include <cstdint>
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct GapDpResult {
+  bool feasible = false;
+  /// Minimum number of sleep->active transitions.
+  std::int64_t transitions = 0;
+  /// An optimal schedule, staircase processor assignment.
+  Schedule schedule;
+  /// Number of memoized DP states (for the F1 scaling experiment).
+  std::size_t states = 0;
+};
+
+/// Solves multiprocessor gap scheduling exactly. Requires a one-interval
+/// instance with n <= 255, p <= 255.
+GapDpResult solve_gap_dp(const Instance& inst);
+
+}  // namespace gapsched

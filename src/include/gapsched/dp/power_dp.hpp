@@ -1,0 +1,32 @@
+#pragma once
+// Theorem 2: polynomial-time exact multiprocessor power minimization, where
+// a processor may stay in the active state through a gap (a gap of length g
+// costs min(g, alpha) per bridging processor).
+//
+// Same dynamic program as Theorem 1 with the Lemma 2 staircase applying to
+// *active* processors: the interface counts l1, l2 are active-processor
+// counts (>= the job counts, which the q mechanism bounds at window edges),
+// the value adds 1 per active processor-time unit and alpha per wake-up, and
+// the empty-window base case uses the closed-form optimal bridging
+// min_x [ x * idle + (l2 - x) * alpha ].
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct PowerDpResult {
+  bool feasible = false;
+  /// Minimum total power: active time units + alpha * wake-ups.
+  double power = 0.0;
+  /// An optimal schedule (staircase form). The active-state bridging that
+  /// realizes `power` is schedule.profile().optimal_power(alpha).
+  Schedule schedule;
+  /// Number of memoized DP states.
+  std::size_t states = 0;
+};
+
+/// Solves multiprocessor power minimization exactly. Requires a one-interval
+/// instance with n <= 255, p <= 255, alpha >= 0.
+PowerDpResult solve_power_dp(const Instance& inst, double alpha);
+
+}  // namespace gapsched

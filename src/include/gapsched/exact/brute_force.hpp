@@ -1,0 +1,32 @@
+#pragma once
+// Exact reference solver for (multiprocessor, multi-interval) gap scheduling,
+// independent of the paper's Theorem 1 dynamic program.
+//
+// Layered subset DP over the candidate times Theta: process times left to
+// right; state = (set of jobs already scheduled, occupancy at the previous
+// time). Choosing the set S of jobs to run at time t costs
+// (|S| - prev)^+ transitions when t is adjacent to the previous candidate
+// time and |S| otherwise (waking from a fully idle unit). Exponential in n
+// (O(3^n |Theta| p)); intended as ground truth for n <= ~14 in tests and the
+// exactness experiment (T1), not as a production solver.
+
+#include <cstdint>
+#include <optional>
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct ExactGapResult {
+  bool feasible = false;
+  /// Minimum number of sleep->active transitions (see core/profile.hpp for
+  /// the objective convention). 0 when infeasible.
+  std::int64_t transitions = 0;
+  /// An optimal schedule in staircase processor form (empty when infeasible).
+  Schedule schedule;
+};
+
+/// Solves gap scheduling exactly by subset DP. Requires inst.n() <= 20.
+ExactGapResult brute_force_min_transitions(const Instance& inst);
+
+}  // namespace gapsched

@@ -1,0 +1,32 @@
+#pragma once
+// Exact reference solver for (multiprocessor, multi-interval) power
+// minimization with transition cost alpha, independent of the Theorem 2 DP.
+//
+// Same layered subset DP as brute_force.hpp, with the state extended by the
+// active-processor count at the previous candidate time. Between candidate
+// times a processor either stays active for the whole idle stretch or
+// sleeps (any other profile is dominated), so the inter-layer cost has the
+// closed form: each of the m_new active processors at the next time pays
+// min(idle_len, alpha) if it can be matched to one of the m_prev previously
+// active processors and alpha otherwise, plus 1 active time unit.
+
+#include <optional>
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct ExactPowerResult {
+  bool feasible = false;
+  /// Minimum total power: active time units + alpha * wake-ups.
+  double power = 0.0;
+  /// An optimal schedule (staircase form). Active-state bridging is implied
+  /// by profile().optimal_power(alpha) of this schedule.
+  Schedule schedule;
+};
+
+/// Solves power minimization exactly by subset DP. Requires inst.n() <= 20
+/// and alpha >= 0.
+ExactPowerResult brute_force_min_power(const Instance& inst, double alpha);
+
+}  // namespace gapsched

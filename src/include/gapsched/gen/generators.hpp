@@ -1,0 +1,52 @@
+#pragma once
+// Seeded workload generators for the test suite and the experiment harness.
+//
+// The paper has no testbed; these synthetic families are the substitution
+// (see DESIGN.md section 4). Families marked *feasible by construction*
+// embed a witness schedule (anchor times with at most p jobs per time) and
+// then widen each job's allowed set around its anchor, so every generated
+// instance admits a feasible schedule; the remaining families may be
+// infeasible and are used to exercise infeasibility paths.
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/util/prng.hpp"
+
+namespace gapsched {
+
+/// Uniform one-interval jobs: release ~ U[0, horizon), window length
+/// ~ U[1, max_window]. May be infeasible.
+Instance gen_uniform_one_interval(Prng& rng, std::size_t n, Time horizon,
+                                  Time max_window, int processors = 1);
+
+/// One-interval jobs, feasible by construction: n distinct anchor
+/// (time, processor) slots in [0, horizon), window widened by up to
+/// `slack` on each side of the anchor. Requires horizon * p >= n.
+Instance gen_feasible_one_interval(Prng& rng, std::size_t n, Time horizon,
+                                   Time slack, int processors = 1);
+
+/// Bursty arrivals (the sensor/power-management motivation): `bursts`
+/// clusters of `per_burst` jobs; cluster starts are `spacing` apart; each
+/// job's window starts within the cluster and has length window_len.
+/// Feasible whenever window_len * p >= per_burst.
+Instance gen_bursty(Prng& rng, std::size_t bursts, std::size_t per_burst,
+                    Time spacing, Time window_len, int processors = 1);
+
+/// Multi-interval jobs, feasible by construction: each job gets an anchor
+/// slot plus up to `intervals - 1` random decoy intervals of length
+/// `interval_len` in [0, horizon).
+Instance gen_multi_interval(Prng& rng, std::size_t n, Time horizon,
+                            std::size_t intervals, Time interval_len,
+                            int processors = 1);
+
+/// k-unit jobs (each allowed set is k singleton times), feasible by
+/// construction: one anchor point plus k-1 random decoy points.
+Instance gen_unit_points(Prng& rng, std::size_t n, Time horizon,
+                         std::size_t k, int processors = 1);
+
+/// The paper's online lower-bound family (Section 1): n loose jobs with
+/// window [0, 3n] plus n tight jobs with windows [n + 2i, n + 2i + 1].
+/// Offline OPT has O(1) spans; any safe online scheduler is forced into
+/// Omega(n) spans.
+Instance gen_online_adversarial(std::size_t n);
+
+}  // namespace gapsched

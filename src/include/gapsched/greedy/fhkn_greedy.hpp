@@ -1,0 +1,42 @@
+#pragma once
+// The FHKN06 greedy for offline one-interval gap scheduling (cited by the
+// paper as a 3-approximation, Section 1): repeatedly choose the largest time
+// interval that can be declared idle while a feasible schedule still exists
+// (checked by maximum-cardinality matching), remove it from the timeline,
+// and repeat until no further interval can be introduced.
+//
+// Concretely over the compressed slot axis: a candidate gap blocks a
+// contiguous run of still-available slot times and extends through the
+// adjacent dead time on both sides; its length is measured in real time
+// (runs touching the timeline edges count as infinite — an infinite idle
+// interval is free under the transition objective). Blocking a superset of
+// slots is never easier, so the largest feasible run per start index is
+// found by binary search, with incremental rematching of only the displaced
+// jobs. At termination every remaining slot is used by *every* feasible
+// schedule, so the final matching's profile is the greedy's schedule.
+//
+// The 3-approximation guarantee applies to one-interval instances; the
+// routine itself accepts any single-processor instance (multi-interval
+// inputs exercise the Section 5 hardness territory and are used as such in
+// the experiments).
+
+#include <cstdint>
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct FhknResult {
+  bool feasible = false;
+  /// Transitions (= spans for p = 1) of the produced schedule.
+  std::int64_t transitions = 0;
+  /// Committed gap intervals, in commit order (diagnostic).
+  std::vector<Interval> committed_gaps;
+  Schedule schedule;
+};
+
+/// Runs the FHKN greedy. Treats the instance as single-processor
+/// (inst.processors is ignored).
+FhknResult fhkn_greedy(const Instance& inst);
+
+}  // namespace gapsched

@@ -1,0 +1,33 @@
+#pragma once
+// Deadline-procrastination heuristic for one-interval gap scheduling.
+//
+// The dual of the forced online EDF (online/online_edf.hpp): instead of
+// running work as soon as it arrives, defer every job as long as the whole
+// remaining instance stays feasible (checked by the matching oracle), and
+// when deferral would break feasibility run the earliest-deadline pending
+// job. Procrastination batches work at deadline-pressure points, the
+// classic power-saving intuition ([ISG03]/[IP05] discuss this family of
+// strategies); it is feasibility-preserving offline but carries no
+// worst-case gap guarantee. Experiment T8 measures it: on loose workloads
+// pure procrastination actually trails even eager EDF for the gap
+// objective (deferring to deadlines scatters the forced runs), which is
+// precisely why the paper's algorithms reason globally instead.
+
+#include <cstdint>
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct LazyResult {
+  bool feasible = false;
+  /// Transitions (= spans on one processor) of the produced schedule.
+  std::int64_t transitions = 0;
+  Schedule schedule;
+};
+
+/// Runs the procrastination heuristic. One-interval jobs, treated as
+/// single-processor.
+LazyResult lazy_schedule(const Instance& inst);
+
+}  // namespace gapsched

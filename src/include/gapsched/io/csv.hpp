@@ -1,0 +1,15 @@
+#pragma once
+// CSV emission helper: every experiment binary writes the table it printed
+// next to its own binary so figures can be re-plotted without re-running.
+
+#include <string>
+
+#include "gapsched/util/table.hpp"
+
+namespace gapsched {
+
+/// Writes `table` as CSV to `path`. Returns false (and leaves no partial
+/// file guarantees) on I/O failure.
+bool write_csv(const std::string& path, const Table& table);
+
+}  // namespace gapsched

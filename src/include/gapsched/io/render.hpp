@@ -1,0 +1,22 @@
+#pragma once
+// ASCII Gantt rendering of schedules, used by the example binaries.
+
+#include <string>
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+/// Renders the schedule as one row per processor over the instance horizon,
+/// with job indices (mod 10) in busy cells and '.' in idle cells. Dead
+/// stretches longer than 6 units are elided as "~~g~~" (g = length). Jobs
+/// without explicit processors are placed in staircase order. Intended for
+/// horizons up to a few hundred units.
+std::string render_gantt(const Instance& inst, const Schedule& schedule);
+
+/// One-line summary of a schedule's objective values:
+/// "transitions=3 interior_gaps=1 busy=7 power(alpha)=12.5".
+std::string describe_schedule(const Schedule& schedule, double alpha);
+
+}  // namespace gapsched

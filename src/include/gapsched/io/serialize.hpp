@@ -1,0 +1,37 @@
+#pragma once
+// Plain-text (de)serialization of instances and schedules.
+//
+// Format (line oriented, '#' comments allowed):
+//   gapsched-instance v1
+//   processors <p>
+//   jobs <n>
+//   job <k> <lo1> <hi1> ... <lok> <hik>     (one line per job)
+//
+//   gapsched-schedule v1
+//   jobs <n>
+//   slot <job> <time> <processor|->          (one line per scheduled job)
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+void write_instance(std::ostream& os, const Instance& inst);
+std::string instance_to_string(const Instance& inst);
+
+/// Parses an instance; returns nullopt (with *error set when non-null) on a
+/// malformed document.
+std::optional<Instance> read_instance(std::istream& is,
+                                      std::string* error = nullptr);
+std::optional<Instance> instance_from_string(const std::string& text,
+                                             std::string* error = nullptr);
+
+void write_schedule(std::ostream& os, const Schedule& s);
+std::optional<Schedule> read_schedule(std::istream& is,
+                                      std::string* error = nullptr);
+
+}  // namespace gapsched

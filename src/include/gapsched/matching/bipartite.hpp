@@ -1,0 +1,65 @@
+#pragma once
+// Bipartite maximum matching via augmenting paths (Kuhn's algorithm).
+//
+// This is the substrate behind Lemma 3 (extending a partial schedule one
+// augmenting path at a time), the feasibility oracle used by the FHKN greedy
+// and Theorem 11, and the Theorem 9 connected-component analysis.
+// Kuhn is used where incremental augmentation matters; Hopcroft-Karp
+// (hopcroft_karp.hpp) where only the maximum cardinality is needed.
+
+#include <cstddef>
+#include <vector>
+
+namespace gapsched {
+
+/// Adjacency of a bipartite graph with `left` and `right` vertex counts.
+struct Bipartite {
+  std::size_t n_left = 0;
+  std::size_t n_right = 0;
+  /// adj[l] = right-neighbours of left vertex l.
+  std::vector<std::vector<std::size_t>> adj;
+
+  explicit Bipartite(std::size_t left = 0, std::size_t right = 0)
+      : n_left(left), n_right(right), adj(left) {}
+
+  void add_edge(std::size_t l, std::size_t r) { adj[l].push_back(r); }
+  std::size_t edge_count() const;
+};
+
+/// Incremental Kuhn matcher. Supports seeding with an existing partial
+/// matching and augmenting one left vertex at a time; augmentation never
+/// unmatches a previously matched left vertex and never abandons a used
+/// right vertex (the Lemma 3 property: the set of used right vertices only
+/// grows, by exactly one per successful augmentation).
+class KuhnMatcher {
+ public:
+  explicit KuhnMatcher(const Bipartite& graph);
+
+  /// Pre-assign left -> right (must be a valid edge and both free).
+  /// Returns false if the seed conflicts.
+  bool seed(std::size_t l, std::size_t r);
+
+  /// Try to match left vertex l (no-op true if already matched).
+  bool augment(std::size_t l);
+
+  /// Augment every unmatched left vertex; returns the matching cardinality.
+  std::size_t solve();
+
+  std::size_t cardinality() const { return matched_; }
+  /// Right mate of l, or npos.
+  std::size_t mate_of_left(std::size_t l) const { return match_l_[l]; }
+  /// Left mate of r, or npos.
+  std::size_t mate_of_right(std::size_t r) const { return match_r_[r]; }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  bool try_augment(std::size_t l, std::vector<char>& visited);
+
+  const Bipartite& g_;
+  std::vector<std::size_t> match_l_;
+  std::vector<std::size_t> match_r_;
+  std::size_t matched_ = 0;
+};
+
+}  // namespace gapsched

@@ -1,0 +1,63 @@
+#pragma once
+// Instance-level feasibility oracle and the Lemma 3 schedule extender.
+//
+// A schedule of unit jobs is exactly a matching in the bipartite graph
+// (jobs) x (time slots), where each candidate time contributes p slot copies
+// (one per processor). Feasibility of the whole instance, feasibility with a
+// forbidden time region (the FHKN greedy's candidate-gap test), and the
+// Lemma 3 "extend a partial schedule by augmenting paths, adding at most one
+// new busy time unit per added job" all reduce to matching questions here.
+
+#include <optional>
+
+#include "gapsched/core/candidate_times.hpp"
+#include "gapsched/core/schedule.hpp"
+#include "gapsched/matching/bipartite.hpp"
+#include "gapsched/matching/hopcroft_karp.hpp"
+
+namespace gapsched {
+
+/// The right-hand vertex space of the job/slot graph: sorted candidate times,
+/// each replicated `copies` (= processors) times. Right vertex r corresponds
+/// to time slot_times[r / copies], processor copy r % copies.
+struct SlotSpace {
+  std::vector<Time> slot_times;
+  int copies = 1;
+
+  std::size_t n_right() const { return slot_times.size() * copies; }
+  Time time_of(std::size_t r) const {
+    return slot_times[r / static_cast<std::size_t>(copies)];
+  }
+  int copy_of(std::size_t r) const {
+    return static_cast<int>(r % static_cast<std::size_t>(copies));
+  }
+};
+
+/// Builds the slot space from the instance's candidate times (Prop 2.1
+/// closure for one-interval jobs; all allowed times otherwise). Restricting
+/// to candidate times preserves feasibility: any non-idling (EDF) schedule
+/// runs every job within distance n of a release date.
+SlotSpace make_slot_space(const Instance& inst);
+
+/// Job -> slot adjacency. Slots whose time lies in `forbidden` are omitted.
+Bipartite build_job_slot_graph(const Instance& inst, const SlotSpace& slots,
+                               const TimeSet* forbidden = nullptr);
+
+/// True iff every job can be scheduled (possibly avoiding `forbidden`).
+bool is_feasible(const Instance& inst);
+bool is_feasible_excluding(const Instance& inst, const TimeSet& forbidden);
+
+/// Some complete feasible schedule (no objective), or nullopt if infeasible.
+/// Processor indices are the slot copies (already collision-free).
+std::optional<Schedule> any_feasible_schedule(const Instance& inst);
+
+/// Lemma 3: completes `partial` to a schedule of all jobs by augmenting
+/// paths. Previously scheduled jobs stay scheduled and the set of *used time
+/// slots* grows by exactly one slot per newly scheduled job, so the span
+/// count grows by at most (n - n') and transitions by at most the same.
+/// Returns nullopt if the full instance is infeasible or if `partial` uses a
+/// time outside the slot space.
+std::optional<Schedule> extend_schedule(const Instance& inst,
+                                        const Schedule& partial);
+
+}  // namespace gapsched

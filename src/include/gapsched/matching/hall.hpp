@@ -1,0 +1,34 @@
+#pragma once
+// Infeasibility certificates via Hall's theorem.
+//
+// A unit-job instance is infeasible exactly when some set U of jobs has
+// fewer available (time x processor) slots than |U|. This module extracts
+// such a witness from a maximum matching (the Koenig/alternating-path
+// closure of the unmatched jobs), giving downstream users an explanation —
+// "these 5 jobs only fit into these 4 slots" — rather than a bare `false`.
+// For one-interval instances the witness is always an interval window
+// [s, e] containing more jobs than p * (e - s + 1) slots.
+
+#include <optional>
+#include <vector>
+
+#include "gapsched/core/instance.hpp"
+
+namespace gapsched {
+
+/// A Hall violator: |jobs| > processors * |times| and every listed job can
+/// only run at the listed times.
+struct HallViolation {
+  std::vector<std::size_t> jobs;
+  std::vector<Time> times;
+};
+
+/// Returns a Hall violator when the instance is infeasible, nullopt when a
+/// feasible schedule exists.
+std::optional<HallViolation> hall_certificate(const Instance& inst);
+
+/// Checks that `v` really certifies infeasibility of `inst`: every job's
+/// allowed set is contained in v.times and the counting inequality holds.
+bool is_valid_violation(const Instance& inst, const HallViolation& v);
+
+}  // namespace gapsched

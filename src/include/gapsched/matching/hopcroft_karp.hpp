@@ -1,0 +1,22 @@
+#pragma once
+// Hopcroft-Karp maximum bipartite matching: O(E sqrt(V)). Used by the
+// feasibility oracle where whole-matching cardinality is all that matters
+// (FHKN greedy candidate tests, Theorem 11 interval tests).
+
+#include "gapsched/matching/bipartite.hpp"
+
+namespace gapsched {
+
+/// Result of a maximum matching computation.
+struct MatchingResult {
+  std::size_t cardinality = 0;
+  /// mate_of_left[l] = matched right vertex or KuhnMatcher::npos.
+  std::vector<std::size_t> mate_of_left;
+  /// mate_of_right[r] = matched left vertex or KuhnMatcher::npos.
+  std::vector<std::size_t> mate_of_right;
+};
+
+/// Maximum matching of `g` via Hopcroft-Karp.
+MatchingResult hopcroft_karp(const Bipartite& g);
+
+}  // namespace gapsched

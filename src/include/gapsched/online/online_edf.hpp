@@ -1,0 +1,32 @@
+#pragma once
+// Online one-interval gap scheduling (Section 1's negative discussion).
+//
+// An online algorithm that must guarantee feasibility whenever a feasible
+// schedule exists is forced to run earliest-deadline-first work-conserving:
+// at every time unit with pending jobs it must execute one (delaying can be
+// fatal against future tight arrivals). This module implements that
+// obligatory strategy and, with gen_online_adversarial (gen/), reproduces
+// the paper's Omega(n) competitive-ratio lower bound (experiment F4).
+
+#include <cstdint>
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct OnlineResult {
+  bool feasible = false;
+  /// Transitions (= spans on one processor) of the online schedule.
+  std::int64_t transitions = 0;
+  Schedule schedule;
+};
+
+/// Simulates the work-conserving EDF online scheduler on a one-interval
+/// single-processor instance: jobs become known at their release times; at
+/// each time unit the pending job with the earliest deadline runs.
+/// Reports infeasible if some job misses its deadline under EDF (in the
+/// one-interval unit-job setting EDF misses a deadline only when every
+/// schedule does).
+OnlineResult online_edf(const Instance& inst);
+
+}  // namespace gapsched

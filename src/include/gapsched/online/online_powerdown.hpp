@@ -1,0 +1,32 @@
+#pragma once
+// Online power-down baseline (the setting of Augustine-Irani-Swamy [AIS04],
+// cited by the paper as the online power-saving state of the art).
+//
+// The job schedule is forced to work-conserving EDF (see online_edf.hpp);
+// the remaining online decision is when to power down during an idle
+// period. The classic ski-rental threshold strategy stays active for
+// `threshold` time units after going idle, then sleeps; threshold = alpha
+// is the deterministic 2-competitive choice per idle period. The offline
+// comparator is the Theorem 2 power DP.
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct OnlinePowerdownResult {
+  bool feasible = false;
+  /// Total power paid by the online strategy (active time + alpha wake-ups).
+  double power = 0.0;
+  /// Transitions (wake-ups) the strategy performed.
+  std::int64_t transitions = 0;
+  /// The underlying EDF schedule.
+  Schedule schedule;
+};
+
+/// Simulates online EDF execution with the threshold power-down policy.
+/// `threshold` < 0 selects the canonical 2-competitive value (= alpha).
+/// One-interval single-processor instances only.
+OnlinePowerdownResult online_powerdown(const Instance& inst, double alpha,
+                                       double threshold = -1.0);
+
+}  // namespace gapsched

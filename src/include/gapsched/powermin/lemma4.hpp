@@ -1,0 +1,34 @@
+#pragma once
+// Lemma 4 (Section 3): alignment counting.
+//
+// For a schedule S whose busy set has n time units in M spans and any
+// k > 1, some residue class i (mod k) has at least (n - M(k-1)) / k aligned
+// fully-busy blocks [t, t+k) with t == i (mod k). This is the combinatorial
+// engine behind the Theorem 3 packing construction: it guarantees the
+// (k+1)-set packing instance contains a large packing. Exposed standalone
+// so the lemma itself is property-tested (tests/powermin/lemma4_test.cpp).
+
+#include <vector>
+
+#include "gapsched/core/timeset.hpp"
+
+namespace gapsched {
+
+struct AlignedBlocks {
+  /// The winning residue class in [0, k).
+  int residue = 0;
+  /// Starts t of the aligned fully-busy blocks [t, t+k), t == residue
+  /// (mod k), in increasing order.
+  std::vector<Time> block_starts;
+};
+
+/// Counts aligned fully-busy blocks per residue class over the busy time
+/// multiset `busy_times` (treated as a set; single processor) and returns
+/// the best class. Requires k >= 2.
+AlignedBlocks best_aligned_blocks(const std::vector<Time>& busy_times, int k);
+
+/// The Lemma 4 lower bound on the best class's block count:
+/// (n - M(k-1)) / k, where n = busy units and M = spans.
+double lemma4_bound(std::int64_t busy_units, std::int64_t spans, int k);
+
+}  // namespace gapsched

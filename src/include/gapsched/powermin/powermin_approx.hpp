@@ -1,0 +1,61 @@
+#pragma once
+// Theorem 3: the (1 + (2/3 + eps) * alpha)-approximation for multi-interval
+// power minimization on a single processor.
+//
+// Pipeline (Section 3 with k = 2):
+//  1. Feasibility check by maximum matching.
+//  2. For each residue i in {0, 1}: build the 3-set packing instance whose
+//     base set is {jobs} u {candidate times t == i (mod 2)} and whose sets
+//     are {job_a, job_b, t} such that job_a can run at t and job_b at t+1
+//     (Lemma 5's construction). Pack it with the [HS89]-style local search
+//     (setpack/, swap size configurable — the T3 ablation).
+//  3. Keep the larger packing; schedule each packed pair at (t, t+1).
+//  4. Extend the partial schedule to all jobs by augmenting paths (Lemma 3),
+//     adding at most one span per remaining job.
+//  5. Evaluate with optimal idle bridging (core/profile.hpp).
+//
+// Lemma 4 guarantees some residue admits a packing of size
+// >= (n - M) / 2 when an M-span schedule exists, which yields the
+// 1 + (2/3 + eps) * alpha bound of Theorem 3.
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct PowerMinApproxOptions {
+  /// Swap size handed to the set-packing local search (0, 1 or 2).
+  int swap_size = 2;
+  /// Block length k of the Lemma 5 construction (Corollary 1's parameter).
+  /// k = 2 gives Theorem 3's (1 + (2/3 + eps) alpha) factor; larger k
+  /// trades the per-span saving (k-1)/k against the packing factor
+  /// 2/(k+1). Supported: 2..4.
+  int block_size = 2;
+};
+
+struct PowerMinApproxResult {
+  bool feasible = false;
+  /// Power of the produced schedule with optimal idle bridging.
+  double power = 0.0;
+  /// Power if the processor slept in every gap (the analysis' upper bound).
+  double power_no_bridge = 0.0;
+  /// Number of aligned job blocks packed in step 3 (pairs when k = 2).
+  std::size_t pairs_packed = 0;
+  /// Residue class in [0, block_size) whose packing won.
+  int residue = 0;
+  /// Transitions of the produced schedule.
+  std::int64_t transitions = 0;
+  Schedule schedule;
+};
+
+/// Runs the Theorem 3 approximation. The instance is treated as
+/// single-processor (Section 3's setting); alpha >= 0.
+PowerMinApproxResult powermin_approx(const Instance& inst, double alpha,
+                                     const PowerMinApproxOptions& opts = {});
+
+/// The paper's guarantee for the produced schedule, for comparison in tests
+/// and benches: 1 + (2/3 + eps) * alpha.
+inline double theorem3_bound(double alpha, double eps = 1.0 / 6.0) {
+  return 1.0 + (2.0 / 3.0 + eps) * alpha;
+}
+
+}  // namespace gapsched

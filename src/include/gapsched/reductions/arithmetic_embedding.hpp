@@ -1,0 +1,37 @@
+#pragma once
+// The Section 2 observation: p-processor (one-interval) gap scheduling is a
+// special case of single-processor multi-interval scheduling where every
+// job's intervals form an arithmetic progression with one long period x.
+//
+// Processor q's timeline is laid out at offset q*x; a job with window
+// [a, d] becomes allowed in [a, d], [a+x, d+x], ..., [a+(p-1)x, d+(p-1)x].
+// With x exceeding the original horizon span plus one, segment contents can
+// never touch, so transitions correspond exactly: sum of per-processor run
+// starts == single-processor run starts of the embedded schedule.
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct ArithmeticEmbedding {
+  /// Equivalent single-processor multi-interval instance.
+  Instance embedded;
+  /// The arithmetic period x.
+  Time period = 0;
+  /// Original horizon start (segment q spans [origin + q*x, ...]).
+  Time origin = 0;
+  int processors = 1;
+
+  /// Maps an embedded time to (processor, original time).
+  std::pair<int, Time> unembed_time(Time t) const;
+  /// Converts a schedule of the embedded instance into a schedule of the
+  /// original multiprocessor instance (same job indexing).
+  Schedule unembed_schedule(const Schedule& s) const;
+};
+
+/// Embeds a one-interval multiprocessor instance. Requires
+/// inst.is_one_interval().
+ArithmeticEmbedding embed_multiprocessor(const Instance& inst);
+
+}  // namespace gapsched

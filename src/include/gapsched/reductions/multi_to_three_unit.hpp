@@ -1,0 +1,40 @@
+#pragma once
+// Theorem 8: approximation-preserving reduction from multi-interval gap
+// scheduling to 3-unit gap scheduling (every job has at most three allowed
+// times, each a single unit).
+//
+// A job executable at k > 3 unit times t_1..t_k is replaced by an extra
+// interval of length 2k-1 (positions 1..2k-1), k dummy jobs pinned at the
+// odd positions, and k replacement jobs:
+//   j_i (i < k):  { t_i, pos(2i), pos(2i+2) }   (the last wraps to pos(2))
+//   j_k:          { t_k, pos(2), pos(4) }
+// Any k-1 of the replacement jobs can fill the even positions (shifting via
+// the wrap slots), so exactly one replacement job runs outside, exactly
+// mirroring the original job's choice of t_i. Extra intervals are laid out
+// back to back: reduced optimum = original optimum + 1 (+0 when no job was
+// replaced).
+//
+// The input's allowed sets are enumerated as explicit unit times, so the
+// reduction expects sets of moderate total size ([Bap06, Prop 2.1] bounds
+// the useful ones polynomially).
+
+#include "gapsched/core/instance.hpp"
+
+namespace gapsched {
+
+struct ThreeUnitReduction {
+  /// The reduced instance: every job has at most three allowed unit times.
+  Instance instance;
+  bool has_extra_block = false;
+  Interval extra_block;
+
+  std::int64_t original_to_reduced(std::int64_t t) const {
+    return t + (has_extra_block ? 1 : 0);
+  }
+};
+
+/// Builds the Theorem 8 reduction. The input is treated as
+/// single-processor.
+ThreeUnitReduction reduce_multi_to_three_unit(const Instance& inst);
+
+}  // namespace gapsched

@@ -1,0 +1,34 @@
+#pragma once
+// Theorem 7: approximation-preserving reduction from multi-interval gap
+// scheduling to 2-interval gap scheduling.
+//
+// Every job with more than two allowed intervals I_1..I_k is replaced by an
+// "extra interval" of length 2k-1, k dummy jobs pinned to its odd positions,
+// and k replacement jobs r_i allowed in I_i or anywhere in the extra
+// interval. All extra intervals are laid out back to back, so in an optimal
+// schedule they form exactly one additional span: the reduced optimum is
+// the original optimum plus one (plus zero when no job needed replacing).
+
+#include "gapsched/core/instance.hpp"
+
+namespace gapsched {
+
+struct TwoIntervalReduction {
+  /// The reduced instance: every job has at most two allowed intervals.
+  Instance instance;
+  /// True iff any job was replaced (i.e. an extra block exists).
+  bool has_extra_block = false;
+  /// The contiguous region holding all extra intervals (empty if none).
+  Interval extra_block;
+
+  /// Original optimum transitions -> reduced optimum transitions.
+  std::int64_t original_to_reduced(std::int64_t t) const {
+    return t + (has_extra_block ? 1 : 0);
+  }
+};
+
+/// Builds the Theorem 7 reduction. The input is treated as
+/// single-processor.
+TwoIntervalReduction reduce_multi_to_two_interval(const Instance& inst);
+
+}  // namespace gapsched

@@ -1,0 +1,45 @@
+#pragma once
+// Theorem 10: reduction from B-set cover to disjoint-unit gap scheduling
+// (all jobs' allowed sets are pairwise-disjoint unit times), showing the
+// latter has no constant-factor approximation.
+//
+// For each set c_i and each non-empty subset A of c_i, an interval of
+// length |A| is laid out (intervals pairwise disjoint and non-adjacent);
+// element e's job may run at the position ranking e within A, for every
+// (i, A) with e in A. Positions of distinct elements never collide, so all
+// allowed sets are disjoint.
+//
+// Value correspondence (transitions convention): minimum transitions of the
+// reduced instance == minimum cover size (a cover packs one full interval
+// per chosen set; conversely every span lies inside one interval and used
+// intervals of one set merge into one chosen set).
+//
+// The construction enumerates 2^|c_i| subsets per set, so it requires
+// bounded B (the theorem's hypothesis).
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/setcover/setcover.hpp"
+
+namespace gapsched {
+
+struct DisjointUnitReduction {
+  /// The reduced single-processor disjoint-unit instance. Job e corresponds
+  /// to element e.
+  Instance instance;
+  /// One entry per laid-out interval: the source set index and the subset
+  /// (sorted element ids) it represents.
+  std::vector<std::pair<std::size_t, std::vector<std::size_t>>> subsets;
+  std::vector<Interval> intervals;
+
+  /// Cover size <-> reduced transitions (identity map).
+  static std::int64_t cover_to_transitions(std::size_t k) {
+    return static_cast<std::int64_t>(k);
+  }
+};
+
+/// Builds the Theorem 10 reduction. Requires max_set_size() <= 10
+/// (exponential subset enumeration).
+DisjointUnitReduction reduce_setcover_to_disjoint_unit(
+    const SetCoverInstance& sc);
+
+}  // namespace gapsched

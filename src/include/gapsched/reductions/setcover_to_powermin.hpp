@@ -1,0 +1,58 @@
+#pragma once
+// Theorems 4, 5 and 6: the approximation-preserving reduction from set cover
+// to multi-interval power minimization / gap scheduling.
+//
+// For each set c_i, an interval I_i of length |c_i| is created, any two
+// intervals more than n^3 apart; each element's job may run anywhere inside
+// the intervals of the sets containing it; one extra unit interval with a
+// dedicated job forces at least one span. Theorem 4 sets alpha = n
+// (universe size); Theorem 5 sets alpha = B (max set size); Theorem 6 reads
+// the same construction through the gap objective.
+//
+// Value correspondence (transitions convention; the paper's "gaps" equal
+// transitions - 1 on one processor):
+//   cover of size k  <->  schedule with k + 1 transitions
+//                    <->  power (n + 1) + alpha * (k + 1) with no bridging
+// (the n^3 spacing makes bridging across intervals useless, and jobs inside
+// an interval pack consecutively).
+
+#include "gapsched/core/schedule.hpp"
+#include "gapsched/setcover/setcover.hpp"
+
+namespace gapsched {
+
+struct SetCoverReduction {
+  /// The produced single-processor multi-interval instance. Job e
+  /// (e < universe) is element e's job; job `universe` is the extra job.
+  Instance instance;
+  /// Transition cost for the power version (n for Thm 4, B for Thm 5).
+  double alpha = 0.0;
+  /// Interval laid out for each set, aligned with the source sets.
+  std::vector<Interval> set_intervals;
+  Interval extra_interval;
+
+  /// Cover size -> minimum transitions of the reduced instance.
+  static std::int64_t cover_to_transitions(std::size_t k) {
+    return static_cast<std::int64_t>(k) + 1;
+  }
+  /// Transitions -> cover size (inverse of the above).
+  static std::size_t transitions_to_cover(std::int64_t t) {
+    return static_cast<std::size_t>(t - 1);
+  }
+  /// Cover size -> minimum power of the reduced instance.
+  double cover_to_power(std::size_t k) const {
+    return static_cast<double>(instance.n()) +
+           alpha * static_cast<double>(cover_to_transitions(k));
+  }
+
+  /// Extracts the cover read off a schedule: every set whose interval hosts
+  /// at least one job (the extra interval excluded).
+  std::vector<std::size_t> cover_from_schedule(const Schedule& s) const;
+};
+
+/// Builds the reduction. alpha_override < 0 selects the Theorem 4 default
+/// (alpha = universe size); Theorem 5 passes the source's max_set_size().
+SetCoverReduction reduce_setcover_to_powermin(const SetCoverInstance& sc,
+                                              double alpha_override = -1.0);
+
+}  // namespace gapsched

@@ -1,0 +1,46 @@
+#pragma once
+// Theorem 9: the two-way equivalence between two-unit gap scheduling (every
+// job has at most two allowed unit times) and disjoint-unit gap scheduling
+// (all jobs' allowed sets pairwise disjoint).
+//
+// Both directions run on the dead-time-compressed timeline (every maximal
+// run of unusable times becomes one unit) and produce an instance whose
+// schedules are the pointwise *complement* of the source's schedules within
+// the horizon:
+//
+//  * two-unit -> disjoint: in the bipartite job/time graph each connected
+//    component with |times| = |jobs| + 1 leaves exactly one idle time,
+//    freely choosable (alternating-path argument); it becomes one new job
+//    allowed at the component's times. Dead units become pinned jobs.
+//  * disjoint -> two-unit: a job allowed at t_1 < ... < t_k becomes the
+//    chain {t_1,t_2}, {t_2,t_3}, ..., {t_{k-1},t_k}, which occupies all but
+//    exactly one (freely choosable) of the k times. Dead units become
+//    pinned jobs.
+//
+// Complementing a busy set changes the span count by at most one, so the
+// optima differ by at most 1 (verified empirically in tests/benches).
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/core/transforms.hpp"
+
+namespace gapsched {
+
+struct TwoUnitDisjointReduction {
+  /// The produced instance, on the compressed timeline.
+  Instance instance;
+  /// The compressed form of the source (for mapping times back).
+  CompressedInstance compressed_source;
+  /// False when the source was structurally infeasible (some component has
+  /// fewer times than jobs); `instance` is empty in that case.
+  bool feasible_input = false;
+};
+
+/// Theorem 9 forward direction. Requires every job to have at most two
+/// allowed times, each a unit point.
+TwoUnitDisjointReduction reduce_two_unit_to_disjoint(const Instance& inst);
+
+/// Theorem 9 backward direction. Requires pairwise-disjoint unit-point
+/// allowed sets.
+TwoUnitDisjointReduction reduce_disjoint_to_two_unit(const Instance& inst);
+
+}  // namespace gapsched

@@ -1,0 +1,37 @@
+#pragma once
+// Theorem 11: the O(sqrt(n))-approximation for the minimum-restart problem —
+// maximize the number of scheduled jobs subject to at most k gaps (restarts).
+//
+// Greedy with k rounds: each round finds the longest time interval [a, b]
+// that can be *completely filled* with b - a + 1 distinct still-unscheduled
+// jobs (a perfect matching of the interval's time units into the available
+// jobs), commits it as one working interval, and removes its jobs and times.
+// Fillability is monotone (a sub-interval of a fillable interval is
+// fillable), so the longest length is found by binary search; positions are
+// scanned within maximal runs of usable slot times.
+
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched {
+
+struct RestartResult {
+  /// Number of jobs scheduled (the objective).
+  std::size_t scheduled = 0;
+  /// Committed working intervals in commit order (each is one span, so the
+  /// schedule has at most k spans / "restarts").
+  std::vector<Interval> working_intervals;
+  /// Partial schedule: exactly the jobs inside working intervals.
+  Schedule schedule;
+};
+
+/// Runs the Theorem 11 greedy with a budget of `max_spans` working intervals
+/// ("k gaps" in the paper's consultant story). Treats the instance as
+/// single-processor.
+RestartResult restart_greedy(const Instance& inst, std::size_t max_spans);
+
+/// Exact optimum of the minimum-restart problem by exhaustive search over
+/// span placements; exponential, for tests/benches with inst.n() <= ~10.
+std::size_t restart_exact_max_jobs(const Instance& inst,
+                                   std::size_t max_spans);
+
+}  // namespace gapsched

@@ -1,0 +1,51 @@
+#pragma once
+// Set cover substrate for the Section 4/5 hardness reductions.
+//
+// The paper's inapproximability results transfer set-cover hardness to
+// multi-interval power minimization and gap scheduling. We reproduce the
+// reductions constructively (reductions/), which requires solving set cover
+// on both ends: a greedy (ln n)-approximation and an exact solver for the
+// small instances used in the validation experiments (T4, T5).
+
+#include <cstddef>
+#include <vector>
+
+#include "gapsched/util/prng.hpp"
+
+namespace gapsched {
+
+/// Universe {0, ..., universe-1}; each set is a sorted vector of distinct
+/// element ids.
+struct SetCoverInstance {
+  std::size_t universe = 0;
+  std::vector<std::vector<std::size_t>> sets;
+
+  /// Largest set cardinality (the "B" of B-set cover, Theorems 5/10).
+  std::size_t max_set_size() const;
+};
+
+struct SetCoverResult {
+  bool coverable = false;
+  /// Indices of chosen sets (a cover when coverable).
+  std::vector<std::size_t> chosen;
+};
+
+/// Classic greedy: repeatedly take the set covering the most uncovered
+/// elements. (1 + ln n)-approximate.
+SetCoverResult greedy_set_cover(const SetCoverInstance& inst);
+
+/// Exact minimum set cover by DP over element subsets. Requires
+/// universe <= 20.
+SetCoverResult exact_set_cover(const SetCoverInstance& inst);
+
+/// True iff `chosen` covers the whole universe.
+bool is_valid_cover(const SetCoverInstance& inst,
+                    const std::vector<std::size_t>& chosen);
+
+/// Random coverable instance: `num_sets` sets of size <= max_set_size, with
+/// every element inserted into at least one set.
+SetCoverInstance gen_random_set_cover(Prng& rng, std::size_t universe,
+                                      std::size_t num_sets,
+                                      std::size_t max_set_size);
+
+}  // namespace gapsched

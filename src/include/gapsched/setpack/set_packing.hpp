@@ -1,0 +1,44 @@
+#pragma once
+// Maximum set packing substrate for the Theorem 3 approximation.
+//
+// Hurkens and Schrijver [HS89] show that local search with swaps of bounded
+// size approximates maximum k-set packing within k/2 + eps. This module
+// implements the packing black box the paper invokes (Lemma 5):
+//
+//   swap_size 0: greedy maximal packing only (k-approximate);
+//   swap_size 1: additionally replace 1 chosen set by 2 disjoint candidates;
+//   swap_size 2: additionally replace 2 chosen sets by 3 disjoint candidates.
+//
+// Increasing swap size tightens the guarantee toward k/2 at polynomially
+// higher cost; the T3 ablation experiment measures this trade-off.
+
+#include <cstddef>
+#include <vector>
+
+namespace gapsched {
+
+/// Sets over the universe {0, ..., universe-1}; each set is a sorted vector
+/// of distinct element ids.
+struct SetPackingInstance {
+  std::size_t universe = 0;
+  std::vector<std::vector<std::size_t>> sets;
+};
+
+struct PackingResult {
+  /// Indices into instance.sets of pairwise-disjoint chosen sets.
+  std::vector<std::size_t> chosen;
+};
+
+/// Greedy maximal packing in set-index order.
+PackingResult greedy_packing(const SetPackingInstance& inst);
+
+/// Greedy packing followed by (s -> s+1)-swap local search for all
+/// s <= swap_size. swap_size in {0, 1, 2}.
+PackingResult local_search_packing(const SetPackingInstance& inst,
+                                   int swap_size);
+
+/// True iff `chosen` indexes pairwise-disjoint sets of `inst`.
+bool is_valid_packing(const SetPackingInstance& inst,
+                      const std::vector<std::size_t>& chosen);
+
+}  // namespace gapsched

@@ -1,0 +1,54 @@
+#pragma once
+// Seeded pseudo-random number utilities.
+//
+// All stochastic components of the library (workload generators, randomized
+// tie-breaking in local search) draw from an explicitly seeded engine so that
+// every experiment in bench/ is reproducible from the seed it prints.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gapsched {
+
+/// Deterministic 64-bit PRNG wrapper around std::mt19937_64 with convenience
+/// sampling helpers. Copyable; copying forks the stream deterministically.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Seed this engine was constructed with (for experiment logging).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Uniformly chosen index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derive an independent child stream (used to hand sub-seeds to worker
+  /// threads without sharing mutable state).
+  Prng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gapsched

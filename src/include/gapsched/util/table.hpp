@@ -1,0 +1,42 @@
+#pragma once
+// Aligned plain-text table printer used by every experiment binary to emit
+// the paper-style rows it reproduces.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gapsched {
+
+/// Collects rows of string cells and prints them with per-column alignment.
+/// Numeric convenience overloads format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls append cells to it.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t v);
+  Table& add(std::size_t v);
+  Table& add(int v);
+  Table& add(double v, int precision = 3);
+
+  /// Number of data rows accumulated so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with space-padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no padding, comma separated, no escaping needed for the
+  /// numeric/identifier cells this library produces).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gapsched

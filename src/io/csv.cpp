@@ -1,0 +1,14 @@
+#include "gapsched/io/csv.hpp"
+
+#include <fstream>
+
+namespace gapsched {
+
+bool write_csv(const std::string& path, const Table& table) {
+  std::ofstream os(path);
+  if (!os) return false;
+  table.print_csv(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace gapsched

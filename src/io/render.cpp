@@ -1,0 +1,92 @@
+#include "gapsched/io/render.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace gapsched {
+
+std::string render_gantt(const Instance& inst, const Schedule& schedule) {
+  if (inst.n() == 0) return "(empty instance)\n";
+
+  Schedule s = schedule;
+  bool any_unassigned = false;
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    if (s.is_scheduled(j) && s.at(j)->processor == Placement::kUnassigned) {
+      any_unassigned = true;
+    }
+  }
+  if (any_unassigned) s.assign_processors_staircase();
+
+  // busy[(proc, time)] = job.
+  std::map<std::pair<int, Time>, std::size_t> busy;
+  Time lo = inst.earliest_release(), hi = inst.latest_deadline();
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    if (!s.is_scheduled(j)) continue;
+    busy[{s.at(j)->processor, s.at(j)->time}] = j;
+    lo = std::min(lo, s.at(j)->time);
+    hi = std::max(hi, s.at(j)->time);
+  }
+
+  // Columns: elide long stretches where no processor is busy.
+  std::vector<Time> columns;
+  std::vector<Time> elisions;  // parallel to columns: elided length after col
+  {
+    std::vector<Time> busy_times;
+    for (const auto& [key, job] : busy) busy_times.push_back(key.second);
+    std::sort(busy_times.begin(), busy_times.end());
+    busy_times.erase(std::unique(busy_times.begin(), busy_times.end()),
+                     busy_times.end());
+    Time t = lo;
+    while (t <= hi) {
+      auto next = std::lower_bound(busy_times.begin(), busy_times.end(), t);
+      if (next == busy_times.end()) {
+        break;
+      }
+      if (*next - t > 6) {
+        if (!columns.empty()) elisions.back() = *next - t;
+        t = *next;
+        continue;
+      }
+      columns.push_back(t);
+      elisions.push_back(0);
+      ++t;
+    }
+  }
+
+  std::ostringstream os;
+  os << "time ";
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    os << (columns[c] % 10);
+    if (elisions[c] > 0) os << "~" << elisions[c] << "~";
+  }
+  os << "   (t0=" << (columns.empty() ? lo : columns.front()) << ")\n";
+  for (int q = 0; q < inst.processors; ++q) {
+    os << "P" << q << "   ";
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      auto it = busy.find({q, columns[c]});
+      if (it == busy.end()) {
+        os << '.';
+      } else {
+        os << (it->second % 10);
+      }
+      if (elisions[c] > 0) {
+        os << std::string(2 + std::to_string(elisions[c]).size(), ' ');
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string describe_schedule(const Schedule& schedule, double alpha) {
+  const OccupancyProfile prof = schedule.profile();
+  std::ostringstream os;
+  os << "transitions=" << prof.transitions()
+     << " interior_gaps=" << prof.interior_gaps()
+     << " busy=" << prof.busy_time() << " power(alpha=" << alpha
+     << ")=" << prof.optimal_power(alpha);
+  return os.str();
+}
+
+}  // namespace gapsched

@@ -1,0 +1,174 @@
+#include "gapsched/io/serialize.hpp"
+
+#include <sstream>
+
+namespace gapsched {
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+// Reads the next non-comment, non-blank line.
+bool next_line(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    const auto pos = line->find('#');
+    if (pos != std::string::npos) line->resize(pos);
+    bool blank = true;
+    for (char c : *line) {
+      if (!isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& inst) {
+  os << "gapsched-instance v1\n";
+  os << "processors " << inst.processors << "\n";
+  os << "jobs " << inst.n() << "\n";
+  for (const Job& j : inst.jobs) {
+    os << "job " << j.allowed.interval_count();
+    for (const Interval& iv : j.allowed.intervals()) {
+      os << ' ' << iv.lo << ' ' << iv.hi;
+    }
+    os << "\n";
+  }
+}
+
+std::string instance_to_string(const Instance& inst) {
+  std::ostringstream os;
+  write_instance(os, inst);
+  return os.str();
+}
+
+std::optional<Instance> read_instance(std::istream& is, std::string* error) {
+  std::string line;
+  if (!next_line(is, &line) || line != "gapsched-instance v1") {
+    fail(error, "missing gapsched-instance v1 header");
+    return std::nullopt;
+  }
+  Instance inst;
+  std::size_t n = 0;
+  {
+    std::string kw;
+    if (!next_line(is, &line)) {
+      fail(error, "missing processors line");
+      return std::nullopt;
+    }
+    std::istringstream ls(line);
+    if (!(ls >> kw >> inst.processors) || kw != "processors" ||
+        inst.processors < 1) {
+      fail(error, "bad processors line: " + line);
+      return std::nullopt;
+    }
+    if (!next_line(is, &line)) {
+      fail(error, "missing jobs line");
+      return std::nullopt;
+    }
+    std::istringstream ls2(line);
+    if (!(ls2 >> kw >> n) || kw != "jobs") {
+      fail(error, "bad jobs line: " + line);
+      return std::nullopt;
+    }
+  }
+  inst.jobs.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!next_line(is, &line)) {
+      fail(error, "missing job line " + std::to_string(j));
+      return std::nullopt;
+    }
+    std::istringstream ls(line);
+    std::string kw;
+    std::size_t k = 0;
+    if (!(ls >> kw >> k) || kw != "job" || k == 0) {
+      fail(error, "bad job line: " + line);
+      return std::nullopt;
+    }
+    std::vector<Interval> ivs;
+    ivs.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      Interval iv;
+      if (!(ls >> iv.lo >> iv.hi) || iv.empty()) {
+        fail(error, "bad interval in job line: " + line);
+        return std::nullopt;
+      }
+      ivs.push_back(iv);
+    }
+    inst.jobs.push_back(Job{TimeSet(std::move(ivs))});
+  }
+  return inst;
+}
+
+std::optional<Instance> instance_from_string(const std::string& text,
+                                             std::string* error) {
+  std::istringstream is(text);
+  return read_instance(is, error);
+}
+
+void write_schedule(std::ostream& os, const Schedule& s) {
+  os << "gapsched-schedule v1\n";
+  os << "jobs " << s.size() << "\n";
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    if (!s.is_scheduled(j)) continue;
+    os << "slot " << j << ' ' << s.at(j)->time << ' ';
+    if (s.at(j)->processor == Placement::kUnassigned) {
+      os << "-";
+    } else {
+      os << s.at(j)->processor;
+    }
+    os << "\n";
+  }
+}
+
+std::optional<Schedule> read_schedule(std::istream& is, std::string* error) {
+  std::string line;
+  if (!next_line(is, &line) || line != "gapsched-schedule v1") {
+    fail(error, "missing gapsched-schedule v1 header");
+    return std::nullopt;
+  }
+  if (!next_line(is, &line)) {
+    fail(error, "missing jobs line");
+    return std::nullopt;
+  }
+  std::size_t n = 0;
+  {
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw >> n) || kw != "jobs") {
+      fail(error, "bad jobs line: " + line);
+      return std::nullopt;
+    }
+  }
+  Schedule s(n);
+  while (next_line(is, &line)) {
+    std::istringstream ls(line);
+    std::string kw, proc;
+    std::size_t j = 0;
+    Time t = 0;
+    if (!(ls >> kw >> j >> t >> proc) || kw != "slot" || j >= n) {
+      fail(error, "bad slot line: " + line);
+      return std::nullopt;
+    }
+    int p = Placement::kUnassigned;
+    if (proc != "-") {
+      try {
+        p = std::stoi(proc);
+      } catch (...) {
+        fail(error, "bad processor in slot line: " + line);
+        return std::nullopt;
+      }
+    }
+    s.place(j, t, p);
+  }
+  return s;
+}
+
+}  // namespace gapsched

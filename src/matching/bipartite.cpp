@@ -1,0 +1,52 @@
+#include "gapsched/matching/bipartite.hpp"
+
+namespace gapsched {
+
+std::size_t Bipartite::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& nbrs : adj) total += nbrs.size();
+  return total;
+}
+
+KuhnMatcher::KuhnMatcher(const Bipartite& graph)
+    : g_(graph),
+      match_l_(graph.n_left, npos),
+      match_r_(graph.n_right, npos) {}
+
+bool KuhnMatcher::seed(std::size_t l, std::size_t r) {
+  if (match_l_[l] != npos || match_r_[r] != npos) return false;
+  match_l_[l] = r;
+  match_r_[r] = l;
+  ++matched_;
+  return true;
+}
+
+bool KuhnMatcher::augment(std::size_t l) {
+  if (match_l_[l] != npos) return true;
+  std::vector<char> visited(g_.n_right, 0);
+  if (try_augment(l, visited)) {
+    ++matched_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t KuhnMatcher::solve() {
+  for (std::size_t l = 0; l < g_.n_left; ++l) augment(l);
+  return matched_;
+}
+
+bool KuhnMatcher::try_augment(std::size_t l, std::vector<char>& visited) {
+  for (std::size_t r : g_.adj[l]) {
+    if (visited[r]) continue;
+    visited[r] = 1;
+    if (match_r_[r] == npos || try_augment(match_r_[r], visited)) {
+      match_l_[l] = r;
+      match_r_[r] = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,96 @@
+#include "gapsched/matching/feasibility.hpp"
+
+#include <algorithm>
+
+namespace gapsched {
+
+SlotSpace make_slot_space(const Instance& inst) {
+  return SlotSpace{candidate_times(inst, /*plus_one_closure=*/false),
+                   inst.processors};
+}
+
+Bipartite build_job_slot_graph(const Instance& inst, const SlotSpace& slots,
+                               const TimeSet* forbidden) {
+  const auto copies = static_cast<std::size_t>(slots.copies);
+  Bipartite g(inst.n(), slots.n_right());
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    TimeSet allowed = inst.jobs[j].allowed;
+    if (forbidden != nullptr) allowed = allowed.subtract(*forbidden);
+    for (const Interval& iv : allowed.intervals()) {
+      // Slot indices overlapping [iv.lo, iv.hi].
+      auto lo = std::lower_bound(slots.slot_times.begin(),
+                                 slots.slot_times.end(), iv.lo);
+      auto hi = std::upper_bound(lo, slots.slot_times.end(), iv.hi);
+      for (auto it = lo; it != hi; ++it) {
+        const std::size_t base =
+            static_cast<std::size_t>(it - slots.slot_times.begin()) * copies;
+        for (std::size_t c = 0; c < copies; ++c) g.add_edge(j, base + c);
+      }
+    }
+  }
+  return g;
+}
+
+bool is_feasible(const Instance& inst) {
+  const SlotSpace slots = make_slot_space(inst);
+  const Bipartite g = build_job_slot_graph(inst, slots);
+  return hopcroft_karp(g).cardinality == inst.n();
+}
+
+bool is_feasible_excluding(const Instance& inst, const TimeSet& forbidden) {
+  const SlotSpace slots = make_slot_space(inst);
+  const Bipartite g = build_job_slot_graph(inst, slots, &forbidden);
+  return hopcroft_karp(g).cardinality == inst.n();
+}
+
+std::optional<Schedule> any_feasible_schedule(const Instance& inst) {
+  const SlotSpace slots = make_slot_space(inst);
+  const Bipartite g = build_job_slot_graph(inst, slots);
+  const MatchingResult m = hopcroft_karp(g);
+  if (m.cardinality != inst.n()) return std::nullopt;
+  Schedule s(inst.n());
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    const std::size_t r = m.mate_of_left[j];
+    s.place(j, slots.time_of(r), slots.copy_of(r));
+  }
+  return s;
+}
+
+std::optional<Schedule> extend_schedule(const Instance& inst,
+                                        const Schedule& partial) {
+  const SlotSpace slots = make_slot_space(inst);
+  const Bipartite g = build_job_slot_graph(inst, slots);
+  KuhnMatcher matcher(g);
+
+  // Seed with the partial schedule: map each placement to a free slot copy
+  // of its time.
+  const auto copies = static_cast<std::size_t>(slots.copies);
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    if (!partial.is_scheduled(j)) continue;
+    const Time t = partial.at(j)->time;
+    auto it = std::lower_bound(slots.slot_times.begin(),
+                               slots.slot_times.end(), t);
+    if (it == slots.slot_times.end() || *it != t) return std::nullopt;
+    const std::size_t base =
+        static_cast<std::size_t>(it - slots.slot_times.begin()) * copies;
+    bool seeded = false;
+    for (std::size_t c = 0; c < copies && !seeded; ++c) {
+      seeded = matcher.seed(j, base + c);
+    }
+    if (!seeded) return std::nullopt;  // > p jobs at one time in `partial`
+  }
+
+  // Augment the remaining jobs; each success adds exactly one used slot.
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    if (!matcher.augment(j)) return std::nullopt;
+  }
+
+  Schedule full(inst.n());
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    const std::size_t r = matcher.mate_of_left(j);
+    full.place(j, slots.time_of(r), slots.copy_of(r));
+  }
+  return full;
+}
+
+}  // namespace gapsched

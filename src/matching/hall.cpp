@@ -1,0 +1,77 @@
+#include "gapsched/matching/hall.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+
+std::optional<HallViolation> hall_certificate(const Instance& inst) {
+  const SlotSpace slots = make_slot_space(inst);
+  const Bipartite g = build_job_slot_graph(inst, slots);
+  const MatchingResult m = hopcroft_karp(g);
+  if (m.cardinality == inst.n()) return std::nullopt;
+
+  // Alternating-path closure from the unmatched jobs: job -> any incident
+  // slot, slot -> its matched job. The reached job set U has N(U) exactly
+  // the reached slots, all matched, and |N(U)| < |U|.
+  std::vector<char> job_seen(inst.n(), 0);
+  std::vector<char> slot_seen(g.n_right, 0);
+  std::queue<std::size_t> frontier;
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    if (m.mate_of_left[j] == KuhnMatcher::npos) {
+      job_seen[j] = 1;
+      frontier.push(j);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t j = frontier.front();
+    frontier.pop();
+    for (std::size_t r : g.adj[j]) {
+      if (slot_seen[r]) continue;
+      slot_seen[r] = 1;
+      const std::size_t holder = m.mate_of_right[r];
+      if (holder != KuhnMatcher::npos && !job_seen[holder]) {
+        job_seen[holder] = 1;
+        frontier.push(holder);
+      }
+    }
+  }
+
+  HallViolation v;
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    if (job_seen[j]) v.jobs.push_back(j);
+  }
+  // Distinct times among the reached slots (slot copies share a time).
+  std::vector<Time> times;
+  for (std::size_t r = 0; r < g.n_right; ++r) {
+    if (slot_seen[r]) times.push_back(slots.time_of(r));
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  v.times = std::move(times);
+  return v;
+}
+
+bool is_valid_violation(const Instance& inst, const HallViolation& v) {
+  if (v.jobs.size() <=
+      static_cast<std::size_t>(inst.processors) * v.times.size()) {
+    return false;
+  }
+  // Restricting to candidate times is sound (Prop 2.1 preserves
+  // feasibility), so containment is checked against candidate times.
+  const SlotSpace slots = make_slot_space(inst);
+  for (std::size_t j : v.jobs) {
+    if (j >= inst.n()) return false;
+    for (Time t : slots.slot_times) {
+      if (inst.jobs[j].allowed.contains(t) &&
+          !std::binary_search(v.times.begin(), v.times.end(), t)) {
+        return false;  // the job could escape to a time outside the witness
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gapsched

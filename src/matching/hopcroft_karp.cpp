@@ -1,0 +1,69 @@
+#include "gapsched/matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace gapsched {
+
+namespace {
+constexpr std::size_t kNpos = KuhnMatcher::npos;
+constexpr int kInf = std::numeric_limits<int>::max();
+}  // namespace
+
+MatchingResult hopcroft_karp(const Bipartite& g) {
+  std::vector<std::size_t> match_l(g.n_left, kNpos);
+  std::vector<std::size_t> match_r(g.n_right, kNpos);
+  std::vector<int> dist(g.n_left, kInf);
+  std::size_t matched = 0;
+
+  auto bfs = [&]() -> bool {
+    std::queue<std::size_t> q;
+    for (std::size_t l = 0; l < g.n_left; ++l) {
+      if (match_l[l] == kNpos) {
+        dist[l] = 0;
+        q.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!q.empty()) {
+      std::size_t l = q.front();
+      q.pop();
+      for (std::size_t r : g.adj[l]) {
+        std::size_t l2 = match_r[r];
+        if (l2 == kNpos) {
+          found_free_right = true;
+        } else if (dist[l2] == kInf) {
+          dist[l2] = dist[l] + 1;
+          q.push(l2);
+        }
+      }
+    }
+    return found_free_right;
+  };
+
+  // DFS along the BFS layering; iterative-friendly sizes here, recursion ok.
+  auto dfs = [&](auto&& self, std::size_t l) -> bool {
+    for (std::size_t r : g.adj[l]) {
+      std::size_t l2 = match_r[r];
+      if (l2 == kNpos || (dist[l2] == dist[l] + 1 && self(self, l2))) {
+        match_l[l] = r;
+        match_r[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (std::size_t l = 0; l < g.n_left; ++l) {
+      if (match_l[l] == kNpos && dfs(dfs, l)) ++matched;
+    }
+  }
+
+  return MatchingResult{matched, std::move(match_l), std::move(match_r)};
+}
+
+}  // namespace gapsched

@@ -1,0 +1,54 @@
+#include "gapsched/online/online_edf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace gapsched {
+
+OnlineResult online_edf(const Instance& inst) {
+  assert(inst.is_one_interval() && "online EDF runs on one-interval jobs");
+  OnlineResult out;
+  out.schedule = Schedule(inst.n());
+  if (inst.n() == 0) {
+    out.feasible = true;
+    return out;
+  }
+
+  // Releases in time order.
+  std::vector<std::size_t> by_release(inst.n());
+  for (std::size_t i = 0; i < inst.n(); ++i) by_release[i] = i;
+  std::sort(by_release.begin(), by_release.end(),
+            [&](std::size_t a, std::size_t b) {
+              return inst.jobs[a].release() < inst.jobs[b].release();
+            });
+
+  // Pending jobs keyed by (deadline, id).
+  using Entry = std::pair<Time, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pending;
+
+  std::size_t next_release = 0;
+  Time t = inst.jobs[by_release[0]].release();
+  while (next_release < inst.n() || !pending.empty()) {
+    if (pending.empty() && next_release < inst.n()) {
+      // Idle until the next arrival (the work-conserving scheduler sleeps).
+      t = std::max(t, inst.jobs[by_release[next_release]].release());
+    }
+    while (next_release < inst.n() &&
+           inst.jobs[by_release[next_release]].release() <= t) {
+      const std::size_t j = by_release[next_release++];
+      pending.push({inst.jobs[j].deadline(), j});
+    }
+    if (pending.empty()) continue;
+    const auto [d, j] = pending.top();
+    pending.pop();
+    if (d < t) return out;  // deadline miss: infeasible under any schedule
+    out.schedule.place(j, t, 0);
+    ++t;
+  }
+  out.feasible = true;
+  out.transitions = out.schedule.profile().transitions();
+  return out;
+}
+
+}  // namespace gapsched

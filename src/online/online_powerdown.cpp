@@ -1,0 +1,46 @@
+#include "gapsched/online/online_powerdown.hpp"
+
+#include <algorithm>
+
+#include "gapsched/online/online_edf.hpp"
+
+namespace gapsched {
+
+OnlinePowerdownResult online_powerdown(const Instance& inst, double alpha,
+                                       double threshold) {
+  if (threshold < 0.0) threshold = alpha;
+  OnlinePowerdownResult out;
+
+  const OnlineResult edf = online_edf(inst);
+  out.feasible = edf.feasible;
+  out.schedule = edf.schedule;
+  if (!edf.feasible) return out;
+
+  // Busy times of the EDF schedule, in order. Between consecutive busy
+  // times with an idle stretch g: stay active min(g, threshold) units, then
+  // sleep; re-waking costs alpha iff we actually slept.
+  const std::vector<Time> busy = out.schedule.times();
+  double power = 0.0;
+  std::int64_t wakes = 0;
+  for (std::size_t i = 0; i < busy.size(); ++i) {
+    power += 1.0;  // execution unit
+    if (i == 0) {
+      ++wakes;
+      power += alpha;  // initial wake from sleep
+      continue;
+    }
+    const double idle = static_cast<double>(busy[i] - busy[i - 1] - 1);
+    if (idle <= 0.0) continue;
+    if (idle <= threshold) {
+      power += idle;  // bridged the whole gap in the active state
+    } else {
+      power += threshold + alpha;  // lingered, slept, re-woke
+      ++wakes;
+    }
+  }
+  out.power = power;
+  out.transitions = wakes;
+  return out;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,56 @@
+#include "gapsched/powermin/lemma4.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gapsched {
+
+AlignedBlocks best_aligned_blocks(const std::vector<Time>& busy_times,
+                                  int k) {
+  assert(k >= 2);
+  std::vector<Time> ts = busy_times;
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+
+  // For each aligned start t (t == i mod k), check [t, t+k) fully busy via
+  // run lengths: consecutive-run suffix lengths.
+  std::vector<std::vector<Time>> starts(static_cast<std::size_t>(k));
+  // run_len[j]: length of the consecutive run beginning at ts[j].
+  std::vector<std::int64_t> run_len(ts.size());
+  for (std::size_t j = ts.size(); j-- > 0;) {
+    run_len[j] = 1;
+    if (j + 1 < ts.size() && ts[j + 1] == ts[j] + 1) {
+      run_len[j] += run_len[j + 1];
+    }
+  }
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    if (run_len[j] >= k) {
+      const auto residue =
+          static_cast<std::size_t>(((ts[j] % k) + k) % k);
+      starts[residue].push_back(ts[j]);
+    }
+  }
+  // Aligned blocks within a class step by k, so blocks of one class never
+  // overlap; pick any start whose block fits — but starts k apart: filter
+  // starts to be >= previous + k (they automatically are distinct mod-k
+  // anchors: two starts of the same class differ by a multiple of k, and
+  // both blocks are fully busy, so overlap cannot happen).
+  AlignedBlocks best;
+  for (int i = 0; i < k; ++i) {
+    if (starts[static_cast<std::size_t>(i)].size() >
+        best.block_starts.size()) {
+      best.residue = i;
+      best.block_starts = starts[static_cast<std::size_t>(i)];
+    }
+  }
+  if (best.block_starts.empty()) best.residue = 0;
+  return best;
+}
+
+double lemma4_bound(std::int64_t busy_units, std::int64_t spans, int k) {
+  return (static_cast<double>(busy_units) -
+          static_cast<double>(spans) * (k - 1)) /
+         static_cast<double>(k);
+}
+
+}  // namespace gapsched

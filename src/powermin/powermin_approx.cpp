@@ -1,0 +1,131 @@
+#include "gapsched/powermin/powermin_approx.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gapsched/matching/feasibility.hpp"
+#include "gapsched/setpack/set_packing.hpp"
+
+namespace gapsched {
+
+namespace {
+
+struct BlockSet {
+  std::vector<std::size_t> jobs;  // jobs[l] runs at t + l
+  Time t = 0;
+};
+
+// Builds the Lemma 5 packing instance for residue i and block length k:
+// universe elements are job ids (0..n-1) followed by aligned time ids; sets
+// are {job_0, ..., job_{k-1}, time(t)} with job_l runnable at t+l.
+void build_packing(const Instance& inst, const SlotSpace& slots, int residue,
+                   int block, SetPackingInstance* packing,
+                   std::vector<BlockSet>* blocks) {
+  const std::size_t n = inst.n();
+  std::vector<std::vector<std::size_t>> runnable(slots.slot_times.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t s = 0; s < slots.slot_times.size(); ++s) {
+      if (inst.jobs[j].allowed.contains(slots.slot_times[s])) {
+        runnable[s].push_back(j);
+      }
+    }
+  }
+  std::size_t next_elem = n;
+  const auto kb = static_cast<std::size_t>(block);
+  for (std::size_t s = 0; s + kb - 1 < slots.slot_times.size(); ++s) {
+    const Time t = slots.slot_times[s];
+    if (static_cast<int>(((t % block) + block) % block) != residue) continue;
+    bool contiguous = true;
+    for (std::size_t l = 1; l < kb && contiguous; ++l) {
+      contiguous = slots.slot_times[s + l] == t + static_cast<Time>(l);
+    }
+    if (!contiguous) continue;
+    const std::size_t time_elem = next_elem++;
+    // Enumerate job tuples (job_0, ..., job_{k-1}) with distinct jobs,
+    // job_l runnable at t+l, by DFS over positions.
+    std::vector<std::size_t> tuple(kb);
+    auto enumerate = [&](auto&& self, std::size_t l) -> void {
+      if (l == kb) {
+        std::vector<std::size_t> elems = tuple;
+        elems.push_back(time_elem);
+        std::sort(elems.begin(), elems.end());
+        packing->sets.push_back(std::move(elems));
+        blocks->push_back(BlockSet{tuple, t});
+        return;
+      }
+      for (std::size_t j : runnable[s + l]) {
+        if (std::find(tuple.begin(), tuple.begin() + static_cast<long>(l),
+                      j) != tuple.begin() + static_cast<long>(l)) {
+          continue;
+        }
+        tuple[l] = j;
+        self(self, l + 1);
+      }
+    };
+    enumerate(enumerate, 0);
+  }
+  packing->universe = next_elem;
+}
+
+}  // namespace
+
+PowerMinApproxResult powermin_approx(const Instance& inst, double alpha,
+                                     const PowerMinApproxOptions& opts) {
+  assert(alpha >= 0.0);
+  assert(opts.block_size >= 2 && opts.block_size <= 4);
+  Instance single = inst;
+  single.processors = 1;
+
+  PowerMinApproxResult out;
+  if (single.n() == 0) {
+    out.feasible = true;
+    out.schedule = Schedule(0);
+    return out;
+  }
+  if (!is_feasible(single)) {
+    out.schedule = Schedule(single.n());
+    return out;
+  }
+
+  const SlotSpace slots = make_slot_space(single);
+
+  // Pack aligned job blocks for every residue class, keep the winner.
+  std::vector<BlockSet> best_blocks;
+  int best_residue = 0;
+  for (int residue = 0; residue < opts.block_size; ++residue) {
+    SetPackingInstance packing;
+    std::vector<BlockSet> blocks;
+    build_packing(single, slots, residue, opts.block_size, &packing, &blocks);
+    const PackingResult packed = local_search_packing(packing, opts.swap_size);
+    if (residue == 0 || packed.chosen.size() > best_blocks.size()) {
+      best_blocks.clear();
+      best_blocks.reserve(packed.chosen.size());
+      for (std::size_t s : packed.chosen) best_blocks.push_back(blocks[s]);
+      best_residue = residue;
+    }
+  }
+
+  // Partial schedule from the packed blocks.
+  Schedule partial(single.n());
+  for (const BlockSet& b : best_blocks) {
+    for (std::size_t l = 0; l < b.jobs.size(); ++l) {
+      partial.place(b.jobs[l], b.t + static_cast<Time>(l), 0);
+    }
+  }
+
+  // Lemma 3 extension to the full job set.
+  auto full = extend_schedule(single, partial);
+  assert(full.has_value() && "instance was feasible; extension must succeed");
+
+  out.feasible = true;
+  out.pairs_packed = best_blocks.size();
+  out.residue = best_residue;
+  out.schedule = std::move(*full);
+  const OccupancyProfile prof = out.schedule.profile();
+  out.transitions = prof.transitions();
+  out.power = prof.optimal_power(alpha);
+  out.power_no_bridge = prof.power_without_bridging(alpha);
+  return out;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,51 @@
+#include "gapsched/reductions/arithmetic_embedding.hpp"
+
+#include <cassert>
+
+namespace gapsched {
+
+std::pair<int, Time> ArithmeticEmbedding::unembed_time(Time t) const {
+  const Time rel = t - origin;
+  assert(rel >= 0);
+  const int q = static_cast<int>(rel / period);
+  return {q, origin + rel % period};
+}
+
+Schedule ArithmeticEmbedding::unembed_schedule(const Schedule& s) const {
+  Schedule out(s.size());
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    if (!s.is_scheduled(j)) continue;
+    const auto [q, t] = unembed_time(s.at(j)->time);
+    out.place(j, t, q);
+  }
+  return out;
+}
+
+ArithmeticEmbedding embed_multiprocessor(const Instance& inst) {
+  assert(inst.is_one_interval() &&
+         "arithmetic embedding requires one-interval jobs");
+  ArithmeticEmbedding emb;
+  emb.processors = inst.processors;
+  emb.embedded.processors = 1;
+  if (inst.n() == 0) {
+    emb.period = 2;
+    return emb;
+  }
+  emb.origin = inst.earliest_release();
+  // Strictly longer than the horizon span + 1 so segments cannot touch.
+  emb.period = inst.latest_deadline() - emb.origin + 2;
+
+  emb.embedded.jobs.reserve(inst.n());
+  for (const Job& j : inst.jobs) {
+    std::vector<Interval> ivs;
+    ivs.reserve(static_cast<std::size_t>(inst.processors));
+    for (int q = 0; q < inst.processors; ++q) {
+      const Time shift = static_cast<Time>(q) * emb.period;
+      ivs.push_back({j.release() + shift, j.deadline() + shift});
+    }
+    emb.embedded.jobs.push_back(Job{TimeSet(std::move(ivs))});
+  }
+  return emb;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,48 @@
+#include "gapsched/reductions/multi_to_three_unit.hpp"
+
+#include <algorithm>
+
+namespace gapsched {
+
+ThreeUnitReduction reduce_multi_to_three_unit(const Instance& inst) {
+  ThreeUnitReduction red;
+  red.instance.processors = 1;
+  if (inst.n() == 0) return red;
+
+  Time cursor = inst.latest_deadline() + 3;
+  const Time block_start = cursor;
+
+  for (const Job& job : inst.jobs) {
+    const std::vector<Time> times = job.allowed.to_vector();
+    const std::size_t k = times.size();
+    if (k <= 3) {
+      // Already a <= 3-unit job once written as unit points.
+      red.instance.jobs.push_back(Job{TimeSet::points(times)});
+      continue;
+    }
+    red.has_extra_block = true;
+    // Positions 1..2k-1 of the extra interval; pos(m) in absolute time.
+    const Time base = cursor;
+    auto pos = [base](std::size_t m) {
+      return base + static_cast<Time>(m) - 1;
+    };
+    // Dummies at odd positions.
+    for (std::size_t m = 1; m <= 2 * k - 1; m += 2) {
+      red.instance.jobs.push_back(Job{TimeSet({{pos(m), pos(m)}})});
+    }
+    // Replacement jobs j_1..j_{k-1}: { t_i, pos(2i), pos(2i+2 or wrap 2) }.
+    for (std::size_t i = 1; i + 1 <= k; ++i) {
+      const std::size_t alt = (2 * i + 2 <= 2 * k - 2) ? 2 * i + 2 : 2;
+      red.instance.jobs.push_back(Job{
+          TimeSet::points({times[i - 1], pos(2 * i), pos(alt)})});
+    }
+    // j_k: { t_k, pos(2), pos(4) }.
+    red.instance.jobs.push_back(
+        Job{TimeSet::points({times[k - 1], pos(2), pos(4)})});
+    cursor = pos(2 * k - 1) + 1;  // next block immediately adjacent
+  }
+  if (red.has_extra_block) red.extra_block = {block_start, cursor - 1};
+  return red;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,43 @@
+#include "gapsched/reductions/setcover_to_disjoint_unit.hpp"
+
+#include <cassert>
+
+namespace gapsched {
+
+DisjointUnitReduction reduce_setcover_to_disjoint_unit(
+    const SetCoverInstance& sc) {
+  assert(sc.max_set_size() <= 10 && "subset enumeration is exponential in B");
+  DisjointUnitReduction red;
+  red.instance.processors = 1;
+
+  std::vector<std::vector<Time>> allowed_points(sc.universe);
+  Time cursor = 0;
+  for (std::size_t i = 0; i < sc.sets.size(); ++i) {
+    const auto& set = sc.sets[i];
+    const std::size_t b = set.size();
+    // Every non-empty subset of set i, encoded by bitmask.
+    for (std::uint32_t mask = 1; mask < (std::uint32_t{1} << b); ++mask) {
+      std::vector<std::size_t> subset;
+      for (std::size_t pos = 0; pos < b; ++pos) {
+        if (mask >> pos & 1u) subset.push_back(set[pos]);
+      }
+      const Time len = static_cast<Time>(subset.size());
+      red.intervals.push_back({cursor, cursor + len - 1});
+      // Element ranked r within the subset may run at cursor + r.
+      for (std::size_t r = 0; r < subset.size(); ++r) {
+        allowed_points[subset[r]].push_back(cursor + static_cast<Time>(r));
+      }
+      red.subsets.push_back({i, std::move(subset)});
+      cursor += len + 2;  // non-adjacent so spans can never merge
+    }
+  }
+
+  red.instance.jobs.reserve(sc.universe);
+  for (std::size_t e = 0; e < sc.universe; ++e) {
+    assert(!allowed_points[e].empty() && "element not covered by any set");
+    red.instance.jobs.push_back(Job{TimeSet::points(allowed_points[e])});
+  }
+  return red;
+}
+
+}  // namespace gapsched

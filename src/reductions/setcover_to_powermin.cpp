@@ -1,0 +1,66 @@
+#include "gapsched/reductions/setcover_to_powermin.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gapsched {
+
+std::vector<std::size_t> SetCoverReduction::cover_from_schedule(
+    const Schedule& s) const {
+  std::vector<char> used(set_intervals.size(), 0);
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    if (!s.is_scheduled(j)) continue;
+    const Time t = s.at(j)->time;
+    if (extra_interval.contains(t)) continue;
+    for (std::size_t i = 0; i < set_intervals.size(); ++i) {
+      if (set_intervals[i].contains(t)) {
+        used[i] = 1;
+        break;  // intervals are disjoint
+      }
+    }
+  }
+  std::vector<std::size_t> cover;
+  for (std::size_t i = 0; i < set_intervals.size(); ++i) {
+    if (used[i]) cover.push_back(i);
+  }
+  return cover;
+}
+
+SetCoverReduction reduce_setcover_to_powermin(const SetCoverInstance& sc,
+                                              double alpha_override) {
+  SetCoverReduction red;
+  const auto n = static_cast<Time>(sc.universe);
+  red.alpha = alpha_override >= 0.0 ? alpha_override : static_cast<double>(n);
+
+  // Spacing strictly greater than n^3 (and at least 2 so spans can never
+  // merge across intervals even for tiny universes).
+  const Time spacing = std::max<Time>(n * n * n + 1, 2);
+
+  Time cursor = 0;
+  red.set_intervals.reserve(sc.sets.size());
+  for (const auto& set : sc.sets) {
+    const Time len = std::max<Time>(1, static_cast<Time>(set.size()));
+    red.set_intervals.push_back({cursor, cursor + len - 1});
+    cursor += len + spacing;
+  }
+  red.extra_interval = {cursor, cursor};
+
+  // Element jobs: allowed anywhere in the intervals of containing sets.
+  red.instance.processors = 1;
+  red.instance.jobs.reserve(sc.universe + 1);
+  for (std::size_t e = 0; e < sc.universe; ++e) {
+    std::vector<Interval> allowed;
+    for (std::size_t i = 0; i < sc.sets.size(); ++i) {
+      if (std::binary_search(sc.sets[i].begin(), sc.sets[i].end(), e)) {
+        allowed.push_back(red.set_intervals[i]);
+      }
+    }
+    assert(!allowed.empty() && "element not covered by any set");
+    red.instance.jobs.push_back(Job{TimeSet(std::move(allowed))});
+  }
+  // The extra job, pinned to its own unit interval.
+  red.instance.jobs.push_back(Job{TimeSet({red.extra_interval})});
+  return red;
+}
+
+}  // namespace gapsched

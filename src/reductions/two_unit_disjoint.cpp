@@ -1,0 +1,122 @@
+#include "gapsched/reductions/two_unit_disjoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+namespace gapsched {
+
+namespace {
+
+// Simple union-find over 0..n-1.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+// Dead units of a compressed instance: exactly one between consecutive live
+// intervals.
+std::vector<Time> dead_units(const CompressedInstance& c) {
+  std::vector<Time> dead;
+  for (std::size_t i = 0; i + 1 < c.compressed_intervals.size(); ++i) {
+    dead.push_back(c.compressed_intervals[i].hi + 1);
+  }
+  return dead;
+}
+
+}  // namespace
+
+TwoUnitDisjointReduction reduce_two_unit_to_disjoint(const Instance& inst) {
+  TwoUnitDisjointReduction red;
+  red.compressed_source = compress_dead_time(inst);
+  const Instance& src = red.compressed_source.instance;
+  red.instance.processors = 1;
+
+  // Collect the distinct allowed times and index them after the jobs.
+  std::map<Time, std::size_t> time_id;
+  for (const Job& j : src.jobs) {
+    assert(j.allowed.size() <= 2 &&
+           "two-unit reduction requires <= 2 allowed times per job");
+    for (Time t : j.allowed.to_vector()) {
+      time_id.emplace(t, src.n() + time_id.size());
+    }
+  }
+
+  // Connected components of the job/time incidence graph.
+  UnionFind uf(src.n() + time_id.size());
+  for (std::size_t j = 0; j < src.n(); ++j) {
+    for (Time t : src.jobs[j].allowed.to_vector()) {
+      uf.unite(j, time_id.at(t));
+    }
+  }
+  struct Component {
+    std::size_t jobs = 0;
+    std::vector<Time> times;
+  };
+  std::map<std::size_t, Component> comps;
+  for (std::size_t j = 0; j < src.n(); ++j) ++comps[uf.find(j)].jobs;
+  for (const auto& [t, id] : time_id) comps[uf.find(id)].times.push_back(t);
+
+  // One new job per slack component (|times| == |jobs| + 1), allowed at the
+  // component's times; tight components vanish; deficits mean infeasible.
+  for (const auto& [root, comp] : comps) {
+    if (comp.times.size() + 1 == comp.jobs + 1) continue;  // tight
+    if (comp.times.size() == comp.jobs + 1) {
+      red.instance.jobs.push_back(Job{TimeSet::points(comp.times)});
+    } else {
+      return red;  // fewer times than jobs: source infeasible
+    }
+  }
+  // Pinned jobs at the dead units.
+  for (Time t : dead_units(red.compressed_source)) {
+    red.instance.jobs.push_back(Job{TimeSet::points({t})});
+  }
+  red.feasible_input = true;
+  return red;
+}
+
+TwoUnitDisjointReduction reduce_disjoint_to_two_unit(const Instance& inst) {
+  TwoUnitDisjointReduction red;
+  red.compressed_source = compress_dead_time(inst);
+  const Instance& src = red.compressed_source.instance;
+  red.instance.processors = 1;
+
+#ifndef NDEBUG
+  {  // Allowed sets must be pairwise disjoint.
+    std::vector<Time> all;
+    for (const Job& j : src.jobs) {
+      for (Time t : j.allowed.to_vector()) all.push_back(t);
+    }
+    std::sort(all.begin(), all.end());
+    assert(std::adjacent_find(all.begin(), all.end()) == all.end() &&
+           "disjoint-unit reduction requires disjoint allowed sets");
+  }
+#endif
+
+  // Chain jobs: {t_m, t_{m+1}} for each consecutive pair of a job's times.
+  for (const Job& j : src.jobs) {
+    const std::vector<Time> ts = j.allowed.to_vector();
+    for (std::size_t m = 0; m + 1 < ts.size(); ++m) {
+      red.instance.jobs.push_back(Job{TimeSet::points({ts[m], ts[m + 1]})});
+    }
+  }
+  // Pinned jobs at the dead units.
+  for (Time t : dead_units(red.compressed_source)) {
+    red.instance.jobs.push_back(Job{TimeSet::points({t})});
+  }
+  red.feasible_input = true;
+  return red;
+}
+
+}  // namespace gapsched

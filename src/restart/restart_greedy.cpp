@@ -1,0 +1,205 @@
+#include "gapsched/restart/restart_greedy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Kuhn matching from the time side: tries to give every time in
+// `times` (indices into slot_times) a distinct job from `allowed_jobs`.
+// Returns the time->job assignment, or empty if not perfectly fillable.
+class FillMatcher {
+ public:
+  FillMatcher(const Instance& inst, const std::vector<Time>& slot_times,
+              const std::vector<char>& job_used)
+      : inst_(inst), slot_times_(slot_times), job_used_(job_used) {}
+
+  /// Perfectly matches all given slot indices to distinct unused jobs.
+  bool fill(const std::vector<std::size_t>& slot_idxs,
+            std::vector<std::size_t>* job_of_slot) {
+    match_job_.assign(inst_.n(), kNone);
+    job_of_slot->assign(slot_idxs.size(), kNone);
+    for (std::size_t i = 0; i < slot_idxs.size(); ++i) {
+      std::vector<char> visited(inst_.n(), 0);
+      if (!augment(i, slot_idxs, visited, job_of_slot)) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool augment(std::size_t i, const std::vector<std::size_t>& slot_idxs,
+               std::vector<char>& visited,
+               std::vector<std::size_t>* job_of_slot) {
+    const Time t = slot_times_[slot_idxs[i]];
+    for (std::size_t j = 0; j < inst_.n(); ++j) {
+      if (job_used_[j] || visited[j] || !inst_.jobs[j].allowed.contains(t)) {
+        continue;
+      }
+      visited[j] = 1;
+      const std::size_t holder = match_job_[j];
+      if (holder == kNone ||
+          augment(holder, slot_idxs, visited, job_of_slot)) {
+        match_job_[j] = i;
+        (*job_of_slot)[i] = j;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Instance& inst_;
+  const std::vector<Time>& slot_times_;
+  const std::vector<char>& job_used_;
+  std::vector<std::size_t> match_job_;  // job -> position index in slot_idxs
+};
+
+// Maximal runs of consecutive usable slot indices.
+std::vector<std::pair<std::size_t, std::size_t>> usable_runs(
+    const std::vector<Time>& slot_times, const std::vector<char>& usable) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  for (std::size_t s = 0; s < slot_times.size(); ++s) {
+    if (!usable[s]) continue;
+    if (!runs.empty() && runs.back().second + 1 == s &&
+        slot_times[s - 1] + 1 == slot_times[s]) {
+      runs.back().second = s;
+    } else {
+      runs.push_back({s, s});
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+RestartResult restart_greedy(const Instance& inst, std::size_t max_spans) {
+  Instance single = inst;
+  single.processors = 1;
+  RestartResult out;
+  out.schedule = Schedule(single.n());
+  if (single.n() == 0) return out;
+
+  const SlotSpace slots = make_slot_space(single);
+  const std::vector<Time>& vt = slots.slot_times;
+  std::vector<char> job_used(single.n(), 0);
+  std::vector<char> slot_blocked(vt.size(), 0);
+
+  for (std::size_t round = 0; round < max_spans; ++round) {
+    // Usable slots: unblocked with at least one unused job available.
+    std::vector<char> usable(vt.size(), 0);
+    std::size_t remaining_jobs = 0;
+    for (std::size_t j = 0; j < single.n(); ++j) {
+      if (!job_used[j]) ++remaining_jobs;
+    }
+    for (std::size_t s = 0; s < vt.size(); ++s) {
+      if (slot_blocked[s]) continue;
+      for (std::size_t j = 0; j < single.n(); ++j) {
+        if (!job_used[j] && single.jobs[j].allowed.contains(vt[s])) {
+          usable[s] = 1;
+          break;
+        }
+      }
+    }
+    const auto runs = usable_runs(vt, usable);
+    if (runs.empty() || remaining_jobs == 0) break;
+
+    std::size_t longest_run = 0;
+    for (const auto& [lo, hi] : runs) {
+      longest_run = std::max(longest_run, hi - lo + 1);
+    }
+
+    FillMatcher matcher(single, vt, job_used);
+    // Fillability of length L anywhere is monotone in L: binary search.
+    auto find_at_length =
+        [&](std::size_t len) -> std::pair<std::size_t, std::vector<std::size_t>> {
+      for (const auto& [lo, hi] : runs) {
+        if (hi - lo + 1 < len) continue;
+        for (std::size_t a = lo; a + len - 1 <= hi; ++a) {
+          std::vector<std::size_t> idxs(len);
+          for (std::size_t i = 0; i < len; ++i) idxs[i] = a + i;
+          std::vector<std::size_t> job_of_slot;
+          if (matcher.fill(idxs, &job_of_slot)) return {a, job_of_slot};
+        }
+      }
+      return {kNone, {}};
+    };
+
+    std::size_t lo_len = 1;
+    std::size_t hi_len = std::min(longest_run, remaining_jobs);
+    if (find_at_length(1).first == kNone) break;
+    while (lo_len < hi_len) {
+      const std::size_t mid = hi_len - (hi_len - lo_len) / 2;
+      if (find_at_length(mid).first != kNone) {
+        lo_len = mid;
+      } else {
+        hi_len = mid - 1;
+      }
+    }
+    const auto [start, job_of_slot] = find_at_length(lo_len);
+    assert(start != kNone);
+
+    for (std::size_t i = 0; i < lo_len; ++i) {
+      const std::size_t s = start + i;
+      const std::size_t j = job_of_slot[i];
+      out.schedule.place(j, vt[s], 0);
+      job_used[j] = 1;
+      slot_blocked[s] = 1;
+      ++out.scheduled;
+    }
+    out.working_intervals.push_back({vt[start], vt[start + lo_len - 1]});
+  }
+  return out;
+}
+
+std::size_t restart_exact_max_jobs(const Instance& inst,
+                                   std::size_t max_spans) {
+  Instance single = inst;
+  single.processors = 1;
+  if (single.n() == 0) return 0;
+  const SlotSpace slots = make_slot_space(single);
+  const std::vector<Time>& vt = slots.slot_times;
+  const std::vector<char> no_jobs_used(single.n(), 0);
+
+  // All candidate intervals as (first slot, last slot) over consecutive
+  // slot-time runs.
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (std::size_t a = 0; a < vt.size(); ++a) {
+    for (std::size_t b = a; b < vt.size(); ++b) {
+      if (b > a && vt[b] != vt[b - 1] + 1) break;
+      if (b - a + 1 > single.n()) break;
+      candidates.push_back({a, b});
+    }
+  }
+
+  std::size_t best = 0;
+  FillMatcher matcher(single, vt, no_jobs_used);
+  std::vector<std::size_t> picked_times;
+
+  // DFS over at most max_spans disjoint intervals (in slot order), testing
+  // perfect fillability of the union at every node.
+  auto dfs = [&](auto&& self, std::size_t min_start,
+                 std::size_t spans_left) -> void {
+    best = std::max(best, picked_times.size());
+    if (spans_left == 0) return;
+    for (const auto& [a, b] : candidates) {
+      if (a < min_start) continue;
+      const std::size_t added = b - a + 1;
+      if (picked_times.size() + added > single.n()) continue;
+      for (std::size_t s = a; s <= b; ++s) picked_times.push_back(s);
+      std::vector<std::size_t> job_of_slot;
+      if (matcher.fill(picked_times, &job_of_slot)) {
+        self(self, b + 1, spans_left - 1);
+      }
+      picked_times.resize(picked_times.size() - added);
+    }
+  };
+  dfs(dfs, 0, max_spans);
+  return best;
+}
+
+}  // namespace gapsched

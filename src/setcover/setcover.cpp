@@ -1,0 +1,128 @@
+#include "gapsched/setcover/setcover.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace gapsched {
+
+std::size_t SetCoverInstance::max_set_size() const {
+  std::size_t b = 0;
+  for (const auto& s : sets) b = std::max(b, s.size());
+  return b;
+}
+
+SetCoverResult greedy_set_cover(const SetCoverInstance& inst) {
+  std::vector<char> covered(inst.universe, 0);
+  std::size_t uncovered = inst.universe;
+  SetCoverResult out;
+  while (uncovered > 0) {
+    std::size_t best_set = inst.sets.size();
+    std::size_t best_gain = 0;
+    for (std::size_t s = 0; s < inst.sets.size(); ++s) {
+      std::size_t gain = 0;
+      for (std::size_t e : inst.sets[s]) {
+        if (!covered[e]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_set = s;
+      }
+    }
+    if (best_set == inst.sets.size()) return {};  // uncoverable
+    out.chosen.push_back(best_set);
+    for (std::size_t e : inst.sets[best_set]) {
+      if (!covered[e]) {
+        covered[e] = 1;
+        --uncovered;
+      }
+    }
+  }
+  out.coverable = true;
+  std::sort(out.chosen.begin(), out.chosen.end());
+  return out;
+}
+
+SetCoverResult exact_set_cover(const SetCoverInstance& inst) {
+  assert(inst.universe <= 20 && "exact set cover is exponential in universe");
+  const std::size_t u = inst.universe;
+  const std::uint32_t full = (u == 0) ? 0 : ((std::uint32_t{1} << u) - 1);
+  if (full == 0) return SetCoverResult{true, {}};
+
+  std::vector<std::uint32_t> set_mask(inst.sets.size(), 0);
+  for (std::size_t s = 0; s < inst.sets.size(); ++s) {
+    for (std::size_t e : inst.sets[s]) set_mask[s] |= std::uint32_t{1} << e;
+  }
+
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 2;
+  std::vector<std::size_t> dp(full + 1, kInf);
+  std::vector<std::pair<std::uint32_t, std::size_t>> parent(full + 1,
+                                                            {0, kInf});
+  dp[0] = 0;
+  for (std::uint32_t mask = 0; mask <= full; ++mask) {
+    if (dp[mask] == kInf || mask == full) continue;
+    // Branch on the lowest uncovered element: some chosen set must cover it.
+    std::uint32_t uncovered = full & ~mask;
+    const int e = std::countr_zero(uncovered);
+    for (std::size_t s = 0; s < inst.sets.size(); ++s) {
+      if ((set_mask[s] >> e & 1u) == 0) continue;
+      const std::uint32_t nm = mask | set_mask[s];
+      if (dp[mask] + 1 < dp[nm]) {
+        dp[nm] = dp[mask] + 1;
+        parent[nm] = {mask, s};
+      }
+    }
+  }
+  if (dp[full] == kInf) return {};
+
+  SetCoverResult out;
+  out.coverable = true;
+  std::uint32_t cur = full;
+  while (cur != 0) {
+    out.chosen.push_back(parent[cur].second);
+    cur = parent[cur].first;
+  }
+  std::sort(out.chosen.begin(), out.chosen.end());
+  return out;
+}
+
+bool is_valid_cover(const SetCoverInstance& inst,
+                    const std::vector<std::size_t>& chosen) {
+  std::vector<char> covered(inst.universe, 0);
+  for (std::size_t s : chosen) {
+    if (s >= inst.sets.size()) return false;
+    for (std::size_t e : inst.sets[s]) covered[e] = 1;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](char c) { return c != 0; });
+}
+
+SetCoverInstance gen_random_set_cover(Prng& rng, std::size_t universe,
+                                      std::size_t num_sets,
+                                      std::size_t max_set_size) {
+  assert(max_set_size >= 1 && num_sets >= 1);
+  assert(num_sets * max_set_size >= universe &&
+         "not enough set capacity to cover the universe");
+  SetCoverInstance inst;
+  inst.universe = universe;
+  inst.sets.assign(num_sets, {});
+  // Base coverage: scatter every element into a random set with room.
+  for (std::size_t e = 0; e < universe; ++e) {
+    std::size_t s = rng.index(num_sets);
+    while (inst.sets[s].size() >= max_set_size) s = (s + 1) % num_sets;
+    inst.sets[s].push_back(e);
+  }
+  // Random redundancy: top sets up with extra elements (this is what makes
+  // the covering problem non-trivial).
+  for (auto& set : inst.sets) {
+    const std::size_t target = std::min(universe, 1 + rng.index(max_set_size));
+    while (set.size() < target) {
+      const std::size_t e = rng.index(universe);
+      if (std::find(set.begin(), set.end(), e) == set.end()) set.push_back(e);
+    }
+    std::sort(set.begin(), set.end());
+  }
+  return inst;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,205 @@
+#include "gapsched/setpack/set_packing.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gapsched {
+
+namespace {
+
+// Mutable packing state: which sets are chosen and which chosen set (if any)
+// owns each universe element.
+class PackingState {
+ public:
+  explicit PackingState(const SetPackingInstance& inst)
+      : inst_(inst),
+        owner_(inst.universe, kNone),
+        chosen_(inst.sets.size(), 0) {}
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  bool is_chosen(std::size_t s) const { return chosen_[s] != 0; }
+
+  /// Chosen sets overlapping set s (deduplicated, at most |s| entries).
+  std::vector<std::size_t> conflicts(std::size_t s) const {
+    std::vector<std::size_t> out;
+    for (std::size_t e : inst_.sets[s]) {
+      const std::size_t o = owner_[e];
+      if (o != kNone && std::find(out.begin(), out.end(), o) == out.end()) {
+        out.push_back(o);
+      }
+    }
+    return out;
+  }
+
+  void add(std::size_t s) {
+    assert(!is_chosen(s));
+    chosen_[s] = 1;
+    for (std::size_t e : inst_.sets[s]) {
+      assert(owner_[e] == kNone);
+      owner_[e] = s;
+    }
+    ++count_;
+  }
+
+  void remove(std::size_t s) {
+    assert(is_chosen(s));
+    chosen_[s] = 0;
+    for (std::size_t e : inst_.sets[s]) owner_[e] = kNone;
+    --count_;
+  }
+
+  /// Adds every currently conflict-free set (restores maximality).
+  void make_maximal() {
+    for (std::size_t s = 0; s < inst_.sets.size(); ++s) {
+      if (!is_chosen(s) && conflicts(s).empty()) add(s);
+    }
+  }
+
+  std::size_t count() const { return count_; }
+
+  std::vector<std::size_t> chosen_indices() const {
+    std::vector<std::size_t> out;
+    for (std::size_t s = 0; s < inst_.sets.size(); ++s) {
+      if (chosen_[s]) out.push_back(s);
+    }
+    return out;
+  }
+
+ private:
+  const SetPackingInstance& inst_;
+  std::vector<std::size_t> owner_;
+  std::vector<char> chosen_;
+  std::size_t count_ = 0;
+};
+
+bool disjoint(const std::vector<std::size_t>& a,
+              const std::vector<std::size_t>& b) {
+  auto i = a.begin();
+  auto j = b.begin();
+  while (i != a.end() && j != b.end()) {
+    if (*i < *j) {
+      ++i;
+    } else if (*j < *i) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+// One (1 -> 2) improvement: find a chosen set C and two disjoint unchosen
+// sets conflicting only with C; returns true if applied.
+bool improve_1_to_2(const SetPackingInstance& inst, PackingState& st) {
+  // Bucket unchosen sets by their unique conflicting chosen set.
+  std::vector<std::size_t> singles;  // unchosen sets with exactly 1 conflict
+  for (std::size_t s = 0; s < inst.sets.size(); ++s) {
+    if (st.is_chosen(s)) continue;
+    if (st.conflicts(s).size() == 1) singles.push_back(s);
+  }
+  for (std::size_t ai = 0; ai < singles.size(); ++ai) {
+    const std::size_t a = singles[ai];
+    const std::size_t ca = st.conflicts(a)[0];
+    for (std::size_t bi = ai + 1; bi < singles.size(); ++bi) {
+      const std::size_t b = singles[bi];
+      if (st.conflicts(b)[0] != ca) continue;
+      if (!disjoint(inst.sets[a], inst.sets[b])) continue;
+      st.remove(ca);
+      st.add(a);
+      st.add(b);
+      st.make_maximal();
+      return true;
+    }
+  }
+  return false;
+}
+
+// One (2 -> 3) improvement: remove chosen {C1, C2}, insert three pairwise
+// disjoint unchosen sets each conflicting only within {C1, C2}.
+bool improve_2_to_3(const SetPackingInstance& inst, PackingState& st) {
+  // Candidates with <= 2 conflicts, grouped by conflict signature.
+  std::vector<std::size_t> cands;
+  for (std::size_t s = 0; s < inst.sets.size(); ++s) {
+    if (!st.is_chosen(s) && st.conflicts(s).size() <= 2) cands.push_back(s);
+  }
+  const std::vector<std::size_t> chosen = st.chosen_indices();
+  for (std::size_t i1 = 0; i1 < chosen.size(); ++i1) {
+    for (std::size_t i2 = i1 + 1; i2 < chosen.size(); ++i2) {
+      const std::size_t c1 = chosen[i1], c2 = chosen[i2];
+      std::vector<std::size_t> pool;
+      for (std::size_t s : cands) {
+        bool ok = true;
+        for (std::size_t c : st.conflicts(s)) {
+          if (c != c1 && c != c2) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) pool.push_back(s);
+      }
+      if (pool.size() < 3) continue;
+      for (std::size_t x = 0; x < pool.size(); ++x) {
+        for (std::size_t y = x + 1; y < pool.size(); ++y) {
+          if (!disjoint(inst.sets[pool[x]], inst.sets[pool[y]])) continue;
+          for (std::size_t z = y + 1; z < pool.size(); ++z) {
+            if (disjoint(inst.sets[pool[x]], inst.sets[pool[z]]) &&
+                disjoint(inst.sets[pool[y]], inst.sets[pool[z]])) {
+              st.remove(c1);
+              st.remove(c2);
+              st.add(pool[x]);
+              st.add(pool[y]);
+              st.add(pool[z]);
+              st.make_maximal();
+              return true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PackingResult greedy_packing(const SetPackingInstance& inst) {
+  PackingState st(inst);
+  st.make_maximal();
+  return PackingResult{st.chosen_indices()};
+}
+
+PackingResult local_search_packing(const SetPackingInstance& inst,
+                                   int swap_size) {
+  assert(swap_size >= 0 && swap_size <= 2);
+  PackingState st(inst);
+  st.make_maximal();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    if (swap_size >= 1 && improve_1_to_2(inst, st)) {
+      improved = true;
+      continue;
+    }
+    if (swap_size >= 2 && improve_2_to_3(inst, st)) {
+      improved = true;
+      continue;
+    }
+  }
+  return PackingResult{st.chosen_indices()};
+}
+
+bool is_valid_packing(const SetPackingInstance& inst,
+                      const std::vector<std::size_t>& chosen) {
+  std::vector<char> used(inst.universe, 0);
+  for (std::size_t s : chosen) {
+    if (s >= inst.sets.size()) return false;
+    for (std::size_t e : inst.sets[s]) {
+      if (e >= inst.universe || used[e]) return false;
+      used[e] = 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,29 @@
+#include "gapsched/util/prng.hpp"
+
+namespace gapsched {
+
+std::int64_t Prng::uniform(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Prng::uniform01() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Prng::chance(double p) { return uniform01() < p; }
+
+std::size_t Prng::index(std::size_t n) {
+  return static_cast<std::size_t>(
+      uniform(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Prng Prng::fork() {
+  // Mix the parent stream into a fresh seed; golden-ratio increment keeps
+  // sibling forks decorrelated even when the parent output is small.
+  std::uint64_t child = engine_() * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL;
+  return Prng(child);
+}
+
+}  // namespace gapsched

@@ -1,0 +1,4 @@
+#include "gapsched/util/stopwatch.hpp"
+
+// Header-only today; translation unit kept so the module has a stable home
+// for future non-inline additions (e.g. CPU-time clocks).

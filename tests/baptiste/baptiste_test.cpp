@@ -1,0 +1,66 @@
+#include "gapsched/baptiste/baptiste.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/exact/brute_force.hpp"
+#include "gapsched/gen/generators.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Baptiste, SingleSpanWhenPackable) {
+  Instance inst = Instance::one_interval({{0, 5}, {0, 5}, {0, 5}});
+  BaptisteResult r = solve_baptiste(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.spans, 1);
+  EXPECT_EQ(r.gaps, 0);
+}
+
+TEST(Baptiste, ForcedGaps) {
+  Instance inst = Instance::one_interval({{0, 0}, {10, 10}, {20, 20}});
+  BaptisteResult r = solve_baptiste(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.spans, 3);
+  EXPECT_EQ(r.gaps, 2);
+}
+
+TEST(Baptiste, IgnoresProcessorCount) {
+  Instance inst = Instance::one_interval({{0, 1}, {0, 1}}, /*processors=*/4);
+  BaptisteResult r = solve_baptiste(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.spans, 1);  // solved as p = 1: both jobs in one span
+}
+
+TEST(Baptiste, Infeasible) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}});
+  EXPECT_FALSE(solve_baptiste(inst).feasible);
+}
+
+// The classic tradeoff: wait for tight jobs and fill between them.
+TEST(Baptiste, InterleavesLooseJobsBetweenTightOnes) {
+  // Tight jobs at 10, 12, 14; loose jobs can fill 11 and 13: one span.
+  Instance inst = Instance::one_interval(
+      {{10, 10}, {12, 12}, {14, 14}, {0, 20}, {0, 20}});
+  BaptisteResult r = solve_baptiste(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.spans, 1);
+}
+
+class BaptisteVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaptisteVsBruteForce, Agrees) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  Instance inst = gen_uniform_one_interval(rng, 6, 10, 4, 1);
+  const ExactGapResult bf = brute_force_min_transitions(inst);
+  const BaptisteResult bp = solve_baptiste(inst);
+  ASSERT_EQ(bp.feasible, bf.feasible);
+  if (bf.feasible) {
+    EXPECT_EQ(bp.spans, bf.transitions);
+    EXPECT_EQ(bp.schedule.validate(inst), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BaptisteVsBruteForce, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace gapsched

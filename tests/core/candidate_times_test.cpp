@@ -1,0 +1,75 @@
+#include "gapsched/core/candidate_times.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gapsched {
+namespace {
+
+TEST(CandidateTimes, CoversSmallWindowsEntirely) {
+  Instance inst = Instance::one_interval({{0, 3}, {5, 6}});
+  std::vector<Time> theta = candidate_times(inst, false);
+  for (Time t : {0, 1, 2, 3, 5, 6}) {
+    EXPECT_TRUE(std::binary_search(theta.begin(), theta.end(), t)) << t;
+  }
+}
+
+TEST(CandidateTimes, SortedAndUnique) {
+  Instance inst = Instance::one_interval({{0, 100}, {3, 50}, {40, 90}});
+  std::vector<Time> theta = candidate_times(inst);
+  ASSERT_FALSE(theta.empty());
+  for (std::size_t i = 1; i < theta.size(); ++i) {
+    EXPECT_LT(theta[i - 1], theta[i]);
+  }
+}
+
+TEST(CandidateTimes, WideWindowIsCompressed) {
+  // One job with a huge window: only the O(n)-radius neighbourhoods of its
+  // release and deadline are candidates.
+  Instance inst = Instance::one_interval({{0, 1000000}});
+  std::vector<Time> theta = candidate_times(inst, false);
+  EXPECT_LE(theta.size(), 8u);  // [0, 0+n+1] and [d-n-1, d] with n = 1
+  EXPECT_TRUE(std::binary_search(theta.begin(), theta.end(), Time{0}));
+  EXPECT_TRUE(std::binary_search(theta.begin(), theta.end(), Time{1000000}));
+}
+
+TEST(CandidateTimes, NeighbourhoodRadiusIsN) {
+  Instance inst = Instance::one_interval({{0, 100}, {0, 100}, {0, 100}});
+  std::vector<Time> theta = candidate_times(inst, false);
+  // Releases 0..n+1 = 0..4 and deadlines 100-4..100 must be present.
+  for (Time t : {0, 1, 2, 3, 4, 96, 97, 98, 99, 100}) {
+    EXPECT_TRUE(std::binary_search(theta.begin(), theta.end(), t)) << t;
+  }
+  EXPECT_FALSE(std::binary_search(theta.begin(), theta.end(), Time{50}));
+}
+
+TEST(CandidateTimes, PlusOneClosureAddsSeams) {
+  Instance inst = Instance::one_interval({{0, 2}, {10, 12}});
+  std::vector<Time> closed = candidate_times(inst, true);
+  // 3 = 2+1 must be present (window seam), 13 clipped to horizon max 12.
+  EXPECT_TRUE(std::binary_search(closed.begin(), closed.end(), Time{3}));
+  EXPECT_FALSE(std::binary_search(closed.begin(), closed.end(), Time{13}));
+}
+
+TEST(CandidateTimes, MultiIntervalUsesAllowedTimes) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet({{2, 3}, {8, 8}})});
+  inst.jobs.push_back(Job{TimeSet({{5, 5}})});
+  std::vector<Time> theta = candidate_times(inst, false);
+  EXPECT_EQ(theta, (std::vector<Time>{2, 3, 5, 8}));
+}
+
+TEST(CandidateTimes, QuadraticBound) {
+  // n jobs: |theta| should be O(n^2), not O(horizon).
+  std::vector<std::pair<Time, Time>> windows;
+  for (int i = 0; i < 10; ++i) {
+    windows.push_back({i * 100000, i * 100000 + 50000});
+  }
+  Instance inst = Instance::one_interval(windows);
+  std::vector<Time> theta = candidate_times(inst);
+  EXPECT_LE(theta.size(), 4u * 10u * 12u);
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,109 @@
+#include "gapsched/core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gapsched {
+namespace {
+
+TEST(Profile, EmptyProfile) {
+  OccupancyProfile p = OccupancyProfile::from_times({});
+  EXPECT_EQ(p.transitions(), 0);
+  EXPECT_EQ(p.busy_time(), 0);
+  EXPECT_EQ(p.max_occupancy(), 0);
+  EXPECT_EQ(p.spans(), 0);
+  EXPECT_DOUBLE_EQ(p.optimal_power(3.0), 0.0);
+}
+
+TEST(Profile, SingleRunSingleProcessor) {
+  OccupancyProfile p = OccupancyProfile::from_times({3, 4, 5});
+  EXPECT_EQ(p.transitions(), 1);
+  EXPECT_EQ(p.spans(), 1);
+  EXPECT_EQ(p.interior_gaps(), 0);
+  EXPECT_EQ(p.busy_time(), 3);
+}
+
+TEST(Profile, TwoRunsSingleProcessor) {
+  OccupancyProfile p = OccupancyProfile::from_times({1, 2, 9});
+  EXPECT_EQ(p.transitions(), 2);
+  EXPECT_EQ(p.spans(), 2);
+  EXPECT_EQ(p.interior_gaps(), 1);
+}
+
+TEST(Profile, StaircaseTransitions) {
+  // occupancy: t=0 ->2, t=1 ->1, t=2 ->3. Increments: 2, 0, 2 -> 4.
+  OccupancyProfile p = OccupancyProfile::from_times({0, 0, 1, 2, 2, 2});
+  EXPECT_EQ(p.transitions(), 4);
+  EXPECT_EQ(p.max_occupancy(), 3);
+  EXPECT_EQ(p.interior_gaps(), 1);
+}
+
+TEST(Profile, NonAdjacentRunsWakeEverything) {
+  // Two busy times far apart with occupancy 2 each: 4 transitions.
+  OccupancyProfile p = OccupancyProfile::from_times({0, 0, 10, 10});
+  EXPECT_EQ(p.transitions(), 4);
+  EXPECT_EQ(p.spans(), 2);
+}
+
+// The 3-job example from DESIGN.md showing that only transition counting
+// makes Lemma 1 sound: jobs forced at t=0, t=2 and a flexible one. Both
+// staircase profiles have 3 transitions; a non-staircase schedule on 3
+// processors also makes 3 wake-ups. Transitions are profile-invariant where
+// "interior gaps" are not.
+TEST(Profile, Lemma1CounterexampleAccounting) {
+  OccupancyProfile stacked = OccupancyProfile::from_times({0, 0, 2});
+  OccupancyProfile spread = OccupancyProfile::from_times({0, 2, 2});
+  EXPECT_EQ(stacked.transitions(), 3);
+  EXPECT_EQ(spread.transitions(), 3);
+  // Interior-gap counting would differ between processor assignments.
+  EXPECT_EQ(stacked.interior_gaps(), 1);
+}
+
+TEST(Profile, OptimalPowerBridgesShortGaps) {
+  // Busy at 0 and 3: idle run of 2. alpha=5 -> bridge (cost 2).
+  OccupancyProfile p = OccupancyProfile::from_times({0, 3});
+  EXPECT_DOUBLE_EQ(p.optimal_power(5.0), 2 + 5.0 + 2.0);
+  // alpha=1 -> sleep (cost 1 wake).
+  EXPECT_DOUBLE_EQ(p.optimal_power(1.0), 2 + 1.0 + 1.0);
+  // alpha exactly the idle length: either choice, same cost.
+  EXPECT_DOUBLE_EQ(p.optimal_power(2.0), 2 + 2.0 + 2.0);
+}
+
+TEST(Profile, OptimalPowerPerLevel) {
+  // occupancy: t=0:2, t=1:1, t=2:2. Level 1: contiguous, wake once.
+  // Level 2: busy at 0 and 2, idle 1 unit -> bridge iff alpha >= 1.
+  OccupancyProfile p = OccupancyProfile::from_times({0, 0, 1, 2, 2});
+  const double alpha = 4.0;
+  EXPECT_DOUBLE_EQ(p.optimal_power(alpha), 5 + alpha + (alpha + 1.0));
+  const double tiny = 0.5;
+  EXPECT_DOUBLE_EQ(p.optimal_power(tiny), 5 + tiny + (tiny + tiny));
+}
+
+TEST(Profile, PowerWithoutBridgingMatchesDefinition) {
+  OccupancyProfile p = OccupancyProfile::from_times({0, 0, 5});
+  EXPECT_DOUBLE_EQ(p.power_without_bridging(2.5),
+                   3.0 + 2.5 * static_cast<double>(p.transitions()));
+}
+
+TEST(Profile, OptimalPowerNeverExceedsNoBridging) {
+  for (int v = 0; v < 50; ++v) {
+    // Pseudo-random small time multisets.
+    std::vector<Time> times;
+    unsigned x = static_cast<unsigned>(v) * 747796405u + 1;
+    const int cnt = 1 + static_cast<int>(x % 8u);
+    for (int i = 0; i < cnt; ++i) {
+      x = x * 1664525u + 1013904223u;
+      times.push_back(static_cast<Time>(x % 12u));
+    }
+    OccupancyProfile p = OccupancyProfile::from_times(times);
+    for (double alpha : {0.0, 0.5, 1.0, 2.0, 7.0}) {
+      EXPECT_LE(p.optimal_power(alpha), p.power_without_bridging(alpha) + 1e-9)
+          << "v=" << v << " alpha=" << alpha;
+      // Power is at least busy time plus one wake of the deepest level.
+      EXPECT_GE(p.optimal_power(alpha),
+                static_cast<double>(p.busy_time()) + alpha - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,52 @@
+#include "gapsched/core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Stats, EmptyInstance) {
+  InstanceStats s = compute_stats(Instance{});
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_EQ(s.horizon, 0);
+}
+
+TEST(Stats, SimpleInstance) {
+  Instance inst = Instance::one_interval({{0, 4}, {2, 2}}, 2);
+  InstanceStats s = compute_stats(inst);
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_EQ(s.processors, 2);
+  EXPECT_EQ(s.horizon, 5);
+  EXPECT_EQ(s.live_time, 5);
+  EXPECT_EQ(s.max_slack, 4);
+  EXPECT_DOUBLE_EQ(s.mean_slack, 2.0);
+  EXPECT_DOUBLE_EQ(s.pinned_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.contention, 2.0 / (5.0 * 2.0));
+  EXPECT_EQ(s.max_intervals, 1u);
+}
+
+TEST(Stats, MultiIntervalLiveTime) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet({{0, 1}, {10, 11}})});
+  inst.jobs.push_back(Job{TimeSet({{10, 12}})});
+  InstanceStats s = compute_stats(inst);
+  EXPECT_EQ(s.live_time, 2 + 3);  // {0,1} u {10,11,12}
+  EXPECT_EQ(s.max_intervals, 2u);
+}
+
+TEST(Stats, ContentionAboveOneImpliesInfeasible) {
+  for (int seed = 0; seed < 30; ++seed) {
+    Prng rng(static_cast<std::uint64_t>(seed) * 227 + 1);
+    Instance inst = gen_uniform_one_interval(rng, 8, 8, 3, 1);
+    InstanceStats s = compute_stats(inst);
+    if (s.contention > 1.0) {
+      EXPECT_FALSE(is_feasible(inst)) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,74 @@
+#include "gapsched/core/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/exact/brute_force.hpp"
+#include "gapsched/gen/generators.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(CompressDeadTime, ShrinksDesertsToOneUnit) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet::window(100, 102)});
+  inst.jobs.push_back(Job{TimeSet::window(5000, 5001)});
+  CompressedInstance c = compress_dead_time(inst);
+  // New layout: [0,2], dead unit 3, [4,5].
+  EXPECT_EQ(c.instance.jobs[0].allowed, TimeSet::window(0, 2));
+  EXPECT_EQ(c.instance.jobs[1].allowed, TimeSet::window(4, 5));
+}
+
+TEST(CompressDeadTime, TimeMapsRoundTrip) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet({{10, 12}, {90, 91}})});
+  CompressedInstance c = compress_dead_time(inst);
+  for (Time t : {10, 11, 12, 90, 91}) {
+    EXPECT_EQ(c.to_original(c.to_compressed(t)), t);
+  }
+}
+
+TEST(CompressDeadTime, AdjacentJobsStayAdjacent) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet::window(7, 8)});
+  inst.jobs.push_back(Job{TimeSet::window(9, 10)});
+  CompressedInstance c = compress_dead_time(inst);
+  // Touching windows are one live region: [0,1] and [2,3].
+  EXPECT_EQ(c.instance.jobs[0].allowed, TimeSet::window(0, 1));
+  EXPECT_EQ(c.instance.jobs[1].allowed, TimeSet::window(2, 3));
+}
+
+TEST(CompressDeadTime, EmptyInstance) {
+  Instance inst;
+  CompressedInstance c = compress_dead_time(inst);
+  EXPECT_EQ(c.instance.n(), 0u);
+}
+
+// Property: compression preserves the optimal transition count exactly.
+class CompressionPreservesGaps : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressionPreservesGaps, OptimaMatch) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 17);
+  // Sparse instances with real deserts.
+  Instance inst;
+  inst.processors = 1 + static_cast<int>(rng.index(2));
+  const std::size_t n = 5 + rng.index(3);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Time base = rng.uniform(0, 6) * 100;
+    const Time lo = base + rng.uniform(0, 5);
+    inst.jobs.push_back(Job{TimeSet::window(lo, lo + rng.uniform(0, 4))});
+  }
+  CompressedInstance c = compress_dead_time(inst);
+  c.instance.processors = inst.processors;
+  const ExactGapResult a = brute_force_min_transitions(inst);
+  const ExactGapResult b = brute_force_min_transitions(c.instance);
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (a.feasible) {
+    EXPECT_EQ(a.transitions, b.transitions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CompressionPreservesGaps,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace gapsched

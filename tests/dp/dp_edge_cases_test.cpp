@@ -1,0 +1,130 @@
+// Handcrafted edge cases for the Theorem 1/2 dynamic programs: deadline
+// ties, degenerate windows, capacity boundaries, and identical jobs — the
+// corners where the (t1, t2, k, q, l1, l2) bookkeeping is easiest to get
+// wrong.
+
+#include <gtest/gtest.h>
+
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/dp/power_dp.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(GapDpEdge, SingleJobSinglePoint) {
+  Instance inst = Instance::one_interval({{7, 7}});
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+  EXPECT_EQ(r.schedule.at(0)->time, 7);
+}
+
+TEST(GapDpEdge, AllJobsSamePointNeedsExactCapacity) {
+  for (int p = 1; p <= 4; ++p) {
+    Instance inst = Instance::one_interval({{5, 5}, {5, 5}, {5, 5}}, p);
+    GapDpResult r = solve_gap_dp(inst);
+    EXPECT_EQ(r.feasible, p >= 3) << "p=" << p;
+    if (r.feasible) {
+      EXPECT_EQ(r.transitions, 3);
+    }
+  }
+}
+
+TEST(GapDpEdge, DeadlineTiesBrokenConsistently) {
+  // Many jobs sharing one deadline; the (deadline, id) order must still
+  // decompose correctly.
+  Instance inst =
+      Instance::one_interval({{0, 4}, {1, 4}, {2, 4}, {3, 4}, {4, 4}});
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+  EXPECT_EQ(r.schedule.validate(inst), "");
+}
+
+TEST(GapDpEdge, IdenticalJobsSaturateWindow) {
+  // Window of 3 slots, exactly 3 identical jobs.
+  Instance inst = Instance::one_interval({{2, 4}, {2, 4}, {2, 4}});
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+  // One more identical job tips it over.
+  inst.jobs.push_back(Job{TimeSet::window(2, 4)});
+  EXPECT_FALSE(solve_gap_dp(inst).feasible);
+}
+
+TEST(GapDpEdge, NestedWindows) {
+  Instance inst = Instance::one_interval({{0, 9}, {3, 6}, {4, 5}, {4, 5}});
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);  // pack 3..6
+  EXPECT_EQ(r.schedule.validate(inst), "");
+}
+
+TEST(GapDpEdge, ReverseStaircaseReleases) {
+  // Later releases with earlier deadlines.
+  Instance inst = Instance::one_interval({{0, 10}, {4, 6}, {5, 5}});
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+}
+
+TEST(GapDpEdge, TwoClustersTwoProcessors) {
+  // Each cluster saturates both processors for one unit.
+  Instance inst =
+      Instance::one_interval({{0, 0}, {0, 0}, {9, 9}, {9, 9}}, 2);
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 4);
+}
+
+TEST(GapDpEdge, LongChainOfPinnedJobs) {
+  std::vector<std::pair<Time, Time>> windows;
+  for (Time t = 0; t < 12; ++t) windows.push_back({t, t});
+  Instance inst = Instance::one_interval(windows);
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);  // one unbroken span
+}
+
+TEST(PowerDpEdge, AlphaZeroIgnoresGaps) {
+  Instance inst = Instance::one_interval({{0, 0}, {100, 100}});
+  PowerDpResult r = solve_power_dp(inst, 0.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 2.0);
+}
+
+TEST(PowerDpEdge, FractionalAlpha) {
+  Instance inst = Instance::one_interval({{0, 0}, {3, 3}});
+  // idle 2 vs alpha 1.5: sleeping wins (1.5 < 2).
+  PowerDpResult r = solve_power_dp(inst, 1.5);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 2.0 + 1.5 + 1.5);
+}
+
+TEST(PowerDpEdge, BridgingTieIsIndifferent) {
+  Instance inst = Instance::one_interval({{0, 0}, {3, 3}});
+  // idle 2 == alpha 2: either choice costs the same.
+  PowerDpResult r = solve_power_dp(inst, 2.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 2.0 + 2.0 + 2.0);
+}
+
+TEST(PowerDpEdge, MovableJobShortensBridge) {
+  // Job 1 can move adjacent to job 0; bridging becomes free.
+  Instance inst = Instance::one_interval({{0, 0}, {1, 8}});
+  PowerDpResult r = solve_power_dp(inst, 5.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 2.0 + 5.0);
+  EXPECT_EQ(r.schedule.at(1)->time, 1);
+}
+
+TEST(PowerDpEdge, SecondProcessorCheaperThanWaiting) {
+  // Two jobs forced at the same time on p=2: no serialization possible.
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}}, 2);
+  PowerDpResult r = solve_power_dp(inst, 1.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 2.0 + 2.0);  // two wakes, two active units
+}
+
+}  // namespace
+}  // namespace gapsched

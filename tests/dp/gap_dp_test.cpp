@@ -1,0 +1,154 @@
+// Exactness of the Theorem 1 dynamic program: cross-validated against the
+// independent brute-force subset DP on handcrafted and random instances.
+
+#include "gapsched/dp/gap_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/exact/brute_force.hpp"
+#include "gapsched/gen/generators.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(GapDp, EmptyInstance) {
+  Instance inst;
+  GapDpResult r = solve_gap_dp(inst);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 0);
+}
+
+TEST(GapDp, SingleJob) {
+  Instance inst = Instance::one_interval({{5, 9}});
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+  EXPECT_EQ(r.schedule.validate(inst), "");
+}
+
+TEST(GapDp, TwoForcedApart) {
+  Instance inst = Instance::one_interval({{0, 0}, {7, 7}});
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 2);
+}
+
+TEST(GapDp, BridgeJobJoinsSpans) {
+  // Third job can sit at time 1, joining the forced jobs at 0 and 2.
+  Instance inst = Instance::one_interval({{0, 0}, {2, 2}, {0, 5}});
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+}
+
+TEST(GapDp, Infeasible) {
+  Instance inst = Instance::one_interval({{1, 1}, {1, 1}});
+  EXPECT_FALSE(solve_gap_dp(inst).feasible);
+}
+
+TEST(GapDp, InfeasibleBecauseWindowTooTight) {
+  Instance inst = Instance::one_interval({{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_FALSE(solve_gap_dp(inst).feasible);
+}
+
+TEST(GapDp, TwoProcessorsStackForcedJobs) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}, {1, 1}}, 2);
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 2);
+  EXPECT_EQ(r.schedule.validate(inst), "");
+}
+
+TEST(GapDp, SecondProcessorOnlyWhenNeeded) {
+  // Four jobs, all with window [0, 3]: one processor suffices (1 wake-up)
+  // even with p = 2.
+  Instance inst = Instance::one_interval({{0, 3}, {0, 3}, {0, 3}, {0, 3}}, 2);
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+}
+
+TEST(GapDp, CapacityForcesSecondProcessor) {
+  // Four jobs in window [0,1]: needs both processors, 2 wake-ups.
+  Instance inst = Instance::one_interval({{0, 1}, {0, 1}, {0, 1}, {0, 1}}, 2);
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 2);
+}
+
+TEST(GapDp, WideWindowCompressedTimeline) {
+  // Two spread clusters with an enormous desert between them.
+  Instance inst = Instance::one_interval(
+      {{0, 2}, {0, 2}, {1000000, 1000002}, {1000000, 1000002}});
+  GapDpResult r = solve_gap_dp(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 2);
+}
+
+TEST(GapDp, ScheduleAchievesReportedTransitions) {
+  Prng rng(4242);
+  for (int it = 0; it < 25; ++it) {
+    Instance inst = gen_feasible_one_interval(
+        rng, 7, 12, 3, 1 + static_cast<int>(rng.index(3)));
+    GapDpResult r = solve_gap_dp(inst);
+    ASSERT_TRUE(r.feasible) << it;
+    ASSERT_EQ(r.schedule.validate(inst), "") << it;
+    EXPECT_EQ(r.schedule.profile().transitions(), r.transitions) << it;
+  }
+}
+
+// The headline exactness sweep (experiment T1 in miniature): DP equals the
+// independent brute force on random instances across processor counts and
+// job families.
+struct SweepParams {
+  std::uint64_t seed;
+  std::size_t n;
+  Time horizon;
+  Time max_window;
+  int processors;
+  bool feasible_family;
+};
+
+class GapDpExactness : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(GapDpExactness, MatchesBruteForce) {
+  const SweepParams p = GetParam();
+  Prng rng(p.seed);
+  for (int it = 0; it < 12; ++it) {
+    Instance inst =
+        p.feasible_family
+            ? gen_feasible_one_interval(rng, p.n, p.horizon, p.max_window,
+                                        p.processors)
+            : gen_uniform_one_interval(rng, p.n, p.horizon, p.max_window,
+                                       p.processors);
+    const ExactGapResult bf = brute_force_min_transitions(inst);
+    const GapDpResult dp = solve_gap_dp(inst);
+    ASSERT_EQ(dp.feasible, bf.feasible) << "it=" << it << " seed=" << p.seed;
+    if (bf.feasible) {
+      EXPECT_EQ(dp.transitions, bf.transitions)
+          << "it=" << it << " seed=" << p.seed << " n=" << p.n
+          << " p=" << p.processors;
+      EXPECT_EQ(dp.schedule.validate(inst), "");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GapDpExactness,
+    ::testing::Values(
+        SweepParams{101, 4, 8, 3, 1, false}, SweepParams{102, 5, 8, 4, 1, false},
+        SweepParams{103, 6, 10, 4, 1, true}, SweepParams{104, 7, 9, 3, 1, true},
+        SweepParams{105, 4, 6, 3, 2, false}, SweepParams{106, 5, 8, 4, 2, false},
+        SweepParams{107, 6, 8, 3, 2, true}, SweepParams{108, 7, 10, 4, 2, true},
+        SweepParams{109, 4, 6, 3, 3, false}, SweepParams{110, 6, 7, 4, 3, true},
+        SweepParams{111, 8, 12, 5, 1, true}, SweepParams{112, 8, 10, 4, 2, true},
+        SweepParams{113, 5, 5, 5, 2, false}, SweepParams{114, 6, 6, 2, 3, false},
+        SweepParams{115, 9, 14, 4, 1, true}, SweepParams{116, 9, 12, 3, 3, true}),
+    [](const auto& info) {
+      const SweepParams& p = info.param;
+      return "n" + std::to_string(p.n) + "_p" + std::to_string(p.processors) +
+             "_s" + std::to_string(p.seed);
+    });
+
+}  // namespace
+}  // namespace gapsched

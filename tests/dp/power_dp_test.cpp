@@ -1,0 +1,130 @@
+// Exactness of the Theorem 2 power-minimization DP against the independent
+// brute force, plus structural invariants of its schedules.
+
+#include "gapsched/dp/power_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/exact/power_brute_force.hpp"
+#include "gapsched/gen/generators.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(PowerDp, EmptyInstance) {
+  Instance inst;
+  PowerDpResult r = solve_power_dp(inst, 2.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 0.0);
+}
+
+TEST(PowerDp, SingleJob) {
+  Instance inst = Instance::one_interval({{0, 9}});
+  PowerDpResult r = solve_power_dp(inst, 2.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 3.0);  // 1 active unit + one wake at alpha=2
+}
+
+TEST(PowerDp, BridgeVersusSleep) {
+  Instance inst = Instance::one_interval({{0, 0}, {4, 4}});
+  EXPECT_DOUBLE_EQ(solve_power_dp(inst, 5.0).power, 2.0 + 5.0 + 3.0);
+  EXPECT_DOUBLE_EQ(solve_power_dp(inst, 1.0).power, 2.0 + 1.0 + 1.0);
+}
+
+TEST(PowerDp, Infeasible) {
+  Instance inst = Instance::one_interval({{3, 3}, {3, 3}});
+  EXPECT_FALSE(solve_power_dp(inst, 1.0).feasible);
+}
+
+TEST(PowerDp, TwoProcessors) {
+  // Forced simultaneous jobs then one adjacent job.
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}, {1, 1}}, 2);
+  PowerDpResult r = solve_power_dp(inst, 10.0);
+  ASSERT_TRUE(r.feasible);
+  // 3 active units + 2 wakes (second processor's idle unit at t=1 is not
+  // kept active because nothing follows).
+  EXPECT_DOUBLE_EQ(r.power, 3.0 + 20.0);
+}
+
+TEST(PowerDp, LargeAlphaMatchesGapObjective) {
+  // For alpha far above every idle stretch, power = busy + alpha*transitions
+  // and the optimal transition counts must agree with the gap DP.
+  Prng rng(555);
+  for (int it = 0; it < 10; ++it) {
+    Instance inst = gen_feasible_one_interval(rng, 6, 10, 3, 2);
+    const double alpha = 1000.0;
+    PowerDpResult pw = solve_power_dp(inst, alpha);
+    GapDpResult gp = solve_gap_dp(inst);
+    ASSERT_TRUE(pw.feasible);
+    ASSERT_TRUE(gp.feasible);
+    // Bridging can shave at most (horizon) off; transitions dominate.
+    const auto implied =
+        static_cast<std::int64_t>((pw.power - 6.0) / alpha + 0.5);
+    EXPECT_LE(implied, gp.transitions) << it;
+  }
+}
+
+TEST(PowerDp, AlphaZero) {
+  Prng rng(77);
+  Instance inst = gen_feasible_one_interval(rng, 5, 9, 2, 1);
+  PowerDpResult r = solve_power_dp(inst, 0.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 5.0);
+}
+
+struct PowerSweep {
+  std::uint64_t seed;
+  std::size_t n;
+  Time horizon;
+  Time max_window;
+  int processors;
+  double alpha;
+};
+
+class PowerDpExactness : public ::testing::TestWithParam<PowerSweep> {};
+
+TEST_P(PowerDpExactness, MatchesBruteForce) {
+  const PowerSweep p = GetParam();
+  Prng rng(p.seed);
+  for (int it = 0; it < 8; ++it) {
+    Instance inst = (it % 2 == 0)
+                        ? gen_feasible_one_interval(rng, p.n, p.horizon,
+                                                    p.max_window, p.processors)
+                        : gen_uniform_one_interval(rng, p.n, p.horizon,
+                                                   p.max_window, p.processors);
+    const ExactPowerResult bf = brute_force_min_power(inst, p.alpha);
+    const PowerDpResult dp = solve_power_dp(inst, p.alpha);
+    ASSERT_EQ(dp.feasible, bf.feasible) << "it=" << it;
+    if (bf.feasible) {
+      EXPECT_NEAR(dp.power, bf.power, 1e-9)
+          << "it=" << it << " seed=" << p.seed << " alpha=" << p.alpha;
+      EXPECT_EQ(dp.schedule.validate(inst), "");
+      // The DP's schedule, evaluated by the independent profile-bridging
+      // formula, must realize the claimed power.
+      EXPECT_NEAR(dp.schedule.profile().optimal_power(p.alpha), dp.power, 1e-9)
+          << "it=" << it;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PowerDpExactness,
+    ::testing::Values(PowerSweep{201, 4, 8, 3, 1, 0.5},
+                      PowerSweep{202, 5, 8, 4, 1, 2.0},
+                      PowerSweep{203, 6, 10, 4, 1, 5.0},
+                      PowerSweep{204, 5, 8, 3, 2, 1.0},
+                      PowerSweep{205, 6, 8, 4, 2, 3.0},
+                      PowerSweep{206, 4, 6, 3, 3, 2.5},
+                      PowerSweep{207, 7, 10, 4, 1, 1.5},
+                      PowerSweep{208, 7, 9, 3, 2, 0.0},
+                      PowerSweep{209, 6, 9, 5, 2, 10.0},
+                      PowerSweep{210, 8, 12, 4, 1, 4.0}),
+    [](const auto& info) {
+      const PowerSweep& p = info.param;
+      return "n" + std::to_string(p.n) + "_p" + std::to_string(p.processors) +
+             "_s" + std::to_string(p.seed);
+    });
+
+}  // namespace
+}  // namespace gapsched

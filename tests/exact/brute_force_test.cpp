@@ -1,0 +1,133 @@
+#include "gapsched/exact/brute_force.hpp"
+#include "gapsched/exact/power_brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(BruteForce, EmptyInstance) {
+  Instance inst;
+  ExactGapResult r = brute_force_min_transitions(inst);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 0);
+}
+
+TEST(BruteForce, SingleJob) {
+  Instance inst = Instance::one_interval({{3, 7}});
+  ExactGapResult r = brute_force_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+  EXPECT_EQ(r.schedule.validate(inst), "");
+}
+
+TEST(BruteForce, TwoForcedApartJobs) {
+  Instance inst = Instance::one_interval({{0, 0}, {5, 5}});
+  ExactGapResult r = brute_force_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 2);
+}
+
+TEST(BruteForce, ContiguousPacking) {
+  Instance inst = Instance::one_interval({{0, 4}, {0, 4}, {0, 4}});
+  ExactGapResult r = brute_force_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+}
+
+TEST(BruteForce, Infeasible) {
+  Instance inst = Instance::one_interval({{2, 2}, {2, 2}});
+  EXPECT_FALSE(brute_force_min_transitions(inst).feasible);
+}
+
+TEST(BruteForce, MultiprocessorStacksJobs) {
+  // Two jobs forced at the same time need two wake-ups on two processors;
+  // the third continues on processor 0.
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}, {1, 1}}, 2);
+  ExactGapResult r = brute_force_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 2);
+}
+
+TEST(BruteForce, DesignDocThreeJobExample) {
+  // Jobs at {0}, {0 or 2}, {2} (p large): min transitions is 3 whatever the
+  // flexible job does.
+  Instance inst;
+  inst.processors = 3;
+  inst.jobs.push_back(Job{TimeSet::points({0})});
+  inst.jobs.push_back(Job{TimeSet::points({0, 2})});
+  inst.jobs.push_back(Job{TimeSet::points({2})});
+  ExactGapResult r = brute_force_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 3);
+}
+
+TEST(BruteForce, MultiIntervalJobPrefersAdjacency) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet::window(0, 0)});
+  inst.jobs.push_back(Job{TimeSet({{1, 1}, {10, 10}})});
+  ExactGapResult r = brute_force_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+  EXPECT_EQ(r.schedule.at(1)->time, 1);
+}
+
+TEST(BruteForce, FeasibilityAgreesWithMatchingOracle) {
+  Prng rng(1234);
+  for (int it = 0; it < 40; ++it) {
+    Instance inst =
+        gen_uniform_one_interval(rng, 6, 8, 3, 1 + static_cast<int>(rng.index(2)));
+    EXPECT_EQ(brute_force_min_transitions(inst).feasible, is_feasible(inst))
+        << "iteration " << it;
+  }
+}
+
+TEST(PowerBruteForce, SingleJobCost) {
+  Instance inst = Instance::one_interval({{0, 5}});
+  ExactPowerResult r = brute_force_min_power(inst, 2.5);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 1.0 + 2.5);
+}
+
+TEST(PowerBruteForce, BridgeVersusSleep) {
+  // Jobs forced at 0 and 4: idle 3 units between.
+  Instance inst = Instance::one_interval({{0, 0}, {4, 4}});
+  // alpha = 5: bridging (3) is cheaper than rewaking (5).
+  EXPECT_DOUBLE_EQ(brute_force_min_power(inst, 5.0).power, 2.0 + 5.0 + 3.0);
+  // alpha = 1: sleeping (1) is cheaper.
+  EXPECT_DOUBLE_EQ(brute_force_min_power(inst, 1.0).power, 2.0 + 1.0 + 1.0);
+}
+
+TEST(PowerBruteForce, MovableJobAvoidsIdle) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 4}});
+  ExactPowerResult r = brute_force_min_power(inst, 3.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 2.0 + 3.0);  // both adjacent, one wake
+}
+
+TEST(PowerBruteForce, ScheduleCostMatchesProfileEvaluation) {
+  Prng rng(99);
+  for (int it = 0; it < 30; ++it) {
+    Instance inst = gen_feasible_one_interval(rng, 6, 10, 2);
+    const double alpha = 0.5 * static_cast<double>(rng.index(10));
+    ExactPowerResult r = brute_force_min_power(inst, alpha);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.schedule.validate(inst), "");
+    EXPECT_NEAR(r.power, r.schedule.profile().optimal_power(alpha), 1e-9)
+        << "iteration " << it;
+  }
+}
+
+TEST(PowerBruteForce, AlphaZeroCostsBusyTimeOnly) {
+  Prng rng(7);
+  Instance inst = gen_feasible_one_interval(rng, 5, 9, 2);
+  ExactPowerResult r = brute_force_min_power(inst, 0.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 5.0);
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,89 @@
+#include "gapsched/exact/span_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/exact/brute_force.hpp"
+#include "gapsched/gen/generators.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(SpanSearch, EmptyInstance) {
+  Instance inst;
+  SpanSearchResult r = span_search_min_transitions(inst);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 0);
+}
+
+TEST(SpanSearch, SingleSpanPacking) {
+  Instance inst = Instance::one_interval({{0, 4}, {0, 4}, {0, 4}});
+  SpanSearchResult r = span_search_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+  EXPECT_EQ(r.schedule.validate(inst), "");
+}
+
+TEST(SpanSearch, ForcedTwoSpans) {
+  Instance inst = Instance::one_interval({{0, 0}, {9, 9}});
+  SpanSearchResult r = span_search_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 2);
+}
+
+TEST(SpanSearch, Infeasible) {
+  Instance inst = Instance::one_interval({{3, 3}, {3, 3}});
+  EXPECT_FALSE(span_search_min_transitions(inst).feasible);
+}
+
+TEST(SpanSearch, MultiIntervalChoice) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet::window(0, 0)});
+  inst.jobs.push_back(Job{TimeSet({{1, 1}, {10, 10}})});
+  SpanSearchResult r = span_search_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+}
+
+TEST(SpanSearch, HandlesMidSizeInstances) {
+  Prng rng(3003);
+  Instance inst = gen_multi_interval(rng, 18, 50, 2, 3);
+  SpanSearchResult r = span_search_min_transitions(inst);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.validate(inst), "");
+  EXPECT_EQ(r.schedule.profile().transitions(), r.transitions);
+}
+
+// Cross-validation against the subset-DP brute force on multi-interval
+// instances and against the Theorem 1 DP on one-interval instances.
+class SpanSearchAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpanSearchAgreement, MatchesBruteForce) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 149 + 7);
+  Instance inst = (GetParam() % 2 == 0)
+                      ? gen_multi_interval(rng, 7, 16, 2, 2)
+                      : gen_unit_points(rng, 7, 14, 3);
+  const ExactGapResult bf = brute_force_min_transitions(inst);
+  const SpanSearchResult ss = span_search_min_transitions(inst);
+  ASSERT_EQ(ss.feasible, bf.feasible);
+  if (bf.feasible) {
+    EXPECT_EQ(ss.transitions, bf.transitions);
+    EXPECT_EQ(ss.schedule.validate(inst), "");
+  }
+}
+
+TEST_P(SpanSearchAgreement, MatchesGapDpOnOneInterval) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 151 + 11);
+  Instance inst = gen_uniform_one_interval(rng, 8, 12, 4, 1);
+  const GapDpResult dp = solve_gap_dp(inst);
+  const SpanSearchResult ss = span_search_min_transitions(inst);
+  ASSERT_EQ(ss.feasible, dp.feasible);
+  if (dp.feasible) {
+    EXPECT_EQ(ss.transitions, dp.transitions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SpanSearchAgreement, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,74 @@
+#include "gapsched/gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Generators, UniformShapes) {
+  Prng rng(1);
+  Instance inst = gen_uniform_one_interval(rng, 20, 50, 5, 2);
+  EXPECT_EQ(inst.n(), 20u);
+  EXPECT_EQ(inst.processors, 2);
+  EXPECT_TRUE(inst.is_one_interval());
+  for (const Job& j : inst.jobs) {
+    EXPECT_GE(j.release(), 0);
+    EXPECT_LE(j.deadline() - j.release() + 1, 5);
+  }
+}
+
+TEST(Generators, FeasibleFamilyIsFeasible) {
+  Prng rng(2);
+  for (int it = 0; it < 15; ++it) {
+    const int p = 1 + static_cast<int>(rng.index(3));
+    Instance inst = gen_feasible_one_interval(rng, 10, 15, 3, p);
+    EXPECT_TRUE(is_feasible(inst)) << "it=" << it << " p=" << p;
+  }
+}
+
+TEST(Generators, BurstyIsFeasibleWhenSized) {
+  Prng rng(3);
+  Instance inst = gen_bursty(rng, 4, 3, 30, 8, 1);
+  EXPECT_EQ(inst.n(), 12u);
+  EXPECT_TRUE(is_feasible(inst));
+}
+
+TEST(Generators, MultiIntervalAnchored) {
+  Prng rng(4);
+  Instance inst = gen_multi_interval(rng, 8, 30, 3, 2);
+  EXPECT_TRUE(is_feasible(inst));
+  EXPECT_LE(inst.max_intervals_per_job(), 3u);
+}
+
+TEST(Generators, UnitPointsAnchored) {
+  Prng rng(5);
+  Instance inst = gen_unit_points(rng, 8, 20, 3);
+  EXPECT_TRUE(is_feasible(inst));
+  for (const Job& j : inst.jobs) {
+    EXPECT_LE(j.allowed.size(), 3);
+  }
+}
+
+TEST(Generators, AdversarialShape) {
+  Instance inst = gen_online_adversarial(5);
+  EXPECT_EQ(inst.n(), 10u);
+  EXPECT_TRUE(is_feasible(inst));
+  // Tight jobs have unit slack.
+  for (std::size_t j = 5; j < 10; ++j) {
+    EXPECT_EQ(inst.jobs[j].allowed.size(), 2);
+  }
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+  Prng a(77), b(77);
+  Instance ia = gen_uniform_one_interval(a, 10, 30, 4, 1);
+  Instance ib = gen_uniform_one_interval(b, 10, 30, 4, 1);
+  for (std::size_t j = 0; j < ia.n(); ++j) {
+    EXPECT_EQ(ia.jobs[j].allowed, ib.jobs[j].allowed);
+  }
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,162 @@
+// Cross-module integration: every solver against every other on shared
+// workload families, plus end-to-end pipelines (serialize -> solve,
+// compress -> solve, reduce -> solve -> extract).
+
+#include <gtest/gtest.h>
+
+#include "gapsched/baptiste/baptiste.hpp"
+#include "gapsched/core/transforms.hpp"
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/dp/power_dp.hpp"
+#include "gapsched/exact/brute_force.hpp"
+#include "gapsched/exact/span_search.hpp"
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/greedy/fhkn_greedy.hpp"
+#include "gapsched/io/serialize.hpp"
+#include "gapsched/matching/feasibility.hpp"
+#include "gapsched/online/online_edf.hpp"
+#include "gapsched/powermin/powermin_approx.hpp"
+#include "gapsched/reductions/setcover_to_powermin.hpp"
+#include "gapsched/restart/restart_greedy.hpp"
+#include "gapsched/setcover/setcover.hpp"
+
+namespace gapsched {
+namespace {
+
+// Four exact solvers and two approximations on the same one-interval
+// single-processor instances: full consistency matrix.
+class SolverMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverMatrix, AllSolversConsistent) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 173 + 7);
+  Instance inst = (GetParam() % 2 == 0)
+                      ? gen_uniform_one_interval(rng, 8, 12, 4, 1)
+                      : gen_feasible_one_interval(rng, 8, 16, 3, 1);
+
+  const bool feasible = is_feasible(inst);
+  const ExactGapResult bf = brute_force_min_transitions(inst);
+  const GapDpResult dp = solve_gap_dp(inst);
+  const BaptisteResult bp = solve_baptiste(inst);
+  const SpanSearchResult ss = span_search_min_transitions(inst);
+  const FhknResult greedy = fhkn_greedy(inst);
+  const OnlineResult online = online_edf(inst);
+
+  // Feasibility is unanimous.
+  EXPECT_EQ(bf.feasible, feasible);
+  EXPECT_EQ(dp.feasible, feasible);
+  EXPECT_EQ(bp.feasible, feasible);
+  EXPECT_EQ(ss.feasible, feasible);
+  EXPECT_EQ(greedy.feasible, feasible);
+  EXPECT_EQ(online.feasible, feasible);
+  if (!feasible) return;
+
+  // All exact solvers agree on the optimum.
+  EXPECT_EQ(dp.transitions, bf.transitions);
+  EXPECT_EQ(bp.spans, bf.transitions);
+  EXPECT_EQ(ss.transitions, bf.transitions);
+
+  // Approximations sandwiched between OPT and their guarantees.
+  EXPECT_GE(greedy.transitions, bf.transitions);
+  EXPECT_LE(greedy.transitions, 3 * bf.transitions);
+  EXPECT_GE(online.transitions, bf.transitions);
+
+  // At huge alpha the power optimum bridges every idle stretch (idle cost
+  // is tiny next to a re-wake), so it pays for at most the gap optimum's
+  // transitions and at least one wake-up.
+  const double alpha = 1e6;
+  const PowerDpResult pw = solve_power_dp(inst, alpha);
+  ASSERT_TRUE(pw.feasible);
+  const double implied = (pw.power - static_cast<double>(inst.n())) / alpha;
+  EXPECT_LE(implied, static_cast<double>(bf.transitions) + 0.01);
+  EXPECT_GE(implied, 1.0 - 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SolverMatrix, ::testing::Range(0, 25));
+
+// Serialization round trip preserves solver results bit for bit.
+class SerializeSolve : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeSolve, SameOptimumAfterRoundTrip) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 179 + 11);
+  Instance inst = gen_multi_interval(rng, 7, 18, 2, 2,
+                                     1 + static_cast<int>(rng.index(2)));
+  auto parsed = instance_from_string(instance_to_string(inst));
+  ASSERT_TRUE(parsed.has_value());
+  const ExactGapResult a = brute_force_min_transitions(inst);
+  const ExactGapResult b = brute_force_min_transitions(*parsed);
+  EXPECT_EQ(a.feasible, b.feasible);
+  if (a.feasible) {
+    EXPECT_EQ(a.transitions, b.transitions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SerializeSolve, ::testing::Range(0, 15));
+
+// Dead-time compression composes with the full solver stack.
+TEST(Pipelines, CompressThenSolve) {
+  Instance inst;
+  inst.processors = 1;
+  inst.jobs.push_back(Job{TimeSet::window(1000, 1002)});
+  inst.jobs.push_back(Job{TimeSet::window(1000, 1002)});
+  inst.jobs.push_back(Job{TimeSet::window(90000, 90001)});
+  CompressedInstance c = compress_dead_time(inst);
+  const GapDpResult orig = solve_gap_dp(inst);
+  const GapDpResult comp = solve_gap_dp(c.instance);
+  ASSERT_TRUE(orig.feasible);
+  ASSERT_TRUE(comp.feasible);
+  EXPECT_EQ(orig.transitions, comp.transitions);
+  // Mapping compressed schedule times back gives original-legal times.
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    const Time t = c.to_original(comp.schedule.at(j)->time);
+    EXPECT_TRUE(inst.jobs[j].allowed.contains(t)) << j;
+  }
+}
+
+// End-to-end hardness pipeline: set cover -> scheduling instance -> greedy
+// scheduling heuristic (Theorem 3 machinery) -> extracted cover is valid.
+TEST(Pipelines, SetCoverThroughSchedulingHeuristic) {
+  Prng rng(424242);
+  SetCoverInstance sc = gen_random_set_cover(rng, 8, 6, 3);
+  SetCoverReduction red = reduce_setcover_to_powermin(sc);
+  // The Theorem 3 pipeline produces a feasible schedule...
+  PowerMinApproxResult apx = powermin_approx(red.instance, red.alpha);
+  ASSERT_TRUE(apx.feasible);
+  ASSERT_EQ(apx.schedule.validate(red.instance), "");
+  // ...whose extracted cover is valid (though not necessarily optimal).
+  const auto cover = red.cover_from_schedule(apx.schedule);
+  EXPECT_TRUE(is_valid_cover(sc, cover));
+  const SetCoverResult exact = exact_set_cover(sc);
+  EXPECT_GE(cover.size(), exact.chosen.size());
+}
+
+// Restart greedy with an unbounded budget schedules every job of a
+// feasible instance.
+TEST(Pipelines, RestartWithFullBudgetCompletes) {
+  Prng rng(515151);
+  Instance inst = gen_multi_interval(rng, 10, 24, 2, 2);
+  ASSERT_TRUE(is_feasible(inst));
+  RestartResult r = restart_greedy(inst, inst.n());
+  EXPECT_EQ(r.scheduled, inst.n());
+  EXPECT_EQ(r.schedule.validate(inst), "");
+}
+
+// The Theorem 3 approximation can never beat the exact Theorem 2 DP on
+// one-interval instances (where both apply).
+class ApproxVsExactPower : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproxVsExactPower, ApproxAboveExact) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 191 + 13);
+  Instance inst = gen_feasible_one_interval(rng, 8, 16, 3, 1);
+  const double alpha = 0.5 + static_cast<double>(rng.index(8));
+  const PowerDpResult opt = solve_power_dp(inst, alpha);
+  const PowerMinApproxResult apx = powermin_approx(inst, alpha);
+  ASSERT_TRUE(opt.feasible);
+  ASSERT_TRUE(apx.feasible);
+  EXPECT_GE(apx.power + 1e-9, opt.power);
+  EXPECT_LE(apx.power, (1.0 + alpha) * opt.power + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ApproxVsExactPower, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,93 @@
+#include "gapsched/io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/io/csv.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Serialize, InstanceRoundTrip) {
+  Instance inst;
+  inst.processors = 3;
+  inst.jobs.push_back(Job{TimeSet({{0, 5}})});
+  inst.jobs.push_back(Job{TimeSet({{2, 3}, {10, 12}})});
+  const std::string text = instance_to_string(inst);
+  std::string error;
+  auto parsed = instance_from_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->processors, 3);
+  ASSERT_EQ(parsed->n(), 2u);
+  EXPECT_EQ(parsed->jobs[0].allowed, inst.jobs[0].allowed);
+  EXPECT_EQ(parsed->jobs[1].allowed, inst.jobs[1].allowed);
+}
+
+TEST(Serialize, RandomInstanceRoundTrips) {
+  Prng rng(515);
+  for (int it = 0; it < 10; ++it) {
+    Instance inst = gen_multi_interval(rng, 6, 20, 3, 2, 2);
+    auto parsed = instance_from_string(instance_to_string(inst));
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->n(), inst.n());
+    for (std::size_t j = 0; j < inst.n(); ++j) {
+      EXPECT_EQ(parsed->jobs[j].allowed, inst.jobs[j].allowed);
+    }
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(instance_from_string("not an instance", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(instance_from_string("gapsched-instance v1\nprocessors 0\n",
+                                    &error)
+                   .has_value());
+  EXPECT_FALSE(
+      instance_from_string(
+          "gapsched-instance v1\nprocessors 1\njobs 1\njob 1 5 3\n", &error)
+          .has_value());  // empty interval
+}
+
+TEST(Serialize, CommentsAndBlanksIgnored) {
+  const std::string text =
+      "# a comment\n\ngapsched-instance v1\n"
+      "processors 1  # inline\n\njobs 1\njob 1 0 4\n";
+  auto parsed = instance_from_string(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->jobs[0].allowed, TimeSet::window(0, 4));
+}
+
+TEST(Serialize, ScheduleRoundTrip) {
+  Schedule s(3);
+  s.place(0, 7, 1);
+  s.place(2, 9);
+  std::ostringstream os;
+  write_schedule(os, s);
+  std::istringstream is(os.str());
+  auto parsed = read_schedule(is);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at(0)->time, 7);
+  EXPECT_EQ(parsed->at(0)->processor, 1);
+  EXPECT_FALSE(parsed->is_scheduled(1));
+  EXPECT_EQ(parsed->at(2)->processor, Placement::kUnassigned);
+}
+
+TEST(Csv, WritesFile) {
+  Table t({"x", "y"});
+  t.row().add(1).add(2);
+  const std::string path = "/tmp/gapsched_csv_test.csv";
+  ASSERT_TRUE(write_csv(path, t));
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x,y");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,65 @@
+#include "gapsched/io/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/dp/gap_dp.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Render, EmptyInstance) {
+  Instance inst;
+  EXPECT_EQ(render_gantt(inst, Schedule(0)), "(empty instance)\n");
+}
+
+TEST(Render, SingleProcessorRow) {
+  Instance inst = Instance::one_interval({{0, 2}, {0, 2}});
+  Schedule s(2);
+  s.place(0, 0, 0);
+  s.place(1, 2, 0);
+  const std::string g = render_gantt(inst, s);
+  EXPECT_NE(g.find("P0"), std::string::npos);
+  EXPECT_NE(g.find("0.1"), std::string::npos);  // busy, idle, busy
+}
+
+TEST(Render, MultiProcessorRows) {
+  Instance inst = Instance::one_interval({{0, 1}, {0, 1}}, 2);
+  Schedule s(2);
+  s.place(0, 0);
+  s.place(1, 0);
+  const std::string g = render_gantt(inst, s);
+  EXPECT_NE(g.find("P0"), std::string::npos);
+  EXPECT_NE(g.find("P1"), std::string::npos);
+}
+
+TEST(Render, ElidesLongDeserts) {
+  Instance inst = Instance::one_interval({{0, 0}, {1000, 1000}});
+  Schedule s(2);
+  s.place(0, 0, 0);
+  s.place(1, 1000, 0);
+  const std::string g = render_gantt(inst, s);
+  EXPECT_NE(g.find("~999~"), std::string::npos);
+  EXPECT_LT(g.size(), 200u);  // not a thousand columns
+}
+
+TEST(Render, StaircaseAppliedToUnassigned) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}}, 2);
+  Schedule s(2);
+  s.place(0, 0);  // no processor
+  s.place(1, 0);
+  const std::string g = render_gantt(inst, s);
+  // Both processors show a job at time 0.
+  EXPECT_NE(g.find("P0   0"), std::string::npos);
+  EXPECT_NE(g.find("P1   1"), std::string::npos);
+}
+
+TEST(Render, DescribeSchedule) {
+  Instance inst = Instance::one_interval({{0, 0}, {5, 5}});
+  GapDpResult r = solve_gap_dp(inst);
+  const std::string d = describe_schedule(r.schedule, 2.0);
+  EXPECT_NE(d.find("transitions=2"), std::string::npos);
+  EXPECT_NE(d.find("busy=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,64 @@
+// Robustness fuzzing of the instance parser: mutated documents must either
+// parse to a well-formed instance or fail cleanly with a diagnostic — never
+// crash and never produce an invalid Instance.
+
+#include <gtest/gtest.h>
+
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/io/serialize.hpp"
+
+namespace gapsched {
+namespace {
+
+class SerializeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeFuzz, MutatedDocumentsHandledCleanly) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 257 + 19);
+  Instance inst = gen_multi_interval(rng, 5, 15, 2, 2);
+  std::string text = instance_to_string(inst);
+
+  // Apply 1-4 random byte mutations (replace, delete, insert).
+  const int mutations = 1 + static_cast<int>(rng.index(4));
+  for (int mu = 0; mu < mutations && !text.empty(); ++mu) {
+    const std::size_t pos = rng.index(text.size());
+    const int kind = static_cast<int>(rng.index(3));
+    const char c = static_cast<char>('0' + rng.index(75));
+    if (kind == 0) {
+      text[pos] = c;
+    } else if (kind == 1) {
+      text.erase(pos, 1);
+    } else {
+      text.insert(pos, 1, c);
+    }
+  }
+
+  std::string error;
+  auto parsed = instance_from_string(text, &error);
+  if (parsed.has_value()) {
+    // Whatever parsed must be internally consistent.
+    EXPECT_EQ(parsed->validate(), "");
+    for (const Job& j : parsed->jobs) {
+      EXPECT_FALSE(j.allowed.empty());
+    }
+  } else {
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mutations, SerializeFuzz, ::testing::Range(0, 60));
+
+TEST(SerializeFuzz, TruncationsHandledCleanly) {
+  Prng rng(11);
+  Instance inst = gen_multi_interval(rng, 4, 12, 2, 2);
+  const std::string text = instance_to_string(inst);
+  for (std::size_t len = 0; len < text.size(); len += 3) {
+    std::string error;
+    auto parsed = instance_from_string(text.substr(0, len), &error);
+    if (parsed.has_value()) {
+      EXPECT_EQ(parsed->validate(), "");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,105 @@
+#include "gapsched/matching/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/gen/generators.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Feasibility, SimpleFeasible) {
+  Instance inst = Instance::one_interval({{0, 1}, {0, 1}});
+  EXPECT_TRUE(is_feasible(inst));
+}
+
+TEST(Feasibility, SimpleInfeasible) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}});
+  EXPECT_FALSE(is_feasible(inst));
+}
+
+TEST(Feasibility, MoreProcessorsMakeItFeasible) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}}, 2);
+  EXPECT_TRUE(is_feasible(inst));
+}
+
+TEST(Feasibility, ExcludingRegionFlipsFeasibility) {
+  Instance inst = Instance::one_interval({{0, 2}, {0, 2}, {0, 2}});
+  EXPECT_TRUE(is_feasible(inst));
+  EXPECT_FALSE(is_feasible_excluding(inst, TimeSet({{1, 1}})));
+  Instance loose = Instance::one_interval({{0, 3}, {0, 3}, {0, 3}});
+  EXPECT_TRUE(is_feasible_excluding(loose, TimeSet({{1, 1}})));
+}
+
+TEST(Feasibility, AnyFeasibleScheduleIsValid) {
+  Instance inst = Instance::one_interval({{0, 1}, {0, 1}, {1, 3}}, 2);
+  auto s = any_feasible_schedule(inst);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->validate(inst), "");
+}
+
+TEST(Feasibility, AnyFeasibleScheduleOnInfeasible) {
+  Instance inst = Instance::one_interval({{2, 2}, {2, 2}});
+  EXPECT_FALSE(any_feasible_schedule(inst).has_value());
+}
+
+TEST(ExtendSchedule, KeepsExistingPlacements) {
+  Instance inst = Instance::one_interval({{0, 5}, {0, 5}, {3, 4}});
+  Schedule partial(3);
+  partial.place(0, 5);
+  auto full = extend_schedule(inst, partial);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->validate(inst), "");
+  EXPECT_EQ(full->at(0)->time, 5);
+}
+
+TEST(ExtendSchedule, InfeasibleReturnsNull) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}});
+  EXPECT_FALSE(extend_schedule(inst, Schedule(2)).has_value());
+}
+
+TEST(ExtendSchedule, RejectsOverfullSeed) {
+  Instance inst = Instance::one_interval({{0, 3}, {0, 3}});
+  Schedule partial(2);
+  partial.place(0, 1);
+  partial.place(1, 1);  // two jobs at one time, p = 1
+  EXPECT_FALSE(extend_schedule(inst, partial).has_value());
+}
+
+// Lemma 3 property: extending a partial schedule of n' jobs with g spans
+// yields at most g + (n - n') spans (each augmenting path adds exactly one
+// used time slot).
+class Lemma3Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma3Property, SpanGrowthBounded) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 3);
+  Instance inst = gen_feasible_one_interval(rng, 10, 20, 3);
+  ASSERT_TRUE(is_feasible(inst));
+
+  // Build a partial schedule from any feasible schedule by dropping jobs.
+  auto base = any_feasible_schedule(inst);
+  ASSERT_TRUE(base.has_value());
+  Schedule partial = *base;
+  std::size_t dropped = 0;
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    if (rng.chance(0.4)) {
+      partial.unschedule(j);
+      ++dropped;
+    }
+  }
+  const std::int64_t g_before = partial.profile().spans();
+  auto full = extend_schedule(inst, partial);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_EQ(full->validate(inst), "");
+  EXPECT_LE(full->profile().spans(),
+            g_before + static_cast<std::int64_t>(dropped));
+  // Previously used times remain used.
+  for (Time t : partial.times()) {
+    const auto used = full->times();
+    EXPECT_TRUE(std::binary_search(used.begin(), used.end(), t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Lemma3Property, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace gapsched

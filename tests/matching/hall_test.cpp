@@ -1,0 +1,84 @@
+#include "gapsched/matching/hall.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Hall, FeasibleHasNoCertificate) {
+  Instance inst = Instance::one_interval({{0, 3}, {0, 3}});
+  EXPECT_FALSE(hall_certificate(inst).has_value());
+}
+
+TEST(Hall, TwoJobsOneSlot) {
+  Instance inst = Instance::one_interval({{5, 5}, {5, 5}});
+  auto v = hall_certificate(inst);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->jobs.size(), 2u);
+  EXPECT_EQ(v->times, (std::vector<Time>{5}));
+  EXPECT_TRUE(is_valid_violation(inst, *v));
+}
+
+TEST(Hall, WindowOverflow) {
+  // Four jobs squeezed into a 3-slot window.
+  Instance inst = Instance::one_interval({{0, 2}, {0, 2}, {0, 2}, {0, 2}});
+  auto v = hall_certificate(inst);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(is_valid_violation(inst, *v));
+  EXPECT_GE(v->jobs.size(), 4u);
+  EXPECT_LE(v->times.size(), 3u);
+}
+
+TEST(Hall, RespectsProcessors) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}}, 2);
+  EXPECT_FALSE(hall_certificate(inst).has_value());
+  Instance tight = Instance::one_interval({{0, 0}, {0, 0}, {0, 0}}, 2);
+  auto v = hall_certificate(tight);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(is_valid_violation(tight, *v));
+}
+
+TEST(Hall, MultiIntervalViolator) {
+  // Three jobs sharing the same two isolated times.
+  Instance inst;
+  for (int j = 0; j < 3; ++j) {
+    inst.jobs.push_back(Job{TimeSet({{0, 0}, {10, 10}})});
+  }
+  auto v = hall_certificate(inst);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(is_valid_violation(inst, *v));
+}
+
+TEST(Hall, RejectsBogusViolation) {
+  Instance inst = Instance::one_interval({{0, 3}, {0, 3}});
+  HallViolation bogus;
+  bogus.jobs = {0, 1};
+  bogus.times = {0};  // jobs can escape to 1..3
+  EXPECT_FALSE(is_valid_violation(inst, bogus));
+}
+
+// Certificate extraction agrees with the feasibility oracle and always
+// validates, across random families.
+class HallProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HallProperty, CertificateIffInfeasible) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 239 + 5);
+  const int p = 1 + static_cast<int>(rng.index(2));
+  Instance inst = (GetParam() % 2 == 0)
+                      ? gen_uniform_one_interval(rng, 9, 9, 3, p)
+                      : gen_unit_points(rng, 8, 12, 2, p);
+  const bool feasible = is_feasible(inst);
+  auto v = hall_certificate(inst);
+  EXPECT_EQ(v.has_value(), !feasible);
+  if (v.has_value()) {
+    EXPECT_TRUE(is_valid_violation(inst, *v)) << "param " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, HallProperty, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,103 @@
+#include "gapsched/matching/bipartite.hpp"
+#include "gapsched/matching/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/util/prng.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Kuhn, PerfectMatchingOnSquare) {
+  Bipartite g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  KuhnMatcher m(g);
+  EXPECT_EQ(m.solve(), 2u);
+  EXPECT_NE(m.mate_of_left(0), m.mate_of_left(1));
+}
+
+TEST(Kuhn, ReportsDeficiency) {
+  // Two left vertices share one right vertex.
+  Bipartite g(2, 1);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  KuhnMatcher m(g);
+  EXPECT_EQ(m.solve(), 1u);
+}
+
+TEST(Kuhn, SeedIsRespected) {
+  Bipartite g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  KuhnMatcher m(g);
+  ASSERT_TRUE(m.seed(0, 0));
+  EXPECT_EQ(m.solve(), 2u);
+  // Seeded jobs stay matched; job 1 must have displaced 0 to right 1? No:
+  // augmenting may reroute 0 to 1 but 0 remains matched.
+  EXPECT_NE(m.mate_of_left(0), KuhnMatcher::npos);
+  EXPECT_NE(m.mate_of_left(1), KuhnMatcher::npos);
+}
+
+TEST(Kuhn, SeedConflictRejected) {
+  Bipartite g(2, 1);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  KuhnMatcher m(g);
+  ASSERT_TRUE(m.seed(0, 0));
+  EXPECT_FALSE(m.seed(1, 0));
+}
+
+TEST(HopcroftKarp, MatchesKnownValue) {
+  Bipartite g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  g.add_edge(2, 1);
+  EXPECT_EQ(hopcroft_karp(g).cardinality, 2u);
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  Bipartite g(0, 0);
+  EXPECT_EQ(hopcroft_karp(g).cardinality, 0u);
+}
+
+TEST(HopcroftKarp, MatchingIsConsistent) {
+  Bipartite g(4, 4);
+  for (std::size_t l = 0; l < 4; ++l) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      if ((l + r) % 2 == 0) g.add_edge(l, r);
+    }
+  }
+  MatchingResult res = hopcroft_karp(g);
+  for (std::size_t l = 0; l < 4; ++l) {
+    const std::size_t r = res.mate_of_left[l];
+    if (r != KuhnMatcher::npos) {
+      EXPECT_EQ(res.mate_of_right[r], l);
+    }
+  }
+}
+
+// Property: Kuhn and Hopcroft-Karp agree on random graphs.
+class MatcherAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherAgreement, SameCardinality) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const std::size_t nl = 1 + rng.index(12);
+  const std::size_t nr = 1 + rng.index(12);
+  Bipartite g(nl, nr);
+  for (std::size_t l = 0; l < nl; ++l) {
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (rng.chance(0.3)) g.add_edge(l, r);
+    }
+  }
+  KuhnMatcher kuhn(g);
+  EXPECT_EQ(kuhn.solve(), hopcroft_karp(g).cardinality);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MatcherAgreement, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace gapsched

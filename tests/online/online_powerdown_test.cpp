@@ -1,0 +1,88 @@
+#include "gapsched/online/online_powerdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/dp/power_dp.hpp"
+#include "gapsched/gen/generators.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(OnlinePowerdown, EmptyInstance) {
+  Instance inst;
+  OnlinePowerdownResult r = online_powerdown(inst, 2.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 0.0);
+}
+
+TEST(OnlinePowerdown, SingleSpanPaysOneWake) {
+  Instance inst = Instance::one_interval({{0, 5}, {0, 5}});
+  OnlinePowerdownResult r = online_powerdown(inst, 3.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+  EXPECT_DOUBLE_EQ(r.power, 2.0 + 3.0);
+}
+
+TEST(OnlinePowerdown, ShortGapIsBridged) {
+  // EDF runs at 0 and 4; idle 3 <= threshold alpha=5 -> bridged.
+  Instance inst = Instance::one_interval({{0, 0}, {4, 4}});
+  OnlinePowerdownResult r = online_powerdown(inst, 5.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 1);
+  EXPECT_DOUBLE_EQ(r.power, 2.0 + 5.0 + 3.0);
+}
+
+TEST(OnlinePowerdown, LongGapSleepsAfterThreshold) {
+  Instance inst = Instance::one_interval({{0, 0}, {20, 20}});
+  const double alpha = 4.0;
+  OnlinePowerdownResult r = online_powerdown(inst, alpha);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.transitions, 2);
+  // 2 exec + initial wake + lingering alpha + re-wake alpha.
+  EXPECT_DOUBLE_EQ(r.power, 2.0 + alpha + alpha + alpha);
+}
+
+TEST(OnlinePowerdown, CustomThreshold) {
+  Instance inst = Instance::one_interval({{0, 0}, {20, 20}});
+  // Threshold 0: sleep immediately; no lingering cost.
+  OnlinePowerdownResult r = online_powerdown(inst, 4.0, 0.0);
+  EXPECT_DOUBLE_EQ(r.power, 2.0 + 4.0 + 0.0 + 4.0);
+}
+
+TEST(OnlinePowerdown, InfeasiblePropagates) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}});
+  EXPECT_FALSE(online_powerdown(inst, 1.0).feasible);
+}
+
+// Per-idle-period 2-competitiveness of the threshold policy on top of the
+// EDF schedule: online power <= 2 * optimal bridging of the SAME schedule
+// plus the shared execution cost.
+class ThresholdCompetitive : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdCompetitive, WithinTwiceSameScheduleOptimum) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 163 + 3);
+  Instance inst = gen_uniform_one_interval(rng, 8, 20, 5, 1);
+  const double alpha = 0.5 + static_cast<double>(rng.index(12));
+  OnlinePowerdownResult r = online_powerdown(inst, alpha);
+  if (!r.feasible) return;
+  const double same_schedule_opt =
+      r.schedule.profile().optimal_power(alpha);
+  EXPECT_GE(r.power + 1e-9, same_schedule_opt);
+  EXPECT_LE(r.power, 2.0 * same_schedule_opt + 1e-9);
+}
+
+TEST_P(ThresholdCompetitive, NeverBelowOfflineOptimum) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 167 + 5);
+  Instance inst = gen_feasible_one_interval(rng, 7, 14, 3, 1);
+  const double alpha = 1.0 + static_cast<double>(rng.index(6));
+  OnlinePowerdownResult online = online_powerdown(inst, alpha);
+  PowerDpResult offline = solve_power_dp(inst, alpha);
+  ASSERT_TRUE(online.feasible);
+  ASSERT_TRUE(offline.feasible);
+  EXPECT_GE(online.power + 1e-9, offline.power);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ThresholdCompetitive, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,86 @@
+// Property tests of Lemma 4 itself: for any busy set with n units in M
+// spans and any k, some residue class has >= (n - M(k-1))/k aligned
+// fully-busy blocks.
+
+#include "gapsched/powermin/lemma4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/core/profile.hpp"
+#include "gapsched/util/prng.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Lemma4, SingleLongRun) {
+  // [0, 9]: 10 units, 1 span. k=2: bound (10-1)/2 = 4.5; residue 0 has
+  // blocks at 0,2,4,6,8 = 5.
+  std::vector<Time> busy;
+  for (Time t = 0; t < 10; ++t) busy.push_back(t);
+  AlignedBlocks b = best_aligned_blocks(busy, 2);
+  EXPECT_EQ(b.block_starts.size(), 5u);
+  EXPECT_GE(static_cast<double>(b.block_starts.size()),
+            lemma4_bound(10, 1, 2));
+}
+
+TEST(Lemma4, OffsetRunPicksBestResidue) {
+  // [1, 6]: residue-0 blocks at 2,4; residue-1 blocks at 1,3,5.
+  std::vector<Time> busy{1, 2, 3, 4, 5, 6};
+  AlignedBlocks b = best_aligned_blocks(busy, 2);
+  EXPECT_EQ(b.residue, 1);
+  EXPECT_EQ(b.block_starts, (std::vector<Time>{1, 3, 5}));
+}
+
+TEST(Lemma4, ShortSpansGiveNothing) {
+  std::vector<Time> busy{0, 5, 10};  // three singleton spans, k=2
+  AlignedBlocks b = best_aligned_blocks(busy, 2);
+  EXPECT_TRUE(b.block_starts.empty());
+  EXPECT_LE(lemma4_bound(3, 3, 2), 0.0);  // the bound is vacuous here
+}
+
+TEST(Lemma4, BlocksAreDisjointAndBusy) {
+  std::vector<Time> busy{0, 1, 2, 3, 7, 8, 9, 10, 11};
+  for (int k : {2, 3, 4}) {
+    AlignedBlocks b = best_aligned_blocks(busy, k);
+    for (std::size_t i = 0; i < b.block_starts.size(); ++i) {
+      const Time t = b.block_starts[i];
+      EXPECT_EQ(((t % k) + k) % k, b.residue);
+      for (int m = 0; m < k; ++m) {
+        EXPECT_TRUE(std::find(busy.begin(), busy.end(), t + m) != busy.end());
+      }
+      if (i > 0) {
+        EXPECT_GE(t - b.block_starts[i - 1], k);
+      }
+    }
+  }
+}
+
+// The lemma's inequality on random busy sets.
+class Lemma4Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma4Property, BoundHolds) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 233 + 9);
+  // Random spans: 1-5 runs of length 1-8.
+  std::vector<Time> busy;
+  Time t = rng.uniform(0, 5);
+  const int runs = 1 + static_cast<int>(rng.index(5));
+  for (int r = 0; r < runs; ++r) {
+    const Time len = 1 + rng.uniform(0, 7);
+    for (Time i = 0; i < len; ++i) busy.push_back(t + i);
+    t += len + 1 + rng.uniform(0, 4);
+  }
+  const OccupancyProfile prof = OccupancyProfile::from_times(busy);
+  const std::int64_t n = prof.busy_time();
+  const std::int64_t m = prof.spans();
+  for (int k : {2, 3, 4, 5}) {
+    AlignedBlocks b = best_aligned_blocks(busy, k);
+    EXPECT_GE(static_cast<double>(b.block_starts.size()) + 1e-9,
+              lemma4_bound(n, m, k))
+        << "k=" << k << " n=" << n << " M=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Lemma4Property, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,132 @@
+#include "gapsched/powermin/powermin_approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/exact/power_brute_force.hpp"
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/matching/feasibility.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(PowerMinApprox, EmptyInstance) {
+  Instance inst;
+  PowerMinApproxResult r = powermin_approx(inst, 2.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.power, 0.0);
+}
+
+TEST(PowerMinApprox, InfeasibleDetected) {
+  Instance inst = Instance::one_interval({{0, 0}, {0, 0}});
+  EXPECT_FALSE(powermin_approx(inst, 2.0).feasible);
+}
+
+TEST(PowerMinApprox, PacksAdjacentPairs) {
+  // Four jobs each allowed in [0, 3]: two packed pairs, one span possible.
+  Instance inst = Instance::one_interval({{0, 3}, {0, 3}, {0, 3}, {0, 3}});
+  PowerMinApproxResult r = powermin_approx(inst, 4.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.validate(inst), "");
+  EXPECT_GE(r.pairs_packed, 1u);
+  // The guarantee: power <= (1 + (2/3+eps) alpha) * OPT, OPT = 4 + 4.
+  EXPECT_LE(r.power, theorem3_bound(4.0) * 8.0 + 1e-9);
+}
+
+TEST(PowerMinApprox, MultiIntervalJobs) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet({{0, 1}, {10, 11}})});
+  inst.jobs.push_back(Job{TimeSet({{0, 1}, {20, 21}})});
+  inst.jobs.push_back(Job{TimeSet({{10, 11}})});
+  PowerMinApproxResult r = powermin_approx(inst, 3.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.validate(inst), "");
+}
+
+TEST(PowerMinApprox, ReportsConsistentMetrics) {
+  Prng rng(31337);
+  Instance inst = gen_multi_interval(rng, 8, 24, 3, 2);
+  const double alpha = 2.0;
+  PowerMinApproxResult r = powermin_approx(inst, alpha);
+  ASSERT_TRUE(r.feasible);
+  const OccupancyProfile prof = r.schedule.profile();
+  EXPECT_EQ(r.transitions, prof.transitions());
+  EXPECT_NEAR(r.power, prof.optimal_power(alpha), 1e-9);
+  EXPECT_NEAR(r.power_no_bridge, prof.power_without_bridging(alpha), 1e-9);
+  EXPECT_LE(r.power, r.power_no_bridge + 1e-9);
+}
+
+// Corollary 1's block-length parameter: larger k still yields valid
+// schedules within the trivial envelope.
+TEST(PowerMinApprox, BlockSizeThree) {
+  Prng rng(90210);
+  for (int it = 0; it < 8; ++it) {
+    Instance inst = gen_multi_interval(rng, 9, 24, 2, 3);
+    if (!is_feasible(inst)) continue;
+    PowerMinApproxOptions opts;
+    opts.block_size = 3;
+    const double alpha = 3.0;
+    const PowerMinApproxResult r = powermin_approx(inst, alpha, opts);
+    ASSERT_TRUE(r.feasible);
+    ASSERT_EQ(r.schedule.validate(inst), "");
+    const ExactPowerResult opt = brute_force_min_power(inst, alpha);
+    EXPECT_GE(r.power + 1e-9, opt.power);
+    EXPECT_LE(r.power, (1.0 + alpha) * opt.power + 1e-6);
+  }
+}
+
+TEST(PowerMinApprox, BlockSizeFour) {
+  Prng rng(90211);
+  Instance inst = gen_multi_interval(rng, 10, 26, 2, 4);
+  PowerMinApproxOptions opts;
+  opts.block_size = 4;
+  const PowerMinApproxResult r = powermin_approx(inst, 2.0, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.validate(inst), "");
+}
+
+// Theorem 3's guarantee, tested against the exact optimum (experiment F2 in
+// miniature): ratio <= 1 + (2/3 + eps) * alpha, and never below 1.
+struct Tcase {
+  std::uint64_t seed;
+  double alpha;
+  int swap;
+};
+
+class Theorem3Guarantee : public ::testing::TestWithParam<Tcase> {};
+
+TEST_P(Theorem3Guarantee, RatioWithinBound) {
+  const Tcase tc = GetParam();
+  Prng rng(tc.seed);
+  for (int it = 0; it < 6; ++it) {
+    Instance inst = gen_multi_interval(rng, 7, 20, 2, 2);
+    if (!is_feasible(inst)) continue;
+    const ExactPowerResult opt = brute_force_min_power(inst, tc.alpha);
+    ASSERT_TRUE(opt.feasible);
+    PowerMinApproxOptions opts;
+    opts.swap_size = tc.swap;
+    const PowerMinApproxResult apx = powermin_approx(inst, tc.alpha, opts);
+    ASSERT_TRUE(apx.feasible);
+    ASSERT_EQ(apx.schedule.validate(inst), "");
+    EXPECT_GE(apx.power + 1e-9, opt.power) << "approx beat the optimum?!";
+    // The Theorem 3 factor needs the full [HS89] local search; weaker swap
+    // sizes still satisfy the trivial 1 + alpha envelope.
+    const double factor =
+        tc.swap >= 2 ? theorem3_bound(tc.alpha) : 1.0 + tc.alpha;
+    EXPECT_LE(apx.power, factor * opt.power + 1e-6)
+        << "seed=" << tc.seed << " alpha=" << tc.alpha << " it=" << it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem3Guarantee,
+    ::testing::Values(Tcase{1, 0.5, 2}, Tcase{2, 1.0, 2}, Tcase{3, 2.0, 2},
+                      Tcase{4, 4.0, 2}, Tcase{5, 8.0, 2}, Tcase{6, 2.0, 1},
+                      Tcase{7, 2.0, 0}, Tcase{8, 16.0, 2}),
+    [](const auto& info) {
+      return "a" + std::to_string(static_cast<int>(info.param.alpha * 10)) +
+             "_s" + std::to_string(info.param.swap) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace gapsched

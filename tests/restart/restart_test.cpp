@@ -1,0 +1,91 @@
+#include "gapsched/restart/restart_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gapsched/gen/generators.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(RestartGreedy, EmptyInstance) {
+  Instance inst;
+  RestartResult r = restart_greedy(inst, 3);
+  EXPECT_EQ(r.scheduled, 0u);
+}
+
+TEST(RestartGreedy, ZeroBudgetSchedulesNothing) {
+  Instance inst = Instance::one_interval({{0, 5}, {0, 5}});
+  RestartResult r = restart_greedy(inst, 0);
+  EXPECT_EQ(r.scheduled, 0u);
+}
+
+TEST(RestartGreedy, OneIntervalTakesTheLongestFillable) {
+  // Cluster of 3 packable jobs vs a lone job far away.
+  Instance inst = Instance::one_interval({{0, 2}, {0, 2}, {0, 2}, {50, 50}});
+  RestartResult r = restart_greedy(inst, 1);
+  EXPECT_EQ(r.scheduled, 3u);
+  ASSERT_EQ(r.working_intervals.size(), 1u);
+  EXPECT_EQ(r.working_intervals[0].length(), 3);
+}
+
+TEST(RestartGreedy, SecondIntervalPicksTheRemainder) {
+  Instance inst = Instance::one_interval({{0, 2}, {0, 2}, {0, 2}, {50, 50}});
+  RestartResult r = restart_greedy(inst, 2);
+  EXPECT_EQ(r.scheduled, 4u);
+  EXPECT_EQ(r.working_intervals.size(), 2u);
+}
+
+TEST(RestartGreedy, SpansBoundRespected) {
+  Prng rng(606);
+  Instance inst = gen_multi_interval(rng, 12, 30, 2, 3);
+  for (std::size_t k : {1u, 2u, 3u, 5u}) {
+    RestartResult r = restart_greedy(inst, k);
+    EXPECT_LE(r.working_intervals.size(), k);
+    EXPECT_EQ(r.schedule.validate(inst, /*require_complete=*/false), "");
+    // The committed intervals are exactly the schedule's spans.
+    EXPECT_EQ(r.schedule.profile().spans(),
+              static_cast<std::int64_t>(r.working_intervals.size()));
+    EXPECT_EQ(r.schedule.scheduled_count(), r.scheduled);
+  }
+}
+
+TEST(RestartGreedy, ThroughputMonotoneInBudget) {
+  Prng rng(707);
+  Instance inst = gen_multi_interval(rng, 10, 26, 2, 2);
+  std::size_t prev = 0;
+  for (std::size_t k = 0; k <= 6; ++k) {
+    const std::size_t got = restart_greedy(inst, k).scheduled;
+    EXPECT_GE(got, prev);
+    prev = got;
+  }
+}
+
+TEST(RestartExact, MatchesHandExample) {
+  Instance inst = Instance::one_interval({{0, 2}, {0, 2}, {0, 2}, {50, 50}});
+  EXPECT_EQ(restart_exact_max_jobs(inst, 1), 3u);
+  EXPECT_EQ(restart_exact_max_jobs(inst, 2), 4u);
+}
+
+// Theorem 11 guarantee (experiment F3 in miniature): greedy >= OPT / (2
+// sqrt(n)) on random instances, and greedy <= OPT.
+class Theorem11Guarantee : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem11Guarantee, RatioBounded) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 29);
+  Instance inst = gen_multi_interval(rng, 8, 20, 2, 2);
+  const std::size_t k = 1 + rng.index(3);
+  const std::size_t greedy = restart_greedy(inst, k).scheduled;
+  const std::size_t opt = restart_exact_max_jobs(inst, k);
+  EXPECT_LE(greedy, opt);
+  const double bound = 2.0 * std::sqrt(static_cast<double>(inst.n()));
+  EXPECT_GE(static_cast<double>(greedy) * bound + 1e-9,
+            static_cast<double>(opt))
+      << "greedy=" << greedy << " opt=" << opt << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Theorem11Guarantee, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace gapsched

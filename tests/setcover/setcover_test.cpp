@@ -1,0 +1,83 @@
+#include "gapsched/setcover/setcover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gapsched {
+namespace {
+
+SetCoverInstance small_instance() {
+  SetCoverInstance inst;
+  inst.universe = 5;
+  inst.sets = {{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}};
+  return inst;
+}
+
+TEST(SetCover, GreedyCovers) {
+  SetCoverInstance inst = small_instance();
+  SetCoverResult r = greedy_set_cover(inst);
+  ASSERT_TRUE(r.coverable);
+  EXPECT_TRUE(is_valid_cover(inst, r.chosen));
+}
+
+TEST(SetCover, ExactFindsOptimum) {
+  SetCoverInstance inst = small_instance();
+  SetCoverResult r = exact_set_cover(inst);
+  ASSERT_TRUE(r.coverable);
+  EXPECT_TRUE(is_valid_cover(inst, r.chosen));
+  EXPECT_EQ(r.chosen.size(), 2u);  // {0,1,2} + {3,4}
+}
+
+TEST(SetCover, UncoverableDetected) {
+  SetCoverInstance inst;
+  inst.universe = 3;
+  inst.sets = {{0, 1}};
+  EXPECT_FALSE(greedy_set_cover(inst).coverable);
+  EXPECT_FALSE(exact_set_cover(inst).coverable);
+}
+
+TEST(SetCover, EmptyUniverse) {
+  SetCoverInstance inst;
+  inst.universe = 0;
+  inst.sets = {{}};
+  EXPECT_TRUE(exact_set_cover(inst).coverable);
+  EXPECT_TRUE(exact_set_cover(inst).chosen.empty());
+}
+
+TEST(SetCover, MaxSetSize) {
+  EXPECT_EQ(small_instance().max_set_size(), 3u);
+}
+
+TEST(SetCover, GeneratorProducesCoverable) {
+  Prng rng(808);
+  for (int it = 0; it < 20; ++it) {
+    SetCoverInstance inst = gen_random_set_cover(rng, 10, 6, 4);
+    EXPECT_EQ(inst.universe, 10u);
+    EXPECT_LE(inst.max_set_size(), 4u);
+    EXPECT_TRUE(greedy_set_cover(inst).coverable) << it;
+  }
+}
+
+// Greedy is within (1 + ln n) of exact, and never below it.
+class GreedyQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyQuality, WithinLogFactor) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 3);
+  SetCoverInstance inst = gen_random_set_cover(rng, 12, 8, 4);
+  const SetCoverResult greedy = greedy_set_cover(inst);
+  const SetCoverResult exact = exact_set_cover(inst);
+  ASSERT_TRUE(greedy.coverable);
+  ASSERT_TRUE(exact.coverable);
+  EXPECT_TRUE(is_valid_cover(inst, greedy.chosen));
+  EXPECT_TRUE(is_valid_cover(inst, exact.chosen));
+  EXPECT_GE(greedy.chosen.size(), exact.chosen.size());
+  const double bound = 1.0 + std::log(12.0);
+  EXPECT_LE(static_cast<double>(greedy.chosen.size()),
+            bound * static_cast<double>(exact.chosen.size()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, GreedyQuality, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,96 @@
+#include "gapsched/setpack/set_packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gapsched/util/prng.hpp"
+
+namespace gapsched {
+namespace {
+
+SetPackingInstance triangle_instance() {
+  // Universe {0..5}; greedy picking set 0 first blocks the two disjoint
+  // sets 1 and 2; the (1 -> 2) swap recovers them.
+  SetPackingInstance inst;
+  inst.universe = 6;
+  inst.sets = {{0, 1, 2}, {0, 3, 4}, {1, 2, 5}};
+  return inst;
+}
+
+TEST(SetPacking, GreedyIsMaximalAndValid) {
+  SetPackingInstance inst = triangle_instance();
+  PackingResult r = greedy_packing(inst);
+  EXPECT_TRUE(is_valid_packing(inst, r.chosen));
+  EXPECT_EQ(r.chosen.size(), 1u);  // greedy takes set 0, blocking the rest
+}
+
+TEST(SetPacking, OneToTwoSwapImproves) {
+  SetPackingInstance inst = triangle_instance();
+  PackingResult r = local_search_packing(inst, 1);
+  EXPECT_TRUE(is_valid_packing(inst, r.chosen));
+  EXPECT_EQ(r.chosen.size(), 2u);  // {set 1, set 2}
+}
+
+TEST(SetPacking, TwoToThreeSwapImproves) {
+  // Two chosen sets block three disjoint replacements.
+  SetPackingInstance inst;
+  inst.universe = 12;
+  inst.sets = {{0, 1, 2},   // A (greedy picks first)
+               {3, 4, 5},   // B (greedy picks second)
+               {0, 3, 6},   // needs A,B out
+               {1, 4, 7},   // needs A,B out
+               {2, 5, 8}};  // needs A,B out
+  PackingResult greedy = local_search_packing(inst, 1);
+  EXPECT_EQ(greedy.chosen.size(), 2u);  // 1->2 swap cannot fix this
+  PackingResult deep = local_search_packing(inst, 2);
+  EXPECT_TRUE(is_valid_packing(inst, deep.chosen));
+  EXPECT_EQ(deep.chosen.size(), 3u);
+}
+
+TEST(SetPacking, EmptyInstance) {
+  SetPackingInstance inst;
+  EXPECT_TRUE(greedy_packing(inst).chosen.empty());
+  EXPECT_TRUE(local_search_packing(inst, 2).chosen.empty());
+}
+
+TEST(SetPacking, DisjointSetsAllChosen) {
+  SetPackingInstance inst;
+  inst.universe = 9;
+  inst.sets = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+  EXPECT_EQ(greedy_packing(inst).chosen.size(), 3u);
+}
+
+TEST(SetPacking, ValidityDetectsOverlap) {
+  SetPackingInstance inst = triangle_instance();
+  EXPECT_FALSE(is_valid_packing(inst, {0, 1}));  // share element 0
+  EXPECT_FALSE(is_valid_packing(inst, {7}));     // out of range
+}
+
+// Property: swap size never hurts, and all outputs are valid packings.
+class SwapMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(SwapMonotone, LargerSwapsNeverSmaller) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 13);
+  SetPackingInstance inst;
+  inst.universe = 18;
+  const std::size_t sets = 12 + rng.index(10);
+  for (std::size_t s = 0; s < sets; ++s) {
+    std::vector<std::size_t> set;
+    while (set.size() < 3) {
+      const std::size_t e = rng.index(inst.universe);
+      if (std::find(set.begin(), set.end(), e) == set.end()) set.push_back(e);
+    }
+    std::sort(set.begin(), set.end());
+    inst.sets.push_back(std::move(set));
+  }
+  const std::size_t s0 = local_search_packing(inst, 0).chosen.size();
+  const std::size_t s1 = local_search_packing(inst, 1).chosen.size();
+  const std::size_t s2 = local_search_packing(inst, 2).chosen.size();
+  EXPECT_TRUE(is_valid_packing(inst, local_search_packing(inst, 2).chosen));
+  EXPECT_LE(s0, s1);
+  EXPECT_LE(s1, s2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SwapMonotone, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace gapsched

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "gapsched/parallel/thread_pool.hpp"
+#include "gapsched/util/prng.hpp"
+#include "gapsched/util/stopwatch.hpp"
+#include "gapsched/util/table.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+}
+
+TEST(Prng, RespectsBounds) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, IndexCoversRange) {
+  Prng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.index(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Prng, ForkDecorrelates) {
+  Prng parent(1);
+  Prng c1 = parent.fork();
+  Prng c2 = parent.fork();
+  EXPECT_NE(c1.seed(), c2.seed());
+}
+
+TEST(Prng, ShufflePermutes) {
+  Prng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto orig = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Stopwatch, MeasuresNonNegative) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.millis(), 0.0);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::int64_t{12});
+  t.row().add("b").add(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().add(1).add(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, 64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gapsched
