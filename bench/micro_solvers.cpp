@@ -1,12 +1,15 @@
 // Google-benchmark microbenchmarks of the library's hot paths: the Theorem
-// 1/2 dynamic programs, the matching feasibility oracle, and the Theorem 3
-// pipeline. Complements the table-emitting experiment binaries with
-// statistically robust per-call timings.
+// 1/2 dynamic programs (and their packed-key memo table), the matching
+// feasibility oracle, the Theorem 3 pipeline, and the engine layer's
+// dispatch/batching overhead. Complements the table-emitting experiment
+// binaries with statistically robust per-call timings.
 
 #include <benchmark/benchmark.h>
 
+#include "gapsched/dp/dp_common.hpp"
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/dp/power_dp.hpp"
+#include "gapsched/engine/solve_many.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/greedy/fhkn_greedy.hpp"
 #include "gapsched/matching/feasibility.hpp"
@@ -77,5 +80,58 @@ void BM_PowerMinApprox(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PowerMinApprox)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// The DP memo table in isolation: insert + re-find of pack_state-shaped
+// keys (the per-state cost the packed-key layout optimizes).
+void BM_DpMemoTable(benchmark::State& state) {
+  Prng key_rng(31337);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    keys.push_back(dp::pack_state(key_rng.index(200), key_rng.index(200),
+                                  key_rng.index(30),
+                                  static_cast<int>(key_rng.index(3)),
+                                  static_cast<int>(key_rng.index(4)),
+                                  static_cast<int>(key_rng.index(4))));
+  }
+  for (auto _ : state) {
+    dp::MemoTable<std::int64_t> table;
+    for (std::uint64_t key : keys) {
+      if (table.find(key) == nullptr) table.insert(key, 1, {});
+    }
+    std::int64_t sum = 0;
+    for (std::uint64_t key : keys) sum += table.find(key)->value;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DpMemoTable)->Arg(1000)->Arg(10000);
+
+// Engine dispatch overhead: the same gap DP solve through the registry
+// (request validation + virtual hop + stats plumbing) vs BM_GapDp above.
+void BM_EngineDispatch(benchmark::State& state) {
+  engine::SolveRequest request;
+  request.instance = make_instance(state.range(0), 1);
+  request.objective = engine::Objective::kGaps;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::solve_with("gap_dp", request));
+  }
+}
+BENCHMARK(BM_EngineDispatch)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+// Batched driver throughput: a mixed shootout batch fanned over the pool.
+void BM_SolveMany(benchmark::State& state) {
+  std::vector<engine::BatchJob> jobs;
+  for (int i = 0; i < state.range(0); ++i) {
+    engine::BatchJob job;
+    job.solver = (i % 2 == 0) ? "gap_dp" : "baptiste";
+    job.request.instance = make_instance(10, 1);
+    job.request.objective = engine::Objective::kGaps;
+    jobs.push_back(std::move(job));
+  }
+  ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::solve_many(jobs, pool));
+  }
+}
+BENCHMARK(BM_SolveMany)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -8,18 +8,16 @@
 // laziness alone exploits slack; the greedy's *global* feasibility-guided
 // gap placement is what matters. (Lazy is in fact slightly worse than
 // eager here: deferring to deadlines scatters forced runs.)
+//
+// The whole ladder goes through the engine: one mixed-solver batch per
+// family, fanned out by solve_many() with deterministic result ordering.
 
 #include "bench_common.hpp"
 
-#include <mutex>
-
-#include "gapsched/baptiste/baptiste.hpp"
 #include "gapsched/core/stats.hpp"
+#include "gapsched/engine/solve_many.hpp"
 #include "gapsched/gen/generators.hpp"
-#include "gapsched/greedy/fhkn_greedy.hpp"
-#include "gapsched/greedy/lazy.hpp"
 #include "gapsched/matching/feasibility.hpp"
-#include "gapsched/online/online_edf.hpp"
 
 using namespace gapsched;
 
@@ -41,48 +39,75 @@ int main(int, char** argv) {
       {"very_loose", 10, 40, 25},
   };
   constexpr int kTrials = 30;
+  // Ladder order: the table columns below index into this array.
+  const char* kLadder[] = {"online_edf", "lazy", "fhkn_greedy", "baptiste"};
+  constexpr std::size_t kRungs = std::size(kLadder);
 
   Table table({"family", "mean_slack", "contention", "online", "lazy",
                "greedy", "opt", "online/opt", "lazy/opt", "greedy/opt"});
   ThreadPool pool;
-  std::mutex mu;
 
   for (const Family& f : kFamilies) {
-    double online_sum = 0, lazy_sum = 0, greedy_sum = 0, opt_sum = 0;
-    double slack_sum = 0, cont_sum = 0;
-    int used = 0;
-    parallel_for(pool, kTrials, [&](std::size_t trial) {
-      Prng rng(bench::kSeed + trial * 2221 +
+    // Draw the family and drop infeasible draws with the cheap matching
+    // oracle before paying for any solver run.
+    std::vector<Instance> instances;
+    std::vector<engine::BatchJob> batch;
+    instances.reserve(kTrials);
+    batch.reserve(kTrials * kRungs);
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Prng rng(bench::kSeed + static_cast<std::uint64_t>(trial) * 2221 +
                static_cast<std::uint64_t>(&f - kFamilies) * 7);
-      Instance inst =
-          gen_uniform_one_interval(rng, f.n, f.horizon, f.window, 1);
-      if (!is_feasible(inst)) return;
-      const OnlineResult online = online_edf(inst);
-      const LazyResult lazy = lazy_schedule(inst);
-      const FhknResult greedy = fhkn_greedy(inst);
-      const BaptisteResult opt = solve_baptiste(inst);
-      const InstanceStats stats = compute_stats(inst);
-      std::lock_guard<std::mutex> lk(mu);
+      Instance inst = gen_uniform_one_interval(rng, f.n, f.horizon, f.window, 1);
+      if (!is_feasible(inst)) continue;
+      for (const char* solver : kLadder) {
+        batch.push_back({solver, {inst, {}, {}}});
+      }
+      instances.push_back(std::move(inst));
+    }
+    const std::vector<engine::SolveResult> results =
+        engine::solve_many(batch, pool);
+
+    double sums[kRungs] = {};
+    std::size_t counts[kRungs] = {};
+    double slack_sum = 0, cont_sum = 0;
+    std::size_t used = 0;
+    for (std::size_t trial = 0; trial < instances.size(); ++trial) {
       ++used;
-      online_sum += static_cast<double>(online.transitions);
-      lazy_sum += static_cast<double>(lazy.transitions);
-      greedy_sum += static_cast<double>(greedy.transitions);
-      opt_sum += static_cast<double>(opt.spans);
+      for (std::size_t s = 0; s < kRungs; ++s) {
+        const engine::SolveResult& r = results[trial * kRungs + s];
+        // Pre-filtered feasible one-interval draws must be inside every
+        // rung's envelope; anything else would silently deflate the means,
+        // so failed rungs are excluded from their own denominator too.
+        if (!r.ok || !r.feasible) {
+          std::cerr << "T8: " << kLadder[s] << " failed on " << f.name
+                    << " trial " << trial << ": "
+                    << (r.ok ? "reported infeasible" : r.error) << "\n";
+          continue;
+        }
+        sums[s] += r.cost;
+        ++counts[s];
+      }
+      const InstanceStats stats = compute_stats(instances[trial]);
       slack_sum += stats.mean_slack;
       cont_sum += stats.contention;
-    });
+    }
     if (used == 0) used = 1;
+    double means[kRungs];
+    for (std::size_t s = 0; s < kRungs; ++s) {
+      means[s] = counts[s] > 0 ? sums[s] / static_cast<double>(counts[s]) : -1;
+    }
+    const double opt_mean = means[kRungs - 1];
     table.row()
         .add(f.name)
-        .add(slack_sum / used, 2)
-        .add(cont_sum / used, 2)
-        .add(online_sum / used, 2)
-        .add(lazy_sum / used, 2)
-        .add(greedy_sum / used, 2)
-        .add(opt_sum / used, 2)
-        .add(online_sum / opt_sum, 3)
-        .add(lazy_sum / opt_sum, 3)
-        .add(greedy_sum / opt_sum, 3);
+        .add(slack_sum / static_cast<double>(used), 2)
+        .add(cont_sum / static_cast<double>(used), 2)
+        .add(means[0], 2)
+        .add(means[1], 2)
+        .add(means[2], 2)
+        .add(opt_mean, 2)
+        .add(means[0] / opt_mean, 3)
+        .add(means[1] / opt_mean, 3)
+        .add(means[2] / opt_mean, 3);
   }
   bench::emit(argv[0], table);
   return 0;

@@ -9,10 +9,11 @@
 // on an infeasible variant.
 
 #include <iostream>
+#include <vector>
 
 #include "gapsched/core/stats.hpp"
 #include "gapsched/dp/gap_dp.hpp"
-#include "gapsched/dp/power_dp.hpp"
+#include "gapsched/engine/solve_many.hpp"
 #include "gapsched/io/render.hpp"
 #include "gapsched/matching/hall.hpp"
 
@@ -43,12 +44,27 @@ int main() {
             << " wake-ups):\n"
             << render_gantt(inst, gap.schedule) << "\n";
 
+  // The alpha sweep is a batch of independent power solves: fan it out
+  // through the engine's parallel driver (results stay sweep-ordered).
+  const std::vector<double> alphas = {0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 50.0};
+  std::vector<engine::SolveRequest> sweep;
+  for (double alpha : alphas) {
+    engine::SolveRequest req{inst, engine::Objective::kPower, {}};
+    req.params.alpha = alpha;
+    sweep.push_back(std::move(req));
+  }
+  const engine::Solver* power_dp =
+      engine::SolverRegistry::instance().find("power_dp");
+  const std::vector<engine::SolveResult> optima =
+      engine::solve_many(*power_dp, sweep);
+
   std::cout << "alpha   power_opt   power_of_gap_opt   same_schedule?\n";
-  for (double alpha : {0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 50.0}) {
-    const PowerDpResult pw = solve_power_dp(inst, alpha);
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    const double alpha = alphas[i];
     const double gap_power = gap.schedule.profile().optimal_power(alpha);
-    std::cout << alpha << "\t" << pw.power << "\t\t" << gap_power << "\t\t"
-              << (gap_power - pw.power < 1e-9 ? "yes" : "NO") << "\n";
+    std::cout << alpha << "\t" << optima[i].cost << "\t\t" << gap_power
+              << "\t\t"
+              << (gap_power - optima[i].cost < 1e-9 ? "yes" : "NO") << "\n";
   }
 
   // An overloaded variant: the Hall certificate explains why.

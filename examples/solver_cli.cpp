@@ -1,39 +1,72 @@
-// Command-line solver: reads an instance file (io/serialize.hpp format) and
-// solves the requested objective.
+// Command-line front end of the solver engine: every algorithm family is
+// reached through the SolverRegistry, never by hand-wired calls.
 //
-//   $ ./solver_cli gaps instance.txt            # Theorem 1 exact
-//   $ ./solver_cli power 2.5 instance.txt       # Theorem 2 exact, alpha=2.5
-//   $ ./solver_cli power-approx 2.5 instance.txt# Theorem 3 approximation
-//   $ ./solver_cli greedy instance.txt          # FHKN 3-approximation
-//   $ ./solver_cli throughput 3 instance.txt    # Theorem 11, k=3 spans
+//   $ ./solver_cli --list                        # enumerate the registry
+//   $ ./solver_cli gap_dp instance.txt           # Theorem 1 exact
+//   $ ./solver_cli power_dp --alpha 2.5 instance.txt
+//   $ ./solver_cli powermin_approx --alpha 2.5 instance.txt
+//   $ ./solver_cli fhkn_greedy instance.txt
+//   $ ./solver_cli restart_greedy --spans 3 instance.txt
 //
-// Prints the schedule in the text format plus a Gantt chart and metrics.
+// Legacy spellings (gaps / power / power-approx / greedy / throughput) are
+// kept as aliases of the registry names.
+//
+// Prints the objective value, a Gantt chart, metrics, and the schedule in
+// the io/serialize.hpp text format.
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
-#include "gapsched/baptiste/baptiste.hpp"
-#include "gapsched/dp/gap_dp.hpp"
-#include "gapsched/dp/power_dp.hpp"
-#include "gapsched/greedy/fhkn_greedy.hpp"
+#include "gapsched/engine/registry.hpp"
 #include "gapsched/io/render.hpp"
 #include "gapsched/io/serialize.hpp"
-#include "gapsched/powermin/powermin_approx.hpp"
-#include "gapsched/restart/restart_greedy.hpp"
+#include "gapsched/util/table.hpp"
 
 using namespace gapsched;
 
 namespace {
 
 int usage() {
-  std::cerr
-      << "usage: solver_cli gaps <file>\n"
-      << "       solver_cli power <alpha> <file>\n"
-      << "       solver_cli power-approx <alpha> <file>\n"
-      << "       solver_cli greedy <file>\n"
-      << "       solver_cli throughput <k> <file>\n";
+  std::cerr << "usage: solver_cli --list\n"
+            << "       solver_cli <solver> [options] <instance-file>\n"
+            << "options:\n"
+            << "  --alpha <a>      wake-up cost (power solvers; default 2)\n"
+            << "  --spans <k>      span budget (throughput solvers)\n"
+            << "  --threshold <t>  idle threshold (online_powerdown)\n"
+            << "  --swap <s>       set-packing swap size (powermin_approx)\n"
+            << "  --block <k>      Lemma 5 block size (powermin_approx)\n"
+            << "run 'solver_cli --list' for the registered solvers\n";
   return 2;
+}
+
+int list_solvers() {
+  Table table({"solver", "objective", "exact", "paper", "complexity",
+               "summary"});
+  for (const engine::Solver* solver : engine::SolverRegistry::instance().all()) {
+    const engine::SolverInfo& info = solver->info();
+    table.row()
+        .add(info.name)
+        .add(std::string(engine::to_string(info.objective)))
+        .add(info.exact ? "yes" : "no")
+        .add(info.paper_ref)
+        .add(info.complexity)
+        .add(info.summary);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+/// Maps the pre-engine CLI verbs onto registry names.
+std::string canonical_name(const std::string& mode) {
+  if (mode == "gaps") return "gap_dp";
+  if (mode == "power") return "power_dp";
+  if (mode == "power-approx") return "powermin_approx";
+  if (mode == "greedy") return "fhkn_greedy";
+  if (mode == "throughput") return "restart_greedy";
+  return mode;
 }
 
 std::optional<Instance> load(const std::string& path) {
@@ -48,79 +81,139 @@ std::optional<Instance> load(const std::string& path) {
   return inst;
 }
 
-void report(const Instance& inst, const Schedule& s, double alpha) {
-  std::cout << render_gantt(inst, s);
-  std::cout << describe_schedule(s, alpha) << "\n\n";
-  write_schedule(std::cout, s);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string mode = argv[1];
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  if (args[0] == "--list" || args[0] == "list") return list_solvers();
+  if (args.size() < 2) return usage();
 
-  if (mode == "gaps" && argc == 3) {
-    auto inst = load(argv[2]);
-    if (!inst) return 1;
-    GapDpResult r = solve_gap_dp(*inst);
-    if (!r.feasible) {
-      std::cout << "infeasible\n";
-      return 1;
+  const std::string name = canonical_name(args[0]);
+  const engine::Solver* solver = engine::SolverRegistry::instance().find(name);
+  if (solver == nullptr) {
+    std::cerr << "unknown solver '" << args[0] << "' (see solver_cli --list)\n";
+    return 2;
+  }
+
+  engine::SolveRequest request;
+  request.objective = solver->info().objective;
+  // Flags may appear anywhere; non-flag arguments are collected and
+  // resolved afterwards so the legacy "power <alpha> <file>" and
+  // "throughput <k> <file>" spellings still work.
+  std::vector<std::string> positionals;
+  std::vector<std::string> flags_seen;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!arg.empty() && arg[0] == '-') flags_seen.push_back(arg);
+    auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    try {
+      if (arg == "--alpha") {
+        auto v = value();
+        if (!v) return usage();
+        request.params.alpha = std::stod(*v);
+      } else if (arg == "--spans") {
+        auto v = value();
+        if (!v) return usage();
+        request.params.max_spans = std::stoul(*v);
+      } else if (arg == "--threshold") {
+        auto v = value();
+        if (!v) return usage();
+        request.params.powerdown_threshold = std::stod(*v);
+      } else if (arg == "--swap") {
+        auto v = value();
+        if (!v) return usage();
+        request.params.swap_size = std::stoi(*v);
+      } else if (arg == "--block") {
+        auto v = value();
+        if (!v) return usage();
+        request.params.block_size = std::stoi(*v);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "unknown option '" << arg << "'\n";
+        return usage();
+      } else {
+        positionals.push_back(arg);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad numeric argument near '" << arg << "'\n";
+      return 2;
     }
-    std::cout << "optimal transitions: " << r.transitions << "\n";
-    report(*inst, r.schedule, 1.0);
-    return 0;
   }
-  if (mode == "power" && argc == 4) {
-    const double alpha = std::stod(argv[2]);
-    auto inst = load(argv[3]);
-    if (!inst) return 1;
-    PowerDpResult r = solve_power_dp(*inst, alpha);
-    if (!r.feasible) {
-      std::cout << "infeasible\n";
-      return 1;
+  // A flag the selected solver does not consume (per its SolverInfo::params
+  // declaration) is an error, not a silent no-op.
+  const unsigned consumed = solver->info().params;
+  for (const std::string& flag : flags_seen) {
+    bool applies = false;
+    if (flag == "--alpha") {
+      applies = (consumed & engine::kUsesAlpha) != 0;
+    } else if (flag == "--spans") {
+      applies = (consumed & engine::kUsesMaxSpans) != 0;
+    } else if (flag == "--threshold") {
+      applies = (consumed & engine::kUsesThreshold) != 0;
+    } else if (flag == "--swap" || flag == "--block") {
+      applies = (consumed & engine::kUsesPacking) != 0;
     }
-    std::cout << "optimal power: " << r.power << "\n";
-    report(*inst, r.schedule, alpha);
-    return 0;
-  }
-  if (mode == "power-approx" && argc == 4) {
-    const double alpha = std::stod(argv[2]);
-    auto inst = load(argv[3]);
-    if (!inst) return 1;
-    PowerMinApproxResult r = powermin_approx(*inst, alpha);
-    if (!r.feasible) {
-      std::cout << "infeasible\n";
-      return 1;
+    if (!applies) {
+      std::cerr << "option '" << flag << "' does not apply to solver '"
+                << name << "'\n";
+      return usage();
     }
-    std::cout << "approximate power: " << r.power << " (guarantee factor "
-              << theorem3_bound(alpha) << ")\n";
-    report(*inst, r.schedule, alpha);
-    return 0;
   }
-  if (mode == "greedy" && argc == 3) {
-    auto inst = load(argv[2]);
-    if (!inst) return 1;
-    FhknResult r = fhkn_greedy(*inst);
-    if (!r.feasible) {
-      std::cout << "infeasible\n";
-      return 1;
+  if (positionals.empty() || positionals.size() > 2) return usage();
+  const std::string file = positionals.back();
+  if (positionals.size() == 2) {
+    // Legacy positional parameter before the file name; only the power and
+    // throughput verbs ever had one, anything else is a stray argument and
+    // an error (not silently ignored).
+    const std::string& param = positionals.front();
+    try {
+      if (request.objective == engine::Objective::kPower) {
+        request.params.alpha = std::stod(param);
+      } else if (request.objective == engine::Objective::kThroughput) {
+        request.params.max_spans = std::stoul(param);
+      } else {
+        std::cerr << "unexpected argument '" << param << "'\n";
+        return usage();
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad numeric argument near '" << param << "'\n";
+      return 2;
     }
-    std::cout << "greedy transitions: " << r.transitions
-              << " (3-approximation)\n";
-    report(*inst, r.schedule, 1.0);
-    return 0;
   }
-  if (mode == "throughput" && argc == 4) {
-    const std::size_t k = std::stoul(argv[2]);
-    auto inst = load(argv[3]);
-    if (!inst) return 1;
-    RestartResult r = restart_greedy(*inst, k);
-    std::cout << "scheduled " << r.scheduled << "/" << inst->n()
-              << " jobs in " << r.working_intervals.size() << " spans\n";
-    report(*inst, r.schedule, 1.0);
-    return 0;
+
+  auto inst = load(file);
+  if (!inst) return 1;
+  request.instance = std::move(*inst);
+
+  const engine::SolveResult result = solver->solve(request);
+  if (!result.ok) {
+    std::cerr << "rejected: " << result.error << "\n";
+    return 2;
   }
-  return usage();
+  if (!result.feasible) {
+    std::cout << "infeasible\n";
+    return 1;
+  }
+
+  const engine::SolverInfo& info = solver->info();
+  std::cout << info.name << " (" << engine::to_string(info.objective)
+            << (info.exact ? ", exact" : ", heuristic") << "): cost "
+            << result.cost;
+  if (request.objective == engine::Objective::kThroughput) {
+    std::cout << " of " << request.instance.n() << " jobs in "
+              << result.transitions << " span(s)";
+  }
+  std::cout << "  [" << result.stats.wall_ms << " ms]\n";
+  std::cout << render_gantt(request.instance, result.schedule);
+  // The metrics line reports power at the requested alpha for power solves
+  // and at alpha = 1 otherwise, matching the pre-engine CLI's output.
+  const double report_alpha = request.objective == engine::Objective::kPower
+                                  ? request.params.alpha
+                                  : 1.0;
+  std::cout << describe_schedule(result.schedule, report_alpha) << "\n\n";
+  write_schedule(std::cout, result.schedule);
+  return 0;
 }

@@ -1,14 +1,12 @@
 #include "gapsched/dp/gap_dp.hpp"
 
-#include <limits>
-
 #include "gapsched/dp/dp_common.hpp"
 
 namespace gapsched {
 
 namespace {
 
-constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+constexpr std::int64_t kInf = dp::kInfCost;
 
 class Solver {
  public:
@@ -27,8 +25,9 @@ class Solver {
     for (int l1 = 0; l1 <= p_; ++l1) {
       for (int l2 = 0; l2 <= p_; ++l2) {
         const std::int64_t w = solve(i_min, i_max, n, 0, l1, l2);
-        if (w < kInf && l1 + w < best) {
-          best = l1 + w;
+        const std::int64_t total = dp::add_sat(l1, w);
+        if (total < best) {
+          best = total;
           best_l1 = l1;
           best_l2 = l2;
         }
@@ -49,7 +48,7 @@ class Solver {
   std::int64_t solve(std::size_t i1, std::size_t i2, std::size_t k, int q,
                      int l1, int l2) {
     const std::uint64_t key = dp::pack_state(i1, i2, k, q, l1, l2);
-    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    if (const auto* hit = memo_.find(key)) return hit->value;
 
     const Time t1 = ctx_.theta[i1];
     const Time t2 = ctx_.theta[i2];
@@ -110,8 +109,8 @@ class Solver {
             for (int ldp = 0; ldp <= p_; ++ldp) {
               const std::int64_t right = solve(ridx, i2, right_jobs, q, ldp, l2);
               if (right >= kInf) continue;
-              const std::int64_t total =
-                  left + std::max(0, ldp - lp) + right;
+              const std::int64_t total = dp::add_sat(
+                  dp::add_sat(left, std::max(0, ldp - lp)), right);
               if (total < best) {
                 best = total;
                 choice = {dp::Choice::Kind::kSplit, idx, right_jobs, lp, ldp};
@@ -122,15 +121,14 @@ class Solver {
       }
     }
 
-    memo_[key] = best;
-    if (best < kInf) choice_[key] = choice;
+    memo_.insert(key, best, choice);
     return best;
   }
 
   void reconstruct(std::size_t i1, std::size_t i2, std::size_t k, int q,
                    int l1, int l2, Schedule& out) {
     const std::uint64_t key = dp::pack_state(i1, i2, k, q, l1, l2);
-    const dp::Choice& c = choice_.at(key);
+    const dp::Choice& c = memo_.find(key)->choice;
     const Time t1 = ctx_.theta[i1];
     const Time t2 = ctx_.theta[i2];
     switch (c.kind) {
@@ -160,8 +158,7 @@ class Solver {
 
   dp::DpContext ctx_;
   int p_;
-  std::unordered_map<std::uint64_t, std::int64_t> memo_;
-  std::unordered_map<std::uint64_t, dp::Choice> choice_;
+  dp::MemoTable<std::int64_t> memo_;
 };
 
 }  // namespace

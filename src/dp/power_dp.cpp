@@ -66,7 +66,7 @@ class Solver {
   double solve(std::size_t i1, std::size_t i2, std::size_t k, int q, int l1,
                int l2) {
     const std::uint64_t key = dp::pack_state(i1, i2, k, q, l1, l2);
-    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    if (const auto* hit = memo_.find(key)) return hit->value;
 
     const Time t1 = ctx_.theta[i1];
     const Time t2 = ctx_.theta[i2];
@@ -136,15 +136,14 @@ class Solver {
       }
     }
 
-    memo_[key] = best;
-    if (best < kInf) choice_[key] = choice;
+    memo_.insert(key, best, choice);
     return best;
   }
 
   void reconstruct(std::size_t i1, std::size_t i2, std::size_t k, int q,
                    int l1, int l2, Schedule& out) {
     const std::uint64_t key = dp::pack_state(i1, i2, k, q, l1, l2);
-    const dp::Choice& c = choice_.at(key);
+    const dp::Choice& c = memo_.find(key)->choice;
     const Time t1 = ctx_.theta[i1];
     const Time t2 = ctx_.theta[i2];
     switch (c.kind) {
@@ -174,8 +173,7 @@ class Solver {
   dp::DpContext ctx_;
   int p_;
   double alpha_;
-  std::unordered_map<std::uint64_t, double> memo_;
-  std::unordered_map<std::uint64_t, dp::Choice> choice_;
+  dp::MemoTable<double> memo_;
 };
 
 }  // namespace

@@ -1,0 +1,46 @@
+#include "gapsched/engine/solve_many.hpp"
+
+namespace gapsched::engine {
+
+std::vector<SolveResult> solve_many(const std::vector<BatchJob>& jobs,
+                                    ThreadPool& pool) {
+  std::vector<SolveResult> results(jobs.size());
+  // Resolve solver names up front so every entry hits the registry once and
+  // worker threads only touch immutable Solver objects.
+  std::vector<const Solver*> solvers(jobs.size());
+  SolverRegistry& registry = SolverRegistry::instance();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    solvers[i] = registry.find(jobs[i].solver);
+  }
+  parallel_for(pool, jobs.size(), [&](std::size_t i) {
+    results[i] = solvers[i] != nullptr
+                     ? solvers[i]->solve(jobs[i].request)
+                     : SolveResult::rejected("unknown solver '" +
+                                             jobs[i].solver + "'");
+  });
+  return results;
+}
+
+std::vector<SolveResult> solve_many(const Solver& solver,
+                                    const std::vector<SolveRequest>& requests,
+                                    ThreadPool& pool) {
+  std::vector<SolveResult> results(requests.size());
+  parallel_for(pool, requests.size(),
+               [&](std::size_t i) { results[i] = solver.solve(requests[i]); });
+  return results;
+}
+
+std::vector<SolveResult> solve_many(const std::vector<BatchJob>& jobs,
+                                    std::size_t threads) {
+  ThreadPool pool(threads);
+  return solve_many(jobs, pool);
+}
+
+std::vector<SolveResult> solve_many(const Solver& solver,
+                                    const std::vector<SolveRequest>& requests,
+                                    std::size_t threads) {
+  ThreadPool pool(threads);
+  return solve_many(solver, requests, pool);
+}
+
+}  // namespace gapsched::engine

@@ -1,0 +1,24 @@
+#include "gapsched/engine/types.hpp"
+
+namespace gapsched::engine {
+
+std::string_view to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kGaps:
+      return "gaps";
+    case Objective::kPower:
+      return "power";
+    case Objective::kThroughput:
+      return "throughput";
+  }
+  return "unknown";
+}
+
+std::optional<Objective> objective_from_string(std::string_view name) {
+  if (name == "gaps") return Objective::kGaps;
+  if (name == "power") return Objective::kPower;
+  if (name == "throughput") return Objective::kThroughput;
+  return std::nullopt;
+}
+
+}  // namespace gapsched::engine

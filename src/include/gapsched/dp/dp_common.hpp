@@ -16,13 +16,27 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
+#include <limits>
 #include <vector>
 
 #include "gapsched/core/candidate_times.hpp"
 #include "gapsched/core/instance.hpp"
 
 namespace gapsched::dp {
+
+/// Shared "infinite cost" sentinel for the integer-valued DPs. Kept far
+/// below INT64_MAX so that a few stray additions cannot wrap, but all cost
+/// additions must still go through add_sat so sums of near-sentinel values
+/// clamp at the sentinel instead of drifting past it (and eventually
+/// overflowing) on near-infeasible instances.
+constexpr std::int64_t kInfCost = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Saturating cost addition: any operand at or beyond the sentinel, or any
+/// sum that would cross it, yields exactly kInfCost. Requires a, b >= 0.
+constexpr std::int64_t add_sat(std::int64_t a, std::int64_t b) {
+  return (a >= kInfCost || b >= kInfCost || a > kInfCost - b) ? kInfCost
+                                                              : a + b;
+}
 
 /// Immutable per-solve context: deadline-sorted jobs and the candidate-time
 /// axis with core flags.
@@ -100,6 +114,82 @@ struct Choice {
   std::size_t right_jobs = 0;  // i = jobs released after t' (kSplit)
   int lprime = 0;              // occupancy/active at t' (kSplit)
   int ldprime = 0;             // occupancy/active at t'+1 (kSplit)
+};
+
+/// Memoization table shared by the Theorem 1/2 solvers: an insert-only
+/// open-addressing hash map from packed state keys to (value, Choice), i.e.
+/// one probe serves both the memo hit and the later reconstruction walk
+/// (the previous layout paid two std::unordered_map node lookups per state).
+/// Linear probing over a power-of-two slot array of plain structs keeps the
+/// hot path allocation-free and cache-friendly.
+template <class Value>
+class MemoTable {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    Value value{};
+    Choice choice;
+  };
+
+  explicit MemoTable(std::size_t expected = 0) {
+    std::size_t cap = 1024;
+    while (cap * 7 < expected * 10) cap <<= 1;
+    slots_.resize(cap);
+    used_.assign(cap, 0);
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Entry for `key`, or nullptr. The pointer is invalidated by insert().
+  const Entry* find(std::uint64_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+      if (!used_[i]) return nullptr;
+      if (slots_[i].key == key) return &slots_[i];
+    }
+  }
+
+  /// Inserts a new entry; `key` must not be present.
+  void insert(std::uint64_t key, const Value& value, const Choice& choice) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) grow();
+    place(key, value, choice);
+    ++size_;
+  }
+
+ private:
+  /// splitmix64 finalizer. pack_state keys share long runs of equal high
+  /// bits within one solve; full-avalanche mixing spreads them across the
+  /// table so probe chains stay short.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  void place(std::uint64_t key, const Value& value, const Choice& choice) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (used_[i]) i = (i + 1) & mask;
+    used_[i] = 1;
+    slots_[i] = Entry{key, value, choice};
+  }
+
+  void grow() {
+    std::vector<Entry> old_slots = std::move(slots_);
+    std::vector<char> old_used = std::move(used_);
+    slots_.assign(old_slots.size() * 2, Entry{});
+    used_.assign(old_slots.size() * 2, 0);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_used[i]) {
+        place(old_slots[i].key, old_slots[i].value, old_slots[i].choice);
+      }
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::vector<char> used_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace gapsched::dp

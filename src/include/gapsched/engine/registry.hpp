@@ -1,0 +1,51 @@
+#pragma once
+// SolverRegistry: the static catalogue of every solver family in the
+// library. The built-in adapters (src/engine/builtin_solvers.cpp) are
+// registered on first access, so `SolverRegistry::instance()` always starts
+// fully populated — no reliance on static-initializer link order.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gapsched/engine/solver.hpp"
+
+namespace gapsched::engine {
+
+class SolverRegistry {
+ public:
+  /// The process-wide registry, with all built-in solvers registered.
+  static SolverRegistry& instance();
+
+  /// Registers a solver. Returns false (and drops `solver`) when a solver
+  /// with the same name already exists.
+  bool add(std::unique_ptr<Solver> solver);
+
+  /// Looks up a solver by registry name; nullptr when unknown.
+  const Solver* find(std::string_view name) const;
+
+  /// All solvers, sorted by name.
+  std::vector<const Solver*> all() const;
+
+  /// The solvers handling one objective, sorted by name.
+  std::vector<const Solver*> for_objective(Objective objective) const;
+
+  /// Sorted registry names.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return solvers_.size(); }
+
+ private:
+  SolverRegistry() = default;
+
+  std::map<std::string, std::unique_ptr<Solver>, std::less<>> solvers_;
+};
+
+/// Convenience: look up `solver_name` in the global registry and solve.
+/// Unknown names come back as an engine-level rejection.
+SolveResult solve_with(std::string_view solver_name,
+                       const SolveRequest& request);
+
+}  // namespace gapsched::engine

@@ -1,0 +1,41 @@
+#pragma once
+// Batched parallel driver: fan independent SolveRequests out over a
+// ThreadPool with deterministic result ordering (results[i] always answers
+// jobs[i], bitwise identical regardless of thread count — the solvers are
+// single-threaded and deterministic, so parallelism lives only here).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gapsched/engine/registry.hpp"
+#include "gapsched/engine/solver.hpp"
+#include "gapsched/parallel/thread_pool.hpp"
+
+namespace gapsched::engine {
+
+/// One batch entry: a request routed to a named solver, so a single batch
+/// can mix families (the shootout/ladder pattern).
+struct BatchJob {
+  std::string solver;
+  SolveRequest request;
+};
+
+/// Solves every job on `pool`'s workers. results[i] corresponds to jobs[i];
+/// unknown solver names yield per-entry rejections, never an exception.
+std::vector<SolveResult> solve_many(const std::vector<BatchJob>& jobs,
+                                    ThreadPool& pool);
+
+/// Same-solver convenience overload.
+std::vector<SolveResult> solve_many(const Solver& solver,
+                                    const std::vector<SolveRequest>& requests,
+                                    ThreadPool& pool);
+
+/// Owns a transient pool of `threads` workers (0 = hardware concurrency).
+std::vector<SolveResult> solve_many(const std::vector<BatchJob>& jobs,
+                                    std::size_t threads = 0);
+std::vector<SolveResult> solve_many(const Solver& solver,
+                                    const std::vector<SolveRequest>& requests,
+                                    std::size_t threads = 0);
+
+}  // namespace gapsched::engine

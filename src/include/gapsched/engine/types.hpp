@@ -1,0 +1,110 @@
+#pragma once
+// Common request/result currency of the solver engine.
+//
+// Every solver family in the library — the Theorem 1/2 exact DPs, the
+// reference brute forces, the span search, the FHKN and procrastination
+// greedies, the Theorem 3 approximation, the Theorem 11 restart greedy, and
+// the online strategies — is adapted behind one (SolveRequest -> SolveResult)
+// interface so that the CLI, the benches, and batched drivers can treat them
+// uniformly (the solver-shootout / heuristic-ladder methodology of
+// Baptiste-Chrobak-Durr and related minimum-energy scheduling work).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/core/schedule.hpp"
+
+namespace gapsched::engine {
+
+/// The three objectives the paper studies.
+enum class Objective {
+  /// Minimize sleep->active transitions (Sections 2, 4, 5).
+  kGaps,
+  /// Minimize active time + alpha * wake-ups (Sections 2, 3).
+  kPower,
+  /// Maximize scheduled jobs under a span budget (Section 6, Theorem 11).
+  kThroughput,
+};
+
+std::string_view to_string(Objective objective);
+std::optional<Objective> objective_from_string(std::string_view name);
+
+/// Solver-family parameters beyond the instance itself. Unused fields are
+/// ignored by solvers that do not consume them.
+struct SolveParams {
+  /// Wake-up cost for the power objectives. Must be >= 0.
+  double alpha = 2.0;
+  /// Span budget for the throughput objective ("k gaps"). Must be >= 1.
+  std::size_t max_spans = 1;
+  /// Idle threshold for the online power-down strategy; < 0 selects the
+  /// canonical 2-competitive value (= alpha).
+  double powerdown_threshold = -1.0;
+  /// Swap size of the Theorem 3 set-packing local search (0, 1 or 2).
+  int swap_size = 2;
+  /// Block length k of the Theorem 3 / Lemma 5 construction (2..4).
+  int block_size = 2;
+  /// Advisory wall-clock budget in seconds; 0 means unlimited. Solvers are
+  /// single-shot and not preemptible, so the engine cannot abort a running
+  /// solve — it flags SolveResult::timed_out when the budget was exceeded so
+  /// batch drivers and ladders can discard or demote the result.
+  double time_limit_s = 0.0;
+};
+
+/// One unit of engine work: an instance, an objective, and parameters.
+struct SolveRequest {
+  Instance instance;
+  Objective objective = Objective::kGaps;
+  SolveParams params;
+};
+
+/// Solver-reported diagnostics, uniform across families (fields a family
+/// does not produce stay 0).
+struct SolveStats {
+  /// Wall time of the underlying solver call (excludes request validation).
+  double wall_ms = 0.0;
+  /// Memoized DP states (Theorem 1/2 DPs) — the F1 scaling measurement.
+  std::size_t states = 0;
+  /// Search nodes expanded (span search).
+  std::size_t nodes = 0;
+  /// Jobs scheduled. Equals n for complete schedules; the objective value
+  /// for the (partial-schedule) throughput solvers.
+  std::size_t scheduled = 0;
+};
+
+/// Uniform outcome of a dispatch.
+///
+/// `ok` is the engine-level verdict: the request was well-formed, inside the
+/// solver's capability envelope, and the solver ran. A rejected request
+/// (wrong objective, multi-interval jobs handed to a one-interval DP, n over
+/// a brute-force cap, ...) yields ok = false with `error` set and no solver
+/// call. `feasible`/`cost`/`schedule` are only meaningful when ok.
+struct SolveResult {
+  bool ok = false;
+  std::string error;
+
+  bool feasible = false;
+  /// Objective value: transitions (kGaps), total power (kPower), or the
+  /// number of scheduled jobs (kThroughput — a maximization, larger is
+  /// better; every other objective minimizes).
+  double cost = 0.0;
+  /// Sleep->active transitions of the produced schedule (diagnostic; for
+  /// kGaps this equals cost).
+  std::int64_t transitions = 0;
+  Schedule schedule;
+  SolveStats stats;
+  /// True when params.time_limit_s > 0 and the solve ran longer than that.
+  bool timed_out = false;
+
+  /// Convenience factory for an engine-level rejection.
+  static SolveResult rejected(std::string why) {
+    SolveResult r;
+    r.ok = false;
+    r.error = std::move(why);
+    return r;
+  }
+};
+
+}  // namespace gapsched::engine

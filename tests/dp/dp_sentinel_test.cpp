@@ -1,0 +1,144 @@
+// Regression coverage for the shared infinite-cost sentinel (dp::kInfCost),
+// the saturating addition that guards it, and the packed-key memo table —
+// exercised through near-infeasible instances where most DP subproblems
+// carry the sentinel value.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "gapsched/dp/dp_common.hpp"
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/dp/power_dp.hpp"
+#include "gapsched/exact/brute_force.hpp"
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/util/prng.hpp"
+
+namespace gapsched {
+namespace {
+
+// ----------------------------------------------------------------- add_sat --
+
+TEST(AddSat, ClampsAtTheSentinel) {
+  using dp::add_sat;
+  using dp::kInfCost;
+  EXPECT_EQ(add_sat(2, 3), 5);
+  EXPECT_EQ(add_sat(0, 0), 0);
+  EXPECT_EQ(add_sat(kInfCost, 0), kInfCost);
+  EXPECT_EQ(add_sat(0, kInfCost), kInfCost);
+  EXPECT_EQ(add_sat(kInfCost, kInfCost), kInfCost);
+  EXPECT_EQ(add_sat(kInfCost - 1, 1), kInfCost);
+  EXPECT_EQ(add_sat(kInfCost - 1, kInfCost - 1), kInfCost);
+  EXPECT_EQ(add_sat(kInfCost - 5, 4), kInfCost - 1);
+  // Repeated accumulation of sentinel values stays exactly at the sentinel
+  // instead of drifting toward (and past) INT64_MAX.
+  std::int64_t acc = dp::kInfCost;
+  for (int i = 0; i < 1000; ++i) acc = add_sat(acc, kInfCost);
+  EXPECT_EQ(acc, kInfCost);
+}
+
+// ------------------------------------------------- near-infeasible solves --
+
+// Every job pinned to the same single time on one processor: only one job
+// can run, so every k >= 2 subproblem is infeasible and the DP's value
+// lattice is almost entirely kInfCost.
+TEST(NearInfeasible, OverloadedPointIsCleanlyInfeasible) {
+  for (int n = 2; n <= 6; ++n) {
+    Instance inst;
+    inst.processors = 1;
+    for (int j = 0; j < n; ++j) {
+      inst.jobs.push_back(Job{TimeSet::window(5, 5)});
+    }
+    const GapDpResult gap = solve_gap_dp(inst);
+    EXPECT_FALSE(gap.feasible) << n;
+    const PowerDpResult power = solve_power_dp(inst, 2.0);
+    EXPECT_FALSE(power.feasible) << n;
+  }
+}
+
+// A saturated pipeline: p processors, horizon h, exactly p*h unit jobs with
+// full windows is feasible with a unique occupancy profile; one more job
+// tips it infeasible. Both sides must agree with the brute force.
+TEST(NearInfeasible, SaturatedWindowsFlipAtCapacity) {
+  for (int p = 1; p <= 2; ++p) {
+    const Time h = 4;
+    Instance inst;
+    inst.processors = p;
+    for (Time cap = 0; cap < h * p; ++cap) {
+      inst.jobs.push_back(Job{TimeSet::window(0, h - 1)});
+    }
+    const GapDpResult full = solve_gap_dp(inst);
+    const ExactGapResult full_ref = brute_force_min_transitions(inst);
+    ASSERT_TRUE(full.feasible) << p;
+    EXPECT_EQ(full.transitions, full_ref.transitions) << p;
+
+    inst.jobs.push_back(Job{TimeSet::window(0, h - 1)});
+    const GapDpResult over = solve_gap_dp(inst);
+    const ExactGapResult over_ref = brute_force_min_transitions(inst);
+    EXPECT_FALSE(over.feasible) << p;
+    EXPECT_FALSE(over_ref.feasible) << p;
+    EXPECT_FALSE(solve_power_dp(inst, 3.0).feasible) << p;
+  }
+}
+
+// Tight interleaved combs (every job's window is one or two units wide, with
+// duplicates) drive the DP through long chains of infeasible subwindows;
+// the optimum must still match the brute force on the feasible draws.
+TEST(NearInfeasible, TightCombsMatchBruteForce) {
+  for (int seed = 0; seed < 12; ++seed) {
+    Prng rng(static_cast<std::uint64_t>(seed) * 7919 + 3);
+    Instance inst;
+    inst.processors = 1;
+    const std::size_t n = 7;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Time a = static_cast<Time>(rng.index(n + 2));
+      const Time d = a + static_cast<Time>(rng.index(2));
+      inst.jobs.push_back(Job{TimeSet::window(a, d)});
+    }
+    const GapDpResult dp = solve_gap_dp(inst);
+    const ExactGapResult ref = brute_force_min_transitions(inst);
+    EXPECT_EQ(dp.feasible, ref.feasible) << seed;
+    if (dp.feasible) {
+      EXPECT_EQ(dp.transitions, ref.transitions) << seed;
+      // Transition counts of real schedules are small: far from sentinel
+      // territory (the historical overflow risk was kInf-valued partials
+      // leaking into sums, not true costs growing large).
+      EXPECT_LT(dp.transitions, static_cast<std::int64_t>(n) + 1) << seed;
+    }
+  }
+}
+
+// ------------------------------------------------------------- memo table --
+
+TEST(MemoTable, MatchesUnorderedMapReference) {
+  dp::MemoTable<std::int64_t> table;
+  std::unordered_map<std::uint64_t, std::int64_t> reference;
+  Prng rng(123457);
+  // Enough inserts to force several growth rehashes past the 1024-slot
+  // initial capacity, with structured keys like the DP produces.
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key =
+        dp::pack_state(rng.index(300), rng.index(300), rng.index(40),
+                       static_cast<int>(rng.index(4)),
+                       static_cast<int>(rng.index(5)),
+                       static_cast<int>(rng.index(5)));
+    const std::int64_t value = static_cast<std::int64_t>(rng.index(1 << 20));
+    if (reference.emplace(key, value).second) {
+      dp::Choice choice;
+      choice.tprime_idx = static_cast<std::size_t>(value);
+      table.insert(key, value, choice);
+    }
+  }
+  EXPECT_EQ(table.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    const auto* entry = table.find(key);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->value, value);
+    EXPECT_EQ(entry->choice.tprime_idx, static_cast<std::size_t>(value));
+  }
+  EXPECT_EQ(table.find(~0ull), nullptr);
+  EXPECT_EQ(table.find(dp::pack_state(301, 0, 0, 0, 0, 0)), nullptr);
+}
+
+}  // namespace
+}  // namespace gapsched

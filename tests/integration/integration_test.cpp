@@ -1,20 +1,17 @@
 // Cross-module integration: every solver against every other on shared
 // workload families, plus end-to-end pipelines (serialize -> solve,
-// compress -> solve, reduce -> solve -> extract).
+// compress -> solve, reduce -> solve -> extract). Solver dispatch goes
+// through the engine registry — this file is also the end-to-end exercise
+// of the engine seam the CLI and benches rely on.
 
 #include <gtest/gtest.h>
 
-#include "gapsched/baptiste/baptiste.hpp"
 #include "gapsched/core/transforms.hpp"
 #include "gapsched/dp/gap_dp.hpp"
-#include "gapsched/dp/power_dp.hpp"
-#include "gapsched/exact/brute_force.hpp"
-#include "gapsched/exact/span_search.hpp"
+#include "gapsched/engine/solve_many.hpp"
 #include "gapsched/gen/generators.hpp"
-#include "gapsched/greedy/fhkn_greedy.hpp"
 #include "gapsched/io/serialize.hpp"
 #include "gapsched/matching/feasibility.hpp"
-#include "gapsched/online/online_edf.hpp"
 #include "gapsched/powermin/powermin_approx.hpp"
 #include "gapsched/reductions/setcover_to_powermin.hpp"
 #include "gapsched/restart/restart_greedy.hpp"
@@ -24,7 +21,8 @@ namespace gapsched {
 namespace {
 
 // Four exact solvers and two approximations on the same one-interval
-// single-processor instances: full consistency matrix.
+// single-processor instances: full consistency matrix, solved as one
+// mixed-solver engine batch.
 class SolverMatrix : public ::testing::TestWithParam<int> {};
 
 TEST_P(SolverMatrix, AllSolversConsistent) {
@@ -34,28 +32,35 @@ TEST_P(SolverMatrix, AllSolversConsistent) {
                       : gen_feasible_one_interval(rng, 8, 16, 3, 1);
 
   const bool feasible = is_feasible(inst);
-  const ExactGapResult bf = brute_force_min_transitions(inst);
-  const GapDpResult dp = solve_gap_dp(inst);
-  const BaptisteResult bp = solve_baptiste(inst);
-  const SpanSearchResult ss = span_search_min_transitions(inst);
-  const FhknResult greedy = fhkn_greedy(inst);
-  const OnlineResult online = online_edf(inst);
+  engine::SolveRequest gaps{inst, engine::Objective::kGaps, {}};
+  const std::vector<engine::BatchJob> batch = {
+      {"brute_force", gaps}, {"gap_dp", gaps},     {"baptiste", gaps},
+      {"span_search", gaps}, {"fhkn_greedy", gaps}, {"online_edf", gaps},
+  };
+  const std::vector<engine::SolveResult> results =
+      engine::solve_many(batch, /*threads=*/2);
+  const engine::SolveResult& bf = results[0];
 
-  // Feasibility is unanimous.
-  EXPECT_EQ(bf.feasible, feasible);
-  EXPECT_EQ(dp.feasible, feasible);
-  EXPECT_EQ(bp.feasible, feasible);
-  EXPECT_EQ(ss.feasible, feasible);
-  EXPECT_EQ(greedy.feasible, feasible);
-  EXPECT_EQ(online.feasible, feasible);
+  // Every request was inside its solver's envelope, and feasibility is
+  // unanimous.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << batch[i].solver << ": " << results[i].error;
+    EXPECT_EQ(results[i].feasible, feasible) << batch[i].solver;
+  }
   if (!feasible) return;
 
-  // All exact solvers agree on the optimum.
-  EXPECT_EQ(dp.transitions, bf.transitions);
-  EXPECT_EQ(bp.spans, bf.transitions);
-  EXPECT_EQ(ss.transitions, bf.transitions);
+  // All exact solvers agree on the optimum, and every produced schedule is
+  // valid for the instance.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].schedule.validate(inst), "") << batch[i].solver;
+  }
+  EXPECT_EQ(results[1].transitions, bf.transitions);  // gap_dp
+  EXPECT_EQ(results[2].transitions, bf.transitions);  // baptiste
+  EXPECT_EQ(results[3].transitions, bf.transitions);  // span_search
 
   // Approximations sandwiched between OPT and their guarantees.
+  const engine::SolveResult& greedy = results[4];
+  const engine::SolveResult& online = results[5];
   EXPECT_GE(greedy.transitions, bf.transitions);
   EXPECT_LE(greedy.transitions, 3 * bf.transitions);
   EXPECT_GE(online.transitions, bf.transitions);
@@ -64,9 +69,12 @@ TEST_P(SolverMatrix, AllSolversConsistent) {
   // is tiny next to a re-wake), so it pays for at most the gap optimum's
   // transitions and at least one wake-up.
   const double alpha = 1e6;
-  const PowerDpResult pw = solve_power_dp(inst, alpha);
+  engine::SolveRequest power{inst, engine::Objective::kPower, {}};
+  power.params.alpha = alpha;
+  const engine::SolveResult pw = engine::solve_with("power_dp", power);
+  ASSERT_TRUE(pw.ok) << pw.error;
   ASSERT_TRUE(pw.feasible);
-  const double implied = (pw.power - static_cast<double>(inst.n())) / alpha;
+  const double implied = (pw.cost - static_cast<double>(inst.n())) / alpha;
   EXPECT_LE(implied, static_cast<double>(bf.transitions) + 0.01);
   EXPECT_GE(implied, 1.0 - 0.01);
 }
@@ -82,8 +90,11 @@ TEST_P(SerializeSolve, SameOptimumAfterRoundTrip) {
                                      1 + static_cast<int>(rng.index(2)));
   auto parsed = instance_from_string(instance_to_string(inst));
   ASSERT_TRUE(parsed.has_value());
-  const ExactGapResult a = brute_force_min_transitions(inst);
-  const ExactGapResult b = brute_force_min_transitions(*parsed);
+  const engine::SolveResult a = engine::solve_with(
+      "brute_force", {inst, engine::Objective::kGaps, {}});
+  const engine::SolveResult b = engine::solve_with(
+      "brute_force", {*parsed, engine::Objective::kGaps, {}});
+  ASSERT_TRUE(a.ok && b.ok);
   EXPECT_EQ(a.feasible, b.feasible);
   if (a.feasible) {
     EXPECT_EQ(a.transitions, b.transitions);
@@ -148,12 +159,15 @@ TEST_P(ApproxVsExactPower, ApproxAboveExact) {
   Prng rng(static_cast<std::uint64_t>(GetParam()) * 191 + 13);
   Instance inst = gen_feasible_one_interval(rng, 8, 16, 3, 1);
   const double alpha = 0.5 + static_cast<double>(rng.index(8));
-  const PowerDpResult opt = solve_power_dp(inst, alpha);
-  const PowerMinApproxResult apx = powermin_approx(inst, alpha);
+  engine::SolveRequest req{inst, engine::Objective::kPower, {}};
+  req.params.alpha = alpha;
+  const engine::SolveResult opt = engine::solve_with("power_dp", req);
+  const engine::SolveResult apx = engine::solve_with("powermin_approx", req);
+  ASSERT_TRUE(opt.ok && apx.ok) << opt.error << apx.error;
   ASSERT_TRUE(opt.feasible);
   ASSERT_TRUE(apx.feasible);
-  EXPECT_GE(apx.power + 1e-9, opt.power);
-  EXPECT_LE(apx.power, (1.0 + alpha) * opt.power + 1e-9);
+  EXPECT_GE(apx.cost + 1e-9, opt.cost);
+  EXPECT_LE(apx.cost, (1.0 + alpha) * opt.cost + 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, ApproxVsExactPower, ::testing::Range(0, 20));
