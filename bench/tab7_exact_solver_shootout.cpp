@@ -8,6 +8,8 @@
 // All solvers are reached through the engine registry and fanned out with
 // the batched solve_many() driver; per-trial wall times come back in
 // SolveResult::stats, so no hand-rolled stopwatch/mutex plumbing remains.
+// Every request carries params.validate, so each returned schedule is also
+// re-checked by the independent oracle; the table reports the audit tally.
 
 #include "bench_common.hpp"
 
@@ -22,7 +24,8 @@ int main(int, char** argv) {
 
   constexpr int kTrials = 12;
   const char* kSolvers[] = {"gap_dp", "brute_force", "span_search"};
-  Table table({"n", "family", "agree", "dp_ms", "brute_ms", "span_ms"});
+  Table table({"n", "family", "agree", "oracle", "dp_ms", "brute_ms",
+               "span_ms"});
   ThreadPool pool;
 
   struct Row {
@@ -46,6 +49,7 @@ int main(int, char** argv) {
                                           static_cast<Time>(2 * row.n), 3, 1)
               : gen_multi_interval(rng, row.n,
                                    static_cast<Time>(3 * row.n), 2, 2);
+      requests[trial].params.validate = true;
     }
 
     // One batched dispatch per solver; results come back trial-ordered.
@@ -56,6 +60,7 @@ int main(int, char** argv) {
     }
 
     int agree = 0;
+    int audits = 0, audit_passes = 0;
     double dp_ms = 0.0, bf_ms = 0.0, ss_ms = 0.0;
     for (int trial = 0; trial < kTrials; ++trial) {
       const engine::SolveResult& dp = results[0][trial];
@@ -77,6 +82,16 @@ int main(int, char** argv) {
                   << (bf.ok ? ss.error : bf.error) << "\n";
       }
       if (v_bf == v_ss && (!row.one_interval || v_dp == v_bf)) ++agree;
+      for (const engine::SolveResult* r : {&dp, &bf, &ss}) {
+        if (!r->audited) continue;
+        ++audits;
+        if (r->audit_error.empty()) {
+          ++audit_passes;
+        } else {
+          std::cerr << "T7: oracle refuted a result on n=" << row.n
+                    << " trial " << trial << ": " << r->audit_error << "\n";
+        }
+      }
       if (dp.ok) dp_ms += dp.stats.wall_ms;
       bf_ms += bf.stats.wall_ms;
       ss_ms += ss.stats.wall_ms;
@@ -85,6 +100,7 @@ int main(int, char** argv) {
         .add(row.n)
         .add(row.family)
         .add(std::to_string(agree) + "/" + std::to_string(kTrials))
+        .add(std::to_string(audit_passes) + "/" + std::to_string(audits))
         .add(row.one_interval ? dp_ms / kTrials : -1.0, 2)
         .add(bf_ms / kTrials, 2)
         .add(ss_ms / kTrials, 2);

@@ -11,6 +11,8 @@
 //
 // The whole ladder goes through the engine: one mixed-solver batch per
 // family, fanned out by solve_many() with deterministic result ordering.
+// Every request carries params.validate: a rung's answer only counts after
+// the independent oracle re-derives its transition count.
 
 #include "bench_common.hpp"
 
@@ -43,8 +45,9 @@ int main(int, char** argv) {
   const char* kLadder[] = {"online_edf", "lazy", "fhkn_greedy", "baptiste"};
   constexpr std::size_t kRungs = std::size(kLadder);
 
-  Table table({"family", "mean_slack", "contention", "online", "lazy",
-               "greedy", "opt", "online/opt", "lazy/opt", "greedy/opt"});
+  Table table({"family", "mean_slack", "contention", "oracle", "online",
+               "lazy", "greedy", "opt", "online/opt", "lazy/opt",
+               "greedy/opt"});
   ThreadPool pool;
 
   for (const Family& f : kFamilies) {
@@ -60,7 +63,9 @@ int main(int, char** argv) {
       Instance inst = gen_uniform_one_interval(rng, f.n, f.horizon, f.window, 1);
       if (!is_feasible(inst)) continue;
       for (const char* solver : kLadder) {
-        batch.push_back({solver, {inst, {}, {}}});
+        engine::BatchJob job{solver, {inst, {}, {}}};
+        job.request.params.validate = true;
+        batch.push_back(std::move(job));
       }
       instances.push_back(std::move(inst));
     }
@@ -69,6 +74,7 @@ int main(int, char** argv) {
 
     double sums[kRungs] = {};
     std::size_t counts[kRungs] = {};
+    std::size_t audits = 0, audit_passes = 0;
     double slack_sum = 0, cont_sum = 0;
     std::size_t used = 0;
     for (std::size_t trial = 0; trial < instances.size(); ++trial) {
@@ -83,6 +89,15 @@ int main(int, char** argv) {
                     << " trial " << trial << ": "
                     << (r.ok ? "reported infeasible" : r.error) << "\n";
           continue;
+        }
+        ++audits;
+        if (r.audit_error.empty()) {
+          ++audit_passes;
+        } else {
+          std::cerr << "T8: oracle refuted " << kLadder[s] << " on "
+                    << f.name << " trial " << trial << ": " << r.audit_error
+                    << "\n";
+          continue;  // a refuted answer must not shape the ladder means
         }
         sums[s] += r.cost;
         ++counts[s];
@@ -101,6 +116,7 @@ int main(int, char** argv) {
         .add(f.name)
         .add(slack_sum / static_cast<double>(used), 2)
         .add(cont_sum / static_cast<double>(used), 2)
+        .add(std::to_string(audit_passes) + "/" + std::to_string(audits))
         .add(means[0], 2)
         .add(means[1], 2)
         .add(means[2], 2)

@@ -1,0 +1,113 @@
+// T9 — scenario catalog sweep (methodology table).
+// Runs every named scenario in gapsched::scenarios through a representative
+// solver set (the exact gap and power anchors plus the heuristic ladder and
+// the throughput greedy) with oracle validation on, and tabulates per
+// scenario: shape, feasibility verdict, exact optima, heuristic gaps to the
+// optimum, and the audit tally. This is the registry-wide coverage table
+// backing the differential suite (tests/differential/) — the same catalog,
+// addressable by the same names from the CLI (`solver_cli --scenarios`).
+
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/scenarios/scenarios.hpp"
+
+using namespace gapsched;
+
+int main(int, char** argv) {
+  bench::banner("T9 (scenario catalog sweep)",
+                "every named scenario, exact anchors + heuristics, "
+                "oracle-audited");
+
+  constexpr int kTrials = 8;
+  constexpr double kAlpha = 2.5;
+  constexpr std::size_t kMaxSpans = 2;
+  const engine::SolverRegistry& registry = engine::SolverRegistry::instance();
+  const std::vector<const engine::Solver*> solvers = registry.all();
+
+  Table table({"scenario", "n", "p", "feas", "gap_opt", "power_opt",
+               "greedy/opt", "apx_power/opt", "restart", "oracle"});
+  ThreadPool pool;
+
+  for (const scenarios::Scenario* sc :
+       scenarios::ScenarioCatalog::instance().all()) {
+    std::vector<engine::BatchJob> batch;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const Instance inst = sc->make(bench::kSeed + trial);
+      for (const engine::Solver* solver : solvers) {
+        engine::BatchJob job;
+        job.solver = solver->info().name;
+        job.request.instance = inst;
+        job.request.objective = solver->info().objective;
+        job.request.params.alpha = kAlpha;
+        job.request.params.max_spans = kMaxSpans;
+        job.request.params.validate = true;
+        batch.push_back(std::move(job));
+      }
+    }
+    const std::vector<engine::SolveResult> results =
+        engine::solve_many(batch, pool);
+
+    int feasible = 0, infeasible = 0;
+    std::size_t audits = 0, audit_passes = 0;
+    double gap_opt_sum = 0, power_opt_sum = 0, greedy_sum = 0, apx_sum = 0;
+    double restart_sum = 0;
+    int gap_opts = 0, power_opts = 0, greedys = 0, apxs = 0, restarts = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const engine::SolveResult& r = results[i];
+      if (!r.ok) continue;  // outside this family's envelope
+      if (r.audited) {
+        ++audits;
+        if (r.audit_error.empty()) {
+          ++audit_passes;
+        } else {
+          std::cerr << "T9: oracle refuted " << batch[i].solver << " on "
+                    << sc->name << ": " << r.audit_error << "\n";
+        }
+      }
+      const std::string& name = batch[i].solver;
+      if (name == "gap_dp" || name == "brute_force") {
+        r.feasible ? ++feasible : ++infeasible;
+      }
+      if (!r.feasible) continue;
+      if (name == "gap_dp" || (name == "brute_force" && !sc->one_interval)) {
+        gap_opt_sum += r.cost;
+        ++gap_opts;
+      } else if (name == "power_dp" ||
+                 (name == "power_brute_force" && !sc->one_interval)) {
+        power_opt_sum += r.cost;
+        ++power_opts;
+      } else if (name == "fhkn_greedy") {
+        greedy_sum += r.cost;
+        ++greedys;
+      } else if (name == "powermin_approx") {
+        apx_sum += r.cost;
+        ++apxs;
+      } else if (name == "restart_greedy") {
+        restart_sum += r.cost;
+        ++restarts;
+      }
+    }
+    const auto mean = [](double sum, int count) {
+      return count > 0 ? sum / count : std::nan("");
+    };
+    const double gap_opt = mean(gap_opt_sum, gap_opts);
+    const double power_opt = mean(power_opt_sum, power_opts);
+    table.row()
+        .add(sc->name)
+        .add(sc->jobs)
+        .add(sc->processors)
+        .add(std::to_string(feasible) + "/" +
+             std::to_string(feasible + infeasible))
+        .add(gap_opt, 2)
+        .add(power_opt, 2)
+        .add(mean(greedy_sum, greedys) / gap_opt, 3)
+        .add(mean(apx_sum, apxs) / power_opt, 3)
+        .add(mean(restart_sum, restarts), 2)
+        .add(std::to_string(audit_passes) + "/" + std::to_string(audits));
+  }
+  bench::emit(argv[0], table);
+  return 0;
+}

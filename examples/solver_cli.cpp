@@ -23,6 +23,7 @@
 #include "gapsched/engine/registry.hpp"
 #include "gapsched/io/render.hpp"
 #include "gapsched/io/serialize.hpp"
+#include "gapsched/scenarios/scenarios.hpp"
 #include "gapsched/util/table.hpp"
 
 using namespace gapsched;
@@ -30,15 +31,21 @@ using namespace gapsched;
 namespace {
 
 int usage() {
-  std::cerr << "usage: solver_cli --list\n"
-            << "       solver_cli <solver> [options] <instance-file>\n"
+  std::cerr << "usage: solver_cli --list | --scenarios\n"
+            << "       solver_cli <solver> [options] <instance>\n"
+            << "instance: a file in the io/serialize.hpp format, or\n"
+            << "          scenario:<name>[:<seed>] from the scenario catalog\n"
             << "options:\n"
             << "  --alpha <a>      wake-up cost (power solvers; default 2)\n"
             << "  --spans <k>      span budget (throughput solvers)\n"
             << "  --threshold <t>  idle threshold (online_powerdown)\n"
             << "  --swap <s>       set-packing swap size (powermin_approx)\n"
             << "  --block <k>      Lemma 5 block size (powermin_approx)\n"
-            << "run 'solver_cli --list' for the registered solvers\n";
+            << "  --validate       re-check the answer with the independent\n"
+            << "                   schedule oracle (any solver; exit 3 on a\n"
+            << "                   refuted answer)\n"
+            << "run 'solver_cli --list' for the registered solvers and\n"
+            << "'solver_cli --scenarios' for the named workload families\n";
   return 2;
 }
 
@@ -59,6 +66,24 @@ int list_solvers() {
   return 0;
 }
 
+int list_scenarios() {
+  Table table({"scenario", "jobs", "p", "shape", "guarantee", "summary"});
+  for (const scenarios::Scenario* s :
+       scenarios::ScenarioCatalog::instance().all()) {
+    table.row()
+        .add(s->name)
+        .add(s->jobs)
+        .add(s->processors)
+        .add(s->one_interval ? "one-interval" : "multi-interval")
+        .add(s->always_feasible
+                 ? "feasible"
+                 : (s->always_infeasible ? "infeasible" : "either"))
+        .add(s->summary);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 /// Maps the pre-engine CLI verbs onto registry names.
 std::string canonical_name(const std::string& mode) {
   if (mode == "gaps") return "gap_dp";
@@ -70,6 +95,26 @@ std::string canonical_name(const std::string& mode) {
 }
 
 std::optional<Instance> load(const std::string& path) {
+  // scenario:<name>[:<seed>] draws from the catalog instead of a file.
+  if (path.rfind("scenario:", 0) == 0) {
+    std::string spec = path.substr(9);
+    std::uint64_t seed = 1;
+    if (const auto colon = spec.find(':'); colon != std::string::npos) {
+      try {
+        seed = std::stoull(spec.substr(colon + 1));
+      } catch (const std::exception&) {
+        std::cerr << "bad scenario seed in '" << path << "'\n";
+        return std::nullopt;
+      }
+      spec.resize(colon);
+    }
+    auto inst = scenarios::make_scenario(spec, seed);
+    if (!inst) {
+      std::cerr << "unknown scenario '" << spec
+                << "' (see solver_cli --scenarios)\n";
+    }
+    return inst;
+  }
   std::ifstream is(path);
   if (!is) {
     std::cerr << "cannot open " << path << "\n";
@@ -87,6 +132,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
   if (args[0] == "--list" || args[0] == "list") return list_solvers();
+  if (args[0] == "--scenarios" || args[0] == "scenarios") {
+    return list_scenarios();
+  }
   if (args.size() < 2) return usage();
 
   const std::string name = canonical_name(args[0]);
@@ -131,6 +179,8 @@ int main(int argc, char** argv) {
         auto v = value();
         if (!v) return usage();
         request.params.block_size = std::stoi(*v);
+      } else if (arg == "--validate") {
+        request.params.validate = true;
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "unknown option '" << arg << "'\n";
         return usage();
@@ -147,7 +197,9 @@ int main(int argc, char** argv) {
   const unsigned consumed = solver->info().params;
   for (const std::string& flag : flags_seen) {
     bool applies = false;
-    if (flag == "--alpha") {
+    if (flag == "--validate") {
+      applies = true;  // the oracle audits every family
+    } else if (flag == "--alpha") {
       applies = (consumed & engine::kUsesAlpha) != 0;
     } else if (flag == "--spans") {
       applies = (consumed & engine::kUsesMaxSpans) != 0;
@@ -193,6 +245,10 @@ int main(int argc, char** argv) {
     std::cerr << "rejected: " << result.error << "\n";
     return 2;
   }
+  if (result.audited && !result.audit_error.empty()) {
+    std::cerr << "oracle REFUTED the answer: " << result.audit_error << "\n";
+    return 3;
+  }
   if (!result.feasible) {
     std::cout << "infeasible\n";
     return 1;
@@ -213,7 +269,11 @@ int main(int argc, char** argv) {
   const double report_alpha = request.objective == engine::Objective::kPower
                                   ? request.params.alpha
                                   : 1.0;
-  std::cout << describe_schedule(result.schedule, report_alpha) << "\n\n";
+  std::cout << describe_schedule(result.schedule, report_alpha) << "\n";
+  if (result.audited) {
+    std::cout << "oracle: schedule and cost independently verified\n";
+  }
+  std::cout << "\n";
   write_schedule(std::cout, result.schedule);
   return 0;
 }

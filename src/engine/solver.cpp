@@ -1,5 +1,6 @@
 #include "gapsched/engine/solver.hpp"
 
+#include "gapsched/oracle/oracle.hpp"
 #include "gapsched/util/stopwatch.hpp"
 
 namespace gapsched::engine {
@@ -55,6 +56,10 @@ SolveResult Solver::solve(const SolveRequest& request) const {
   result.stats.wall_ms = sw.millis();
   const double limit = request.params.time_limit_s;
   result.timed_out = limit > 0.0 && result.stats.wall_ms > limit * 1e3;
+  if (request.params.validate) {
+    result.audited = true;
+    result.audit_error = oracle::check_result(request, result, info().exact);
+  }
   return result;
 }
 

@@ -51,6 +51,11 @@ struct SolveParams {
   /// solve — it flags SolveResult::timed_out when the budget was exceeded so
   /// batch drivers and ladders can discard or demote the result.
   double time_limit_s = 0.0;
+  /// When true, the engine re-checks the returned schedule and cost with
+  /// the independent gapsched::oracle layer after the solve; any violation
+  /// lands in SolveResult::audit_error (audit time is excluded from
+  /// stats.wall_ms).
+  bool validate = false;
 };
 
 /// One unit of engine work: an instance, an objective, and parameters.
@@ -97,6 +102,15 @@ struct SolveResult {
   SolveStats stats;
   /// True when params.time_limit_s > 0 and the solve ran longer than that.
   bool timed_out = false;
+
+  /// True when the independent oracle audit ran (params.validate on a
+  /// non-rejected result).
+  bool audited = false;
+  /// Non-empty when the audit found a violation — the solver's claim does
+  /// not survive independent re-derivation (i.e. a solver bug, not a bad
+  /// request). `ok` is left untouched so callers can distinguish "request
+  /// rejected" from "answer refuted".
+  std::string audit_error;
 
   /// Convenience factory for an engine-level rejection.
   static SolveResult rejected(std::string why) {

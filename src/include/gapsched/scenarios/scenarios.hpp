@@ -1,0 +1,75 @@
+#pragma once
+// Named scenario catalog: every workload family the project tests against,
+// registered under a stable name so the CLI, the test suites, and the
+// benches can address the same instance distributions ("run gap_dp on
+// scenario:hall_critical seed 7"). The catalog wraps the low-level gen/
+// generators and adds adversarial families in the spirit of the gap-model
+// taxonomy of Chrobak–Golin–Lam–Nogneng: nested windows, sparse max-gap
+// spreads, Hall-critical zero-slack blocks, long-horizon power stressors,
+// multiprocessor staircases, and infeasible-by-one perturbations.
+//
+// Every scenario is a pure function of its 64-bit seed: the same
+// (name, seed) pair draws the same instance in every binary, which is what
+// lets a failing differential run be replayed from its printed seed.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gapsched/core/instance.hpp"
+
+namespace gapsched::scenarios {
+
+/// A registered workload family.
+struct Scenario {
+  /// Stable registry key, e.g. "hall_critical".
+  std::string name;
+  /// One-line description for --scenarios listings and the README table.
+  std::string summary;
+  /// Guarantees that hold for every seed (the differential harness asserts
+  /// them against the exact solvers).
+  bool always_feasible = false;
+  bool always_infeasible = false;
+  /// True when every draw is one-interval (release/deadline) shaped.
+  bool one_interval = true;
+  /// Processor count of every draw.
+  int processors = 1;
+  /// Job count of every draw (all families are fixed-size so exponential
+  /// reference solvers stay inside their envelopes).
+  std::size_t jobs = 0;
+  /// Draws the instance for `seed`; deterministic.
+  std::function<Instance(std::uint64_t seed)> make;
+};
+
+/// The process-wide catalog, fully populated on first access.
+class ScenarioCatalog {
+ public:
+  static const ScenarioCatalog& instance();
+
+  /// Looks a scenario up by name; nullptr when unknown.
+  const Scenario* find(std::string_view name) const;
+
+  /// All scenarios, sorted by name.
+  std::vector<const Scenario*> all() const;
+
+  /// Sorted scenario names.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return scenarios_.size(); }
+
+ private:
+  ScenarioCatalog();
+
+  std::map<std::string, Scenario, std::less<>> scenarios_;
+};
+
+/// Convenience: draw catalog scenario `name` with `seed`; nullopt when the
+/// name is unknown.
+std::optional<Instance> make_scenario(std::string_view name,
+                                      std::uint64_t seed);
+
+}  // namespace gapsched::scenarios

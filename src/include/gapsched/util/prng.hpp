@@ -11,6 +11,15 @@
 
 namespace gapsched {
 
+/// The splitmix64 finalizer: a cheap bijective mixer used to derive
+/// decorrelated seeds (scenario salts, test-site seeds) from related inputs.
+inline std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic 64-bit PRNG wrapper around std::mt19937_64 with convenience
 /// sampling helpers. Copyable; copying forks the stream deterministically.
 class Prng {

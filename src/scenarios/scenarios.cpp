@@ -1,0 +1,284 @@
+#include "gapsched/scenarios/scenarios.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/util/prng.hpp"
+
+namespace gapsched::scenarios {
+
+namespace {
+
+/// Decorrelates the per-family streams: the same user seed must not draw
+/// the "same" randomness in every family.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
+  return splitmix64(seed + 0x9e3779b97f4a7c15ull * salt);
+}
+
+// ------------------------------------------------- adversarial families --
+
+/// Nested one-interval chain: window i is strictly inside window i - 1
+/// ([b + i, b + 2n - 1 - i]); the innermost pair leaves two slots for the
+/// last job. Stresses interval containment logic and forces global
+/// placement decisions (a locally greedy choice in an outer window can
+/// strand an inner job). Job order is shuffled so solvers cannot rely on
+/// sortedness.
+Instance make_nested_windows(std::uint64_t seed) {
+  Prng rng(mix(seed, 7));
+  constexpr std::size_t n = 8;
+  const Time base = rng.uniform(0, 3);
+  std::vector<std::pair<Time, Time>> windows;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time lo = base + static_cast<Time>(i);
+    const Time hi = base + static_cast<Time>(2 * n - 1 - i);
+    windows.emplace_back(lo, hi);
+  }
+  rng.shuffle(windows);
+  return Instance::one_interval(windows);
+}
+
+/// Sparse spread: jobs pinned (width <= 2) far apart, so every feasible
+/// schedule pays one span per job — the max-gap and long-horizon power
+/// stressor (every idle run is far longer than any reasonable alpha).
+Instance make_sparse_spread(std::uint64_t seed) {
+  Prng rng(mix(seed, 11));
+  constexpr std::size_t n = 6;
+  std::vector<std::pair<Time, Time>> windows;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time lo = static_cast<Time>(i) * 9 + rng.uniform(0, 3);
+    windows.emplace_back(lo, lo + rng.uniform(0, 1));
+  }
+  return Instance::one_interval(windows);
+}
+
+/// Long horizon, few jobs, medium windows: idle runs between clusters land
+/// on both sides of typical alpha values, so the power solvers must make
+/// non-trivial bridging decisions over a wide timeline.
+Instance make_power_longhaul(std::uint64_t seed) {
+  Prng rng(mix(seed, 13));
+  constexpr Time kAnchors[] = {2, 9, 32, 63, 104};
+  std::vector<std::pair<Time, Time>> windows;
+  for (Time anchor : kAnchors) {
+    const Time t = anchor + rng.uniform(0, 4);
+    const Time lo = std::max<Time>(0, t - rng.uniform(0, 3));
+    windows.emplace_back(lo, t + rng.uniform(0, 3));
+  }
+  return Instance::one_interval(windows);
+}
+
+/// Hall-critical blocks: each block packs exactly b jobs into exactly b
+/// slots (Hall's condition holds with equality), so every schedule is
+/// forced and any perturbation tips infeasible. Exercises the tight side
+/// of the feasibility machinery.
+Instance make_hall_critical(std::uint64_t seed) {
+  Prng rng(mix(seed, 17));
+  constexpr std::size_t kBlocks = 3;
+  constexpr Time kBlockLen = 3;
+  std::vector<std::pair<Time, Time>> windows;
+  Time start = rng.uniform(0, 2);
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    for (Time j = 0; j < kBlockLen; ++j) {
+      windows.emplace_back(start, start + kBlockLen - 1);
+    }
+    start += kBlockLen + rng.uniform(2, 5);  // dead time between blocks
+  }
+  return Instance::one_interval(windows);
+}
+
+/// Multiprocessor staircase: pinned occupancy counts rise to p and fall
+/// back ({1, 2, 3, 3, 2, 1} on p = 3), with a little seeded widening that
+/// keeps the anchor schedule valid. Exercises the Lemma 1 staircase
+/// accounting of the multiprocessor DPs.
+Instance make_staircase_multiproc(std::uint64_t seed) {
+  Prng rng(mix(seed, 19));
+  constexpr int kCounts[] = {1, 2, 3, 3, 2, 1};
+  Instance inst;
+  inst.processors = 3;
+  for (std::size_t t = 0; t < std::size(kCounts); ++t) {
+    for (int c = 0; c < kCounts[t]; ++c) {
+      const Time anchor = static_cast<Time>(t);
+      const Time lo = std::max<Time>(0, anchor - rng.uniform(0, 1));
+      inst.jobs.push_back(Job{TimeSet::window(lo, anchor + rng.uniform(0, 1))});
+    }
+  }
+  return inst;
+}
+
+/// Infeasible by one: a Hall-critical block of b slots with b + 1 jobs
+/// (one too many), plus feasible filler elsewhere. Solvers must report
+/// infeasible without crashing or returning a partial answer.
+Instance make_infeasible_by_one(std::uint64_t seed) {
+  Prng rng(mix(seed, 23));
+  constexpr Time kBlockLen = 4;
+  const Time block = 8 + rng.uniform(0, 3);
+  std::vector<std::pair<Time, Time>> windows;
+  for (Time j = 0; j < kBlockLen + 1; ++j) {
+    windows.emplace_back(block, block + kBlockLen - 1);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    // Filler strictly left of the block (clamped: the last window could
+    // otherwise touch the block's first slot on small block draws).
+    const Time lo = static_cast<Time>(i) * 2 + rng.uniform(0, 1);
+    windows.emplace_back(lo, std::min<Time>(lo + 1, block - 1));
+  }
+  rng.shuffle(windows);
+  return Instance::one_interval(windows);
+}
+
+/// Everyone at one instant: n jobs pinned to a single time on one
+/// processor. The canonical near-infeasible sentinel stressor (every
+/// subproblem of the DPs is infeasible).
+Instance make_overloaded_point(std::uint64_t seed) {
+  Prng rng(mix(seed, 29));
+  const Time t = rng.uniform(0, 20);
+  std::vector<std::pair<Time, Time>> windows(6, {t, t});
+  return Instance::one_interval(windows);
+}
+
+Scenario wrap(std::string name, std::string summary,
+              std::function<Instance(std::uint64_t)> make) {
+  Scenario s;
+  s.name = std::move(name);
+  s.summary = std::move(summary);
+  s.make = std::move(make);
+  return s;
+}
+
+}  // namespace
+
+ScenarioCatalog::ScenarioCatalog() {
+  auto add = [this](Scenario s) {
+    // Fill the per-seed-invariant descriptors from a probe draw.
+    const Instance probe = s.make(1);
+    s.jobs = probe.n();
+    s.processors = probe.processors;
+    scenarios_.emplace(s.name, std::move(s));
+  };
+
+  // -- the gen/ families, under stable names ------------------------------
+  Scenario s = wrap("uniform_loose",
+                    "uniform windows, moderate slack; may be infeasible",
+                    [](std::uint64_t seed) {
+                      Prng rng(mix(seed, 1));
+                      return gen_uniform_one_interval(rng, 9, 18, 6);
+                    });
+  add(std::move(s));
+
+  s = wrap("feasible_spread",
+           "anchored one-interval jobs, slack 3; feasible by construction",
+           [](std::uint64_t seed) {
+             Prng rng(mix(seed, 2));
+             return gen_feasible_one_interval(rng, 9, 18, 3);
+           });
+  s.always_feasible = true;
+  add(std::move(s));
+
+  s = wrap("bursty_clusters",
+           "3 bursts x 3 jobs, window 4; the sensor duty-cycle shape",
+           [](std::uint64_t seed) {
+             Prng rng(mix(seed, 3));
+             return gen_bursty(rng, 3, 3, 12, 4);
+           });
+  s.always_feasible = true;
+  add(std::move(s));
+
+  s = wrap("multi_interval_decoys",
+           "anchored 2-interval jobs (Section 5 shape)",
+           [](std::uint64_t seed) {
+             Prng rng(mix(seed, 4));
+             return gen_multi_interval(rng, 8, 20, 2, 2);
+           });
+  s.always_feasible = true;
+  s.one_interval = false;
+  add(std::move(s));
+
+  s = wrap("unit_points", "anchored 3-unit point jobs (Section 5 shape)",
+           [](std::uint64_t seed) {
+             Prng rng(mix(seed, 5));
+             return gen_unit_points(rng, 8, 18, 3);
+           });
+  s.always_feasible = true;
+  s.one_interval = false;
+  add(std::move(s));
+
+  s = wrap("online_adversarial",
+           "paper's Omega(n) online lower-bound family (deterministic)",
+           [](std::uint64_t) { return gen_online_adversarial(5); });
+  s.always_feasible = true;
+  add(std::move(s));
+
+  // -- adversarial additions ---------------------------------------------
+  s = wrap("nested_windows", "strictly nested windows, shuffled job order",
+           make_nested_windows);
+  s.always_feasible = true;
+  add(std::move(s));
+
+  s = wrap("sparse_spread",
+           "near-pinned jobs far apart; forces one span per job",
+           make_sparse_spread);
+  s.always_feasible = true;
+  add(std::move(s));
+
+  s = wrap("power_longhaul",
+           "few jobs on a long horizon; gaps straddle typical alpha",
+           make_power_longhaul);
+  s.always_feasible = true;
+  add(std::move(s));
+
+  s = wrap("hall_critical",
+           "zero-slack Hall-equality blocks; every schedule is forced",
+           make_hall_critical);
+  s.always_feasible = true;
+  add(std::move(s));
+
+  s = wrap("staircase_multiproc",
+           "p=3 staircase occupancy {1,2,3,3,2,1} with unit widening",
+           make_staircase_multiproc);
+  s.always_feasible = true;
+  add(std::move(s));
+
+  s = wrap("infeasible_by_one",
+           "Hall block with one job too many, plus feasible filler",
+           make_infeasible_by_one);
+  s.always_infeasible = true;
+  add(std::move(s));
+
+  s = wrap("overloaded_point", "all jobs pinned to one instant (p=1)",
+           make_overloaded_point);
+  s.always_infeasible = true;
+  add(std::move(s));
+}
+
+const ScenarioCatalog& ScenarioCatalog::instance() {
+  static const ScenarioCatalog catalog;
+  return catalog;
+}
+
+const Scenario* ScenarioCatalog::find(std::string_view name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario*> ScenarioCatalog::all() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, s] : scenarios_) out.push_back(&s);
+  return out;
+}
+
+std::vector<std::string> ScenarioCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, s] : scenarios_) out.push_back(name);
+  return out;
+}
+
+std::optional<Instance> make_scenario(std::string_view name,
+                                      std::uint64_t seed) {
+  const Scenario* s = ScenarioCatalog::instance().find(name);
+  if (s == nullptr) return std::nullopt;
+  return s->make(seed);
+}
+
+}  // namespace gapsched::scenarios

@@ -4,6 +4,7 @@
 
 #include "gapsched/exact/brute_force.hpp"
 #include "gapsched/gen/generators.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -49,7 +50,9 @@ TEST(Baptiste, InterleavesLooseJobsBetweenTightOnes) {
 class BaptisteVsBruteForce : public ::testing::TestWithParam<int> {};
 
 TEST_P(BaptisteVsBruteForce, Agrees) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = gen_uniform_one_interval(rng, 6, 10, 4, 1);
   const ExactGapResult bf = brute_force_min_transitions(inst);
   const BaptisteResult bp = solve_baptiste(inst);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gapsched/gen/generators.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -86,7 +87,9 @@ TEST(Schedule, StaircaseAssignmentIsValidAndMatchesProfile) {
 class StaircaseProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(StaircaseProperty, PerProcessorMatchesProfile) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) + 77);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   const int p = 1 + GetParam() % 3;
   Instance inst = gen_feasible_one_interval(rng, 8, 12, 2, p);
   // Anchor schedule: place each job at its window midpoint may violate

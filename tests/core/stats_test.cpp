@@ -4,6 +4,7 @@
 
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/matching/feasibility.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -39,7 +40,9 @@ TEST(Stats, MultiIntervalLiveTime) {
 
 TEST(Stats, ContentionAboveOneImpliesInfeasible) {
   for (int seed = 0; seed < 30; ++seed) {
-    Prng rng(static_cast<std::uint64_t>(seed) * 227 + 1);
+    const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(seed) * 227 + 1);
+    GAPSCHED_TRACE_SEED(prng_seed);
+    Prng rng(prng_seed);
     Instance inst = gen_uniform_one_interval(rng, 8, 8, 3, 1);
     InstanceStats s = compute_stats(inst);
     if (s.contention > 1.0) {

@@ -7,6 +7,7 @@
 
 #include "gapsched/core/timeset.hpp"
 #include "gapsched/util/prng.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -33,7 +34,10 @@ TimeSet random_set(Prng& rng, Time lo, Time hi) {
 class TimeSetFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(TimeSetFuzz, OperationChainMatchesReference) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 251 + 17);
+  const std::uint64_t seed =
+      testing::seed_for(static_cast<std::uint64_t>(GetParam()));
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   TimeSet current = random_set(rng, 0, 40);
   std::set<Time> model = materialize(current);
 

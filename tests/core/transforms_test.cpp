@@ -4,6 +4,7 @@
 
 #include "gapsched/exact/brute_force.hpp"
 #include "gapsched/gen/generators.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -47,7 +48,9 @@ TEST(CompressDeadTime, EmptyInstance) {
 class CompressionPreservesGaps : public ::testing::TestWithParam<int> {};
 
 TEST_P(CompressionPreservesGaps, OptimaMatch) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 17);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 211 + 17);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   // Sparse instances with real deserts.
   Instance inst;
   inst.processors = 1 + static_cast<int>(rng.index(2));

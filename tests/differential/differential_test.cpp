@@ -1,0 +1,181 @@
+// Registry-wide differential testing: every catalog scenario is fanned
+// through solve_many() across every registered solver family, and the
+// results are pinned against each other and against the independent oracle:
+//
+//   * exact families agree on feasibility and on the objective value,
+//   * every returned schedule and cost survives the oracle audit,
+//   * no heuristic ever beats the exact optimum,
+//   * the throughput greedy never beats the exhaustive restart optimum.
+//
+// Runs under the `long` ctest label. Failures print the scenario name and
+// the PRNG seed; replay with GAPSCHED_TEST_SEED=<base> (see README).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/restart/restart_greedy.hpp"
+#include "gapsched/scenarios/scenarios.hpp"
+#include "../support/test_seed.hpp"
+
+namespace gapsched {
+namespace {
+
+using engine::BatchJob;
+using engine::Objective;
+using engine::SolveResult;
+using engine::Solver;
+using engine::SolverRegistry;
+using scenarios::Scenario;
+using scenarios::ScenarioCatalog;
+
+constexpr int kSeedsPerScenario = 6;
+constexpr double kAlpha = 2.5;
+constexpr std::size_t kMaxSpans = 2;
+
+/// Relative tolerance for double-valued power costs (the exact DPs and the
+/// oracle accumulate the same quantities in different orders).
+double power_tol(double a, double b) {
+  return 1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+TEST(Differential, RegistryWideAgreementOnCatalog) {
+  const SolverRegistry& registry = SolverRegistry::instance();
+  const std::vector<const Solver*> solvers = registry.all();
+  ASSERT_EQ(solvers.size(), 12u) << "differential suite expects every "
+                                    "registered family to participate";
+  const std::vector<const Scenario*> catalog =
+      ScenarioCatalog::instance().all();
+  ASSERT_GE(catalog.size(), 10u);
+
+  ThreadPool pool;
+  std::map<std::string, int> solved_cells;  // family -> cells it answered
+
+  for (std::size_t sc_idx = 0; sc_idx < catalog.size(); ++sc_idx) {
+    const Scenario* sc = catalog[sc_idx];
+    SCOPED_TRACE(::testing::Message() << "scenario " << sc->name);
+    for (int draw = 0; draw < kSeedsPerScenario; ++draw) {
+      const std::uint64_t seed = testing::seed_for(sc_idx * 97 + draw);
+      GAPSCHED_TRACE_SEED(seed);
+      const Instance inst = sc->make(seed);
+
+      std::vector<BatchJob> batch;
+      batch.reserve(solvers.size());
+      for (const Solver* solver : solvers) {
+        BatchJob job;
+        job.solver = solver->info().name;
+        job.request.instance = inst;
+        job.request.objective = solver->info().objective;
+        job.request.params.alpha = kAlpha;
+        job.request.params.max_spans = kMaxSpans;
+        job.request.params.validate = true;
+        batch.push_back(std::move(job));
+      }
+      const std::vector<SolveResult> results = engine::solve_many(batch, pool);
+      ASSERT_EQ(results.size(), solvers.size());
+
+      // -- oracle: every produced answer survives the independent audit --
+      for (std::size_t i = 0; i < solvers.size(); ++i) {
+        if (!results[i].ok) continue;  // envelope rejection, not an answer
+        ++solved_cells[solvers[i]->info().name];
+        EXPECT_TRUE(results[i].audited) << solvers[i]->info().name;
+        EXPECT_EQ(results[i].audit_error, "")
+            << solvers[i]->info().name << ": " << results[i].audit_error;
+      }
+
+      // -- exact families agree with each other ---------------------------
+      // Feasibility is one question across both complete-schedule
+      // objectives, so every exact verdict must match.
+      int feasible_verdict = -1;  // -1 unknown, else 0/1
+      std::int64_t gap_opt = -1;
+      const char* gap_opt_from = nullptr;
+      double power_opt = -1.0;
+      const char* power_opt_from = nullptr;
+      for (std::size_t i = 0; i < solvers.size(); ++i) {
+        const engine::SolverInfo& info = solvers[i]->info();
+        if (!info.exact || !results[i].ok) continue;
+        const int feas = results[i].feasible ? 1 : 0;
+        if (feasible_verdict == -1) {
+          feasible_verdict = feas;
+        } else {
+          EXPECT_EQ(feas, feasible_verdict)
+              << info.name << " disagrees on feasibility";
+        }
+        if (!results[i].feasible) continue;
+        if (info.objective == Objective::kGaps) {
+          if (gap_opt_from == nullptr) {
+            gap_opt = results[i].transitions;
+            gap_opt_from = info.name.c_str();
+          } else {
+            EXPECT_EQ(results[i].transitions, gap_opt)
+                << info.name << " vs " << gap_opt_from;
+          }
+        } else if (info.objective == Objective::kPower) {
+          if (power_opt_from == nullptr) {
+            power_opt = results[i].cost;
+            power_opt_from = info.name.c_str();
+          } else {
+            EXPECT_NEAR(results[i].cost, power_opt,
+                        power_tol(results[i].cost, power_opt))
+                << info.name << " vs " << power_opt_from;
+          }
+        }
+      }
+
+      // -- the catalog's advertised guarantees hold -----------------------
+      ASSERT_NE(feasible_verdict, -1)
+          << "no exact solver accepted this scenario";
+      if (sc->always_feasible) EXPECT_EQ(feasible_verdict, 1);
+      if (sc->always_infeasible) EXPECT_EQ(feasible_verdict, 0);
+
+      // -- heuristics are bounded below by the exact optimum --------------
+      for (std::size_t i = 0; i < solvers.size(); ++i) {
+        const engine::SolverInfo& info = solvers[i]->info();
+        if (info.exact || !results[i].ok || !results[i].feasible) continue;
+        if (info.objective == Objective::kThroughput) continue;
+        // A complete schedule that passed the oracle certifies feasibility,
+        // so an exact "infeasible" verdict would be a contradiction.
+        EXPECT_EQ(feasible_verdict, 1)
+            << info.name << " produced a valid schedule on an instance the "
+            << "exact solvers call infeasible";
+        if (info.objective == Objective::kGaps && gap_opt_from != nullptr) {
+          EXPECT_GE(results[i].transitions, gap_opt)
+              << info.name << " beat the exact optimum " << gap_opt_from;
+        }
+        if (info.objective == Objective::kPower && power_opt_from != nullptr) {
+          EXPECT_GE(results[i].cost,
+                    power_opt - power_tol(results[i].cost, power_opt))
+              << info.name << " beat the exact optimum " << power_opt_from;
+        }
+      }
+
+      // -- throughput: greedy never beats the exhaustive optimum ----------
+      const Time horizon =
+          inst.n() == 0 ? 0 : inst.latest_deadline() - inst.earliest_release();
+      if (inst.n() <= 9 && inst.processors == 1 && horizon <= 40) {
+        for (std::size_t i = 0; i < solvers.size(); ++i) {
+          if (solvers[i]->info().objective != Objective::kThroughput ||
+              !results[i].ok) {
+            continue;
+          }
+          const std::size_t exact_max = restart_exact_max_jobs(inst, kMaxSpans);
+          EXPECT_LE(results[i].stats.scheduled, exact_max)
+              << solvers[i]->info().name << " beat the exhaustive optimum";
+        }
+      }
+    }
+  }
+
+  // Acceptance: all 12 families actually answered somewhere in the sweep.
+  for (const Solver* solver : solvers) {
+    EXPECT_GE(solved_cells[solver->info().name], 1)
+        << solver->info().name << " never ran inside its envelope";
+  }
+}
+
+}  // namespace
+}  // namespace gapsched

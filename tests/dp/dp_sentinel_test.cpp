@@ -13,6 +13,7 @@
 #include "gapsched/exact/brute_force.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/util/prng.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -85,8 +86,10 @@ TEST(NearInfeasible, SaturatedWindowsFlipAtCapacity) {
 // duplicates) drive the DP through long chains of infeasible subwindows;
 // the optimum must still match the brute force on the feasible draws.
 TEST(NearInfeasible, TightCombsMatchBruteForce) {
-  for (int seed = 0; seed < 12; ++seed) {
-    Prng rng(static_cast<std::uint64_t>(seed) * 7919 + 3);
+  for (int site = 0; site < 12; ++site) {
+    const std::uint64_t seed = testing::seed_for(300 + site);
+    GAPSCHED_TRACE_SEED(seed);
+    Prng rng(seed);
     Instance inst;
     inst.processors = 1;
     const std::size_t n = 7;
@@ -113,7 +116,9 @@ TEST(NearInfeasible, TightCombsMatchBruteForce) {
 TEST(MemoTable, MatchesUnorderedMapReference) {
   dp::MemoTable<std::int64_t> table;
   std::unordered_map<std::uint64_t, std::int64_t> reference;
-  Prng rng(123457);
+  const std::uint64_t seed = testing::seed_for(400);
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   // Enough inserts to force several growth rehashes past the 1024-slot
   // initial capacity, with structured keys like the DP produces.
   for (int i = 0; i < 20000; ++i) {

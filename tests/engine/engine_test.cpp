@@ -21,12 +21,15 @@
 #include "gapsched/online/online_powerdown.hpp"
 #include "gapsched/powermin/powermin_approx.hpp"
 #include "gapsched/restart/restart_greedy.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched::engine {
 namespace {
 
-Instance small_instance(std::uint64_t seed) {
-  Prng rng(seed);
+Instance small_instance(std::uint64_t site) {
+  // Routed through the shared seed plumbing so GAPSCHED_TEST_SEED sweeps
+  // the whole engine suite onto fresh draws.
+  Prng rng(testing::seed_for(site));
   return gen_feasible_one_interval(rng, 8, 16, 3, 1);
 }
 

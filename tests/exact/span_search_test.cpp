@@ -5,6 +5,7 @@
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/exact/brute_force.hpp"
 #include "gapsched/gen/generators.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -59,7 +60,9 @@ TEST(SpanSearch, HandlesMidSizeInstances) {
 class SpanSearchAgreement : public ::testing::TestWithParam<int> {};
 
 TEST_P(SpanSearchAgreement, MatchesBruteForce) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 149 + 7);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 149 + 7);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = (GetParam() % 2 == 0)
                       ? gen_multi_interval(rng, 7, 16, 2, 2)
                       : gen_unit_points(rng, 7, 14, 3);
@@ -73,7 +76,9 @@ TEST_P(SpanSearchAgreement, MatchesBruteForce) {
 }
 
 TEST_P(SpanSearchAgreement, MatchesGapDpOnOneInterval) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 151 + 11);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 151 + 11);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = gen_uniform_one_interval(rng, 8, 12, 4, 1);
   const GapDpResult dp = solve_gap_dp(inst);
   const SpanSearchResult ss = span_search_min_transitions(inst);

@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include "gapsched/matching/feasibility.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
 
 TEST(Generators, UniformShapes) {
-  Prng rng(1);
+  const std::uint64_t seed = testing::seed_for(1);
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   Instance inst = gen_uniform_one_interval(rng, 20, 50, 5, 2);
   EXPECT_EQ(inst.n(), 20u);
   EXPECT_EQ(inst.processors, 2);
@@ -20,7 +23,9 @@ TEST(Generators, UniformShapes) {
 }
 
 TEST(Generators, FeasibleFamilyIsFeasible) {
-  Prng rng(2);
+  const std::uint64_t seed = testing::seed_for(2);
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   for (int it = 0; it < 15; ++it) {
     const int p = 1 + static_cast<int>(rng.index(3));
     Instance inst = gen_feasible_one_interval(rng, 10, 15, 3, p);
@@ -29,21 +34,27 @@ TEST(Generators, FeasibleFamilyIsFeasible) {
 }
 
 TEST(Generators, BurstyIsFeasibleWhenSized) {
-  Prng rng(3);
+  const std::uint64_t seed = testing::seed_for(3);
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   Instance inst = gen_bursty(rng, 4, 3, 30, 8, 1);
   EXPECT_EQ(inst.n(), 12u);
   EXPECT_TRUE(is_feasible(inst));
 }
 
 TEST(Generators, MultiIntervalAnchored) {
-  Prng rng(4);
+  const std::uint64_t seed = testing::seed_for(4);
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   Instance inst = gen_multi_interval(rng, 8, 30, 3, 2);
   EXPECT_TRUE(is_feasible(inst));
   EXPECT_LE(inst.max_intervals_per_job(), 3u);
 }
 
 TEST(Generators, UnitPointsAnchored) {
-  Prng rng(5);
+  const std::uint64_t seed = testing::seed_for(5);
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   Instance inst = gen_unit_points(rng, 8, 20, 3);
   EXPECT_TRUE(is_feasible(inst));
   for (const Job& j : inst.jobs) {
@@ -62,7 +73,9 @@ TEST(Generators, AdversarialShape) {
 }
 
 TEST(Generators, DeterministicUnderSeed) {
-  Prng a(77), b(77);
+  const std::uint64_t seed = testing::seed_for(77);
+  GAPSCHED_TRACE_SEED(seed);
+  Prng a(seed), b(seed);
   Instance ia = gen_uniform_one_interval(a, 10, 30, 4, 1);
   Instance ib = gen_uniform_one_interval(b, 10, 30, 4, 1);
   for (std::size_t j = 0; j < ia.n(); ++j) {

@@ -4,6 +4,7 @@
 
 #include "gapsched/baptiste/baptiste.hpp"
 #include "gapsched/gen/generators.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -50,7 +51,9 @@ TEST(FhknGreedy, InterleavingInstance) {
 class FhknRatio : public ::testing::TestWithParam<int> {};
 
 TEST_P(FhknRatio, WithinFactorThree) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 11);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 71 + 11);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = (GetParam() % 2 == 0)
                       ? gen_uniform_one_interval(rng, 8, 14, 5, 1)
                       : gen_feasible_one_interval(rng, 8, 16, 3, 1);

@@ -6,6 +6,7 @@
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/matching/feasibility.hpp"
 #include "gapsched/online/online_edf.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -55,7 +56,9 @@ TEST(Lazy, PinnedJobsRunOnTime) {
 class LazyProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(LazyProperty, FeasibleAndAboveOpt) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 199 + 3);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 199 + 3);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = gen_uniform_one_interval(rng, 9, 16, 5, 1);
   const bool feasible = is_feasible(inst);
   LazyResult r = lazy_schedule(inst);

@@ -16,6 +16,7 @@
 #include "gapsched/reductions/setcover_to_powermin.hpp"
 #include "gapsched/restart/restart_greedy.hpp"
 #include "gapsched/setcover/setcover.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -26,7 +27,9 @@ namespace {
 class SolverMatrix : public ::testing::TestWithParam<int> {};
 
 TEST_P(SolverMatrix, AllSolversConsistent) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 173 + 7);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 173 + 7);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = (GetParam() % 2 == 0)
                       ? gen_uniform_one_interval(rng, 8, 12, 4, 1)
                       : gen_feasible_one_interval(rng, 8, 16, 3, 1);
@@ -85,7 +88,9 @@ INSTANTIATE_TEST_SUITE_P(Random, SolverMatrix, ::testing::Range(0, 25));
 class SerializeSolve : public ::testing::TestWithParam<int> {};
 
 TEST_P(SerializeSolve, SameOptimumAfterRoundTrip) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 179 + 11);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 179 + 11);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = gen_multi_interval(rng, 7, 18, 2, 2,
                                      1 + static_cast<int>(rng.index(2)));
   auto parsed = instance_from_string(instance_to_string(inst));
@@ -156,7 +161,9 @@ TEST(Pipelines, RestartWithFullBudgetCompletes) {
 class ApproxVsExactPower : public ::testing::TestWithParam<int> {};
 
 TEST_P(ApproxVsExactPower, ApproxAboveExact) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 191 + 13);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 191 + 13);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = gen_feasible_one_interval(rng, 8, 16, 3, 1);
   const double alpha = 0.5 + static_cast<double>(rng.index(8));
   engine::SolveRequest req{inst, engine::Objective::kPower, {}};

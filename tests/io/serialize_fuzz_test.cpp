@@ -6,6 +6,7 @@
 
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/io/serialize.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -13,7 +14,10 @@ namespace {
 class SerializeFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SerializeFuzz, MutatedDocumentsHandledCleanly) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 257 + 19);
+  const std::uint64_t seed =
+      testing::seed_for(100 + static_cast<std::uint64_t>(GetParam()));
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   Instance inst = gen_multi_interval(rng, 5, 15, 2, 2);
   std::string text = instance_to_string(inst);
 
@@ -48,7 +52,9 @@ TEST_P(SerializeFuzz, MutatedDocumentsHandledCleanly) {
 INSTANTIATE_TEST_SUITE_P(Mutations, SerializeFuzz, ::testing::Range(0, 60));
 
 TEST(SerializeFuzz, TruncationsHandledCleanly) {
-  Prng rng(11);
+  const std::uint64_t seed = testing::seed_for(99);
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   Instance inst = gen_multi_interval(rng, 4, 12, 2, 2);
   const std::string text = instance_to_string(inst);
   for (std::size_t len = 0; len < text.size(); len += 3) {

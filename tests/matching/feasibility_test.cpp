@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gapsched/gen/generators.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -71,7 +72,9 @@ TEST(ExtendSchedule, RejectsOverfullSeed) {
 class Lemma3Property : public ::testing::TestWithParam<int> {};
 
 TEST_P(Lemma3Property, SpanGrowthBounded) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 3);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 97 + 3);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = gen_feasible_one_interval(rng, 10, 20, 3);
   ASSERT_TRUE(is_feasible(inst));
 

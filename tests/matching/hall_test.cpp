@@ -4,6 +4,7 @@
 
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/matching/feasibility.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -65,7 +66,9 @@ TEST(Hall, RejectsBogusViolation) {
 class HallProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(HallProperty, CertificateIffInfeasible) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 239 + 5);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 239 + 5);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   const int p = 1 + static_cast<int>(rng.index(2));
   Instance inst = (GetParam() % 2 == 0)
                       ? gen_uniform_one_interval(rng, 9, 9, 3, p)

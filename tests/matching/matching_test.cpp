@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "gapsched/util/prng.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -84,7 +85,9 @@ TEST(HopcroftKarp, MatchingIsConsistent) {
 class MatcherAgreement : public ::testing::TestWithParam<int> {};
 
 TEST_P(MatcherAgreement, SameCardinality) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   const std::size_t nl = 1 + rng.index(12);
   const std::size_t nr = 1 + rng.index(12);
   Bipartite g(nl, nr);

@@ -4,6 +4,7 @@
 
 #include "gapsched/dp/power_dp.hpp"
 #include "gapsched/gen/generators.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -60,7 +61,9 @@ TEST(OnlinePowerdown, InfeasiblePropagates) {
 class ThresholdCompetitive : public ::testing::TestWithParam<int> {};
 
 TEST_P(ThresholdCompetitive, WithinTwiceSameScheduleOptimum) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 163 + 3);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 163 + 3);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = gen_uniform_one_interval(rng, 8, 20, 5, 1);
   const double alpha = 0.5 + static_cast<double>(rng.index(12));
   OnlinePowerdownResult r = online_powerdown(inst, alpha);
@@ -72,7 +75,9 @@ TEST_P(ThresholdCompetitive, WithinTwiceSameScheduleOptimum) {
 }
 
 TEST_P(ThresholdCompetitive, NeverBelowOfflineOptimum) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 167 + 5);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 167 + 5);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = gen_feasible_one_interval(rng, 7, 14, 3, 1);
   const double alpha = 1.0 + static_cast<double>(rng.index(6));
   OnlinePowerdownResult online = online_powerdown(inst, alpha);

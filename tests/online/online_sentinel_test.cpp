@@ -1,0 +1,132 @@
+// Near-infeasible and degenerate-input coverage for the online solvers,
+// mirroring dp/dp_sentinel_test.cpp: empty instances, everyone pinned to
+// one instant, saturated windows that flip infeasible one job past
+// capacity, and tight random combs cross-checked against the offline
+// ground truth for the feasibility verdict.
+
+#include <gtest/gtest.h>
+
+#include "gapsched/exact/brute_force.hpp"
+#include "gapsched/online/online_edf.hpp"
+#include "gapsched/online/online_powerdown.hpp"
+#include "gapsched/oracle/oracle.hpp"
+#include "gapsched/util/prng.hpp"
+#include "../support/test_seed.hpp"
+
+namespace gapsched {
+namespace {
+
+TEST(OnlineSentinel, EmptyInstances) {
+  Instance inst;
+  const OnlineResult edf = online_edf(inst);
+  EXPECT_TRUE(edf.feasible);
+  EXPECT_EQ(edf.transitions, 0);
+  EXPECT_EQ(edf.schedule.size(), 0u);
+
+  const OnlinePowerdownResult pd = online_powerdown(inst, 2.0);
+  EXPECT_TRUE(pd.feasible);
+  EXPECT_DOUBLE_EQ(pd.power, 0.0);
+  EXPECT_EQ(pd.transitions, 0);
+}
+
+TEST(OnlineSentinel, OverloadedPointIsCleanlyInfeasible) {
+  for (int n = 2; n <= 6; ++n) {
+    Instance inst;
+    inst.processors = 1;
+    for (int j = 0; j < n; ++j) {
+      inst.jobs.push_back(Job{TimeSet::window(5, 5)});
+    }
+    EXPECT_FALSE(online_edf(inst).feasible) << n;
+    EXPECT_FALSE(online_powerdown(inst, 2.0).feasible) << n;
+    EXPECT_FALSE(online_powerdown(inst, 0.0, 0.0).feasible) << n;
+  }
+}
+
+TEST(OnlineSentinel, SaturatedWindowFlipsAtCapacity) {
+  const Time h = 5;
+  Instance inst;
+  inst.processors = 1;
+  for (Time cap = 0; cap < h; ++cap) {
+    inst.jobs.push_back(Job{TimeSet::window(0, h - 1)});
+  }
+  // Exactly full: EDF fills [0, h) back to back; one busy run.
+  const OnlineResult full = online_edf(inst);
+  ASSERT_TRUE(full.feasible);
+  EXPECT_EQ(full.transitions, 1);
+  const oracle::ScheduleAudit audit = oracle::audit_schedule(inst, full.schedule);
+  EXPECT_TRUE(audit.valid) << audit.violation_summary();
+  EXPECT_EQ(audit.transitions, full.transitions);
+
+  const OnlinePowerdownResult pd_full = online_powerdown(inst, 2.0);
+  ASSERT_TRUE(pd_full.feasible);
+  EXPECT_EQ(pd_full.transitions, 1);
+  EXPECT_DOUBLE_EQ(pd_full.power, static_cast<double>(h) + 2.0);
+
+  // One job past capacity: both must flag infeasibility, not crash.
+  inst.jobs.push_back(Job{TimeSet::window(0, h - 1)});
+  EXPECT_FALSE(online_edf(inst).feasible);
+  EXPECT_FALSE(online_powerdown(inst, 2.0).feasible);
+}
+
+TEST(OnlineSentinel, SingleUnitWindows) {
+  // A single pinned job, and two pinned jobs with a gap: the smallest
+  // non-empty cases on both sides of a wake-up decision.
+  Instance one = Instance::one_interval({{7, 7}});
+  const OnlineResult r1 = online_edf(one);
+  ASSERT_TRUE(r1.feasible);
+  EXPECT_EQ(r1.transitions, 1);
+  EXPECT_EQ(r1.schedule.at(0)->time, 7);
+
+  Instance two = Instance::one_interval({{0, 0}, {2, 2}});
+  const OnlineResult r2 = online_edf(two);
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_EQ(r2.transitions, 2);
+  // Threshold > gap bridges; threshold 0 sleeps immediately.
+  const OnlinePowerdownResult bridged = online_powerdown(two, 5.0);
+  ASSERT_TRUE(bridged.feasible);
+  EXPECT_EQ(bridged.transitions, 1);
+  const OnlinePowerdownResult slept = online_powerdown(two, 5.0, 0.0);
+  ASSERT_TRUE(slept.feasible);
+  EXPECT_EQ(slept.transitions, 2);
+}
+
+TEST(OnlineSentinel, TightCombsAgreeWithOfflineFeasibility) {
+  // EDF is feasibility-optimal for unit jobs on one processor, so its
+  // verdict must match the exhaustive reference on every tight draw —
+  // and when feasible, its schedule must survive the oracle.
+  for (std::uint64_t site = 0; site < 16; ++site) {
+    const std::uint64_t seed = testing::seed_for(2000 + site);
+    GAPSCHED_TRACE_SEED(seed);
+    Prng rng(seed);
+    Instance inst;
+    inst.processors = 1;
+    const std::size_t n = 7;
+    for (std::size_t j = 0; j < n; ++j) {
+      const Time a = static_cast<Time>(rng.index(n + 2));
+      const Time d = a + static_cast<Time>(rng.index(2));
+      inst.jobs.push_back(Job{TimeSet::window(a, d)});
+    }
+    const ExactGapResult ref = brute_force_min_transitions(inst);
+    const OnlineResult edf = online_edf(inst);
+    EXPECT_EQ(edf.feasible, ref.feasible);
+    const OnlinePowerdownResult pd = online_powerdown(inst, 1.5);
+    EXPECT_EQ(pd.feasible, ref.feasible);
+    if (edf.feasible) {
+      const oracle::ScheduleAudit audit =
+          oracle::audit_schedule(inst, edf.schedule);
+      EXPECT_TRUE(audit.valid) << audit.violation_summary();
+      EXPECT_EQ(audit.transitions, edf.transitions);
+      // Online can never beat offline OPT.
+      EXPECT_GE(edf.transitions, ref.transitions);
+    }
+    if (pd.feasible) {
+      const oracle::ScheduleAudit audit =
+          oracle::audit_schedule(inst, pd.schedule);
+      ASSERT_TRUE(audit.valid) << audit.violation_summary();
+      EXPECT_GE(pd.power, oracle::min_power(audit, 1.5) - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -5,6 +5,7 @@
 #include "gapsched/baptiste/baptiste.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/matching/feasibility.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -45,7 +46,9 @@ TEST(OnlineEdf, SleepsThroughDeadTime) {
 }
 
 TEST(OnlineEdf, ScheduleIsValid) {
-  Prng rng(99);
+  const std::uint64_t seed = testing::seed_for(99);
+  GAPSCHED_TRACE_SEED(seed);
+  Prng rng(seed);
   for (int it = 0; it < 20; ++it) {
     Instance inst = gen_uniform_one_interval(rng, 8, 12, 4, 1);
     OnlineResult r = online_edf(inst);

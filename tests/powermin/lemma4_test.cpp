@@ -8,6 +8,7 @@
 
 #include "gapsched/core/profile.hpp"
 #include "gapsched/util/prng.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -59,7 +60,9 @@ TEST(Lemma4, BlocksAreDisjointAndBusy) {
 class Lemma4Property : public ::testing::TestWithParam<int> {};
 
 TEST_P(Lemma4Property, BoundHolds) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 233 + 9);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 233 + 9);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   // Random spans: 1-5 runs of length 1-8.
   std::vector<Time> busy;
   Time t = rng.uniform(0, 5);

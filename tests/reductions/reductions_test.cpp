@@ -15,6 +15,7 @@
 #include "gapsched/reductions/setcover_to_powermin.hpp"
 #include "gapsched/reductions/two_unit_disjoint.hpp"
 #include "gapsched/setcover/setcover.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -45,7 +46,9 @@ TEST(SetCoverToPowerMin, Theorem5AlphaOverride) {
 class SetCoverGapEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(SetCoverGapEquivalence, CoverEqualsTransitionsMinusOne) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 61 + 19);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 61 + 19);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   SetCoverInstance sc = gen_random_set_cover(rng, 5 + rng.index(3), 4, 3);
   const SetCoverResult cover = exact_set_cover(sc);
   ASSERT_TRUE(cover.coverable);
@@ -68,7 +71,9 @@ INSTANTIATE_TEST_SUITE_P(Random, SetCoverGapEquivalence,
 class SetCoverPowerEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(SetCoverPowerEquivalence, CoverDeterminesPower) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 67 + 23);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 67 + 23);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   SetCoverInstance sc = gen_random_set_cover(rng, 5, 4, 3);
   const SetCoverResult cover = exact_set_cover(sc);
   ASSERT_TRUE(cover.coverable);
@@ -86,7 +91,9 @@ INSTANTIATE_TEST_SUITE_P(Random, SetCoverPowerEquivalence,
 class TwoIntervalEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(TwoIntervalEquivalence, OptimaDifferByExtraBlock) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 31);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 71 + 31);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   // Small multi-interval instances with >= 3 intervals on some jobs.
   Instance inst;
   inst.processors = 1;
@@ -120,7 +127,9 @@ INSTANTIATE_TEST_SUITE_P(Random, TwoIntervalEquivalence,
 class ThreeUnitEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(ThreeUnitEquivalence, OptimaDifferByExtraBlock) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 73 + 37);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 73 + 37);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst;
   inst.processors = 1;
   for (std::size_t j = 0; j < 3; ++j) {
@@ -151,7 +160,9 @@ INSTANTIATE_TEST_SUITE_P(Random, ThreeUnitEquivalence,
 class TwoUnitDisjointEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(TwoUnitDisjointEquivalence, ForwardWithinOne) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 79 + 41);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 79 + 41);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   // Random feasible 2-unit instance.
   Instance inst = gen_unit_points(rng, 6, 14, 2);
   TwoUnitDisjointReduction red = reduce_two_unit_to_disjoint(inst);
@@ -169,7 +180,9 @@ TEST_P(TwoUnitDisjointEquivalence, ForwardWithinOne) {
 }
 
 TEST_P(TwoUnitDisjointEquivalence, BackwardWithinOne) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 83 + 43);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 83 + 43);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   // Random disjoint-unit instance: partition a ground set of times.
   Instance inst;
   inst.processors = 1;
@@ -204,7 +217,9 @@ INSTANTIATE_TEST_SUITE_P(Random, TwoUnitDisjointEquivalence,
 class DisjointUnitSetCover : public ::testing::TestWithParam<int> {};
 
 TEST_P(DisjointUnitSetCover, TransitionsEqualCover) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 89 + 47);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 89 + 47);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   SetCoverInstance sc = gen_random_set_cover(rng, 5, 4, 3);
   const SetCoverResult cover = exact_set_cover(sc);
   ASSERT_TRUE(cover.coverable);
@@ -225,7 +240,9 @@ INSTANTIATE_TEST_SUITE_P(Random, DisjointUnitSetCover,
 class ArithmeticEquivalence : public ::testing::TestWithParam<int> {};
 
 TEST_P(ArithmeticEquivalence, EmbeddedOptimumMatchesMultiprocessor) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 53);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 97 + 53);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   const int p = 2 + static_cast<int>(rng.index(2));
   Instance inst = gen_uniform_one_interval(rng, 5, 7, 3, p);
 

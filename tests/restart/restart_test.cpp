@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "gapsched/gen/generators.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -73,7 +74,9 @@ TEST(RestartExact, MatchesHandExample) {
 class Theorem11Guarantee : public ::testing::TestWithParam<int> {};
 
 TEST_P(Theorem11Guarantee, RatioBounded) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 29);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 53 + 29);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   Instance inst = gen_multi_interval(rng, 8, 20, 2, 2);
   const std::size_t k = 1 + rng.index(3);
   const std::size_t greedy = restart_greedy(inst, k).scheduled;

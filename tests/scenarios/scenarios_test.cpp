@@ -1,0 +1,81 @@
+// Scenario catalog: registry behaviour, per-seed determinism, and the
+// advertised per-family guarantees (feasibility, shape, processor count)
+// over a sweep of seeds.
+
+#include "gapsched/scenarios/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gapsched/io/serialize.hpp"
+#include "gapsched/matching/feasibility.hpp"
+#include "../support/test_seed.hpp"
+
+namespace gapsched::scenarios {
+namespace {
+
+TEST(ScenarioCatalog, HasTheExpectedFamilies) {
+  const ScenarioCatalog& catalog = ScenarioCatalog::instance();
+  EXPECT_GE(catalog.size(), 10u);
+  const std::vector<std::string> names = catalog.names();
+  const std::set<std::string> got(names.begin(), names.end());
+  // The four seed generators plus the adversarial additions.
+  for (const char* required :
+       {"uniform_loose", "feasible_spread", "bursty_clusters",
+        "multi_interval_decoys", "unit_points", "online_adversarial",
+        "nested_windows", "sparse_spread", "power_longhaul", "hall_critical",
+        "staircase_multiproc", "infeasible_by_one", "overloaded_point"}) {
+    EXPECT_TRUE(got.count(required)) << required;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ScenarioCatalog, FindAndMakeAgree) {
+  const ScenarioCatalog& catalog = ScenarioCatalog::instance();
+  EXPECT_EQ(catalog.find("no_such_scenario"), nullptr);
+  EXPECT_FALSE(make_scenario("no_such_scenario", 1).has_value());
+  for (const Scenario* s : catalog.all()) {
+    EXPECT_EQ(catalog.find(s->name), s);
+    const auto inst = make_scenario(s->name, 42);
+    ASSERT_TRUE(inst.has_value()) << s->name;
+    EXPECT_EQ(instance_to_string(*inst), instance_to_string(s->make(42)))
+        << s->name;
+  }
+}
+
+TEST(ScenarioCatalog, DrawsAreDeterministicPerSeed) {
+  for (const Scenario* s : ScenarioCatalog::instance().all()) {
+    for (std::uint64_t seed : {1ull, 7ull, 12345678901234ull}) {
+      EXPECT_EQ(instance_to_string(s->make(seed)),
+                instance_to_string(s->make(seed)))
+          << s->name << " seed " << seed;
+    }
+  }
+}
+
+TEST(ScenarioCatalog, DescriptorsMatchDraws) {
+  for (const Scenario* s : ScenarioCatalog::instance().all()) {
+    for (std::uint64_t site = 0; site < 8; ++site) {
+      const std::uint64_t seed = testing::seed_for(site * 131 + s->jobs);
+      GAPSCHED_TRACE_SEED(seed);
+      const Instance inst = s->make(seed);
+      EXPECT_EQ(inst.n(), s->jobs) << s->name;
+      EXPECT_EQ(inst.processors, s->processors) << s->name;
+      EXPECT_EQ(inst.validate(), "") << s->name;
+      if (s->one_interval) {
+        EXPECT_TRUE(inst.is_one_interval()) << s->name;
+      }
+      if (s->always_feasible) {
+        EXPECT_TRUE(is_feasible(inst)) << s->name << " seed " << seed;
+      }
+      if (s->always_infeasible) {
+        EXPECT_FALSE(is_feasible(inst)) << s->name << " seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gapsched::scenarios

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -63,7 +64,9 @@ TEST(SetCover, GeneratorProducesCoverable) {
 class GreedyQuality : public ::testing::TestWithParam<int> {};
 
 TEST_P(GreedyQuality, WithinLogFactor) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 3);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 101 + 3);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   SetCoverInstance inst = gen_random_set_cover(rng, 12, 8, 4);
   const SetCoverResult greedy = greedy_set_cover(inst);
   const SetCoverResult exact = exact_set_cover(inst);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gapsched/util/prng.hpp"
+#include "../support/test_seed.hpp"
 
 namespace gapsched {
 namespace {
@@ -69,7 +70,9 @@ TEST(SetPacking, ValidityDetectsOverlap) {
 class SwapMonotone : public ::testing::TestWithParam<int> {};
 
 TEST_P(SwapMonotone, LargerSwapsNeverSmaller) {
-  Prng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 13);
+  const std::uint64_t prng_seed = testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 131 + 13);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
   SetPackingInstance inst;
   inst.universe = 18;
   const std::size_t sets = 12 + rng.index(10);

@@ -1,0 +1,46 @@
+#pragma once
+// Seed plumbing for the randomized tests: every randomized test derives its
+// Prng seeds through here so that (a) a failing assertion always names the
+// seed that produced the draw, via GAPSCHED_TRACE_SEED, and (b) setting
+// GAPSCHED_TEST_SEED=<n> re-runs the whole randomized surface on a
+// different — but still deterministic — stream, which is how a CI failure
+// under a swept seed is reproduced locally.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "gapsched/util/prng.hpp"
+
+namespace gapsched::testing {
+
+/// Base seed of this test process: the GAPSCHED_TEST_SEED environment
+/// variable when set, else a fixed default (so plain runs stay stable).
+inline std::uint64_t base_seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("GAPSCHED_TEST_SEED");
+    if (env != nullptr && *env != '\0') {
+      return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+    }
+    return std::uint64_t{20070609};
+  }();
+  return seed;
+}
+
+/// Mixes the base seed with a test-site counter, so neighbouring sites draw
+/// decorrelated streams under every base seed.
+inline std::uint64_t seed_for(std::uint64_t site) {
+  return splitmix64(base_seed() + 0x9e3779b97f4a7c15ull * site);
+}
+
+}  // namespace gapsched::testing
+
+/// Marks the current scope with the PRNG seed in use: any assertion failing
+/// inside it prints the seed, and the message names the env var that
+/// replays it.
+#define GAPSCHED_TRACE_SEED(seed_expr)                                  \
+  SCOPED_TRACE(::testing::Message()                                     \
+               << "prng seed = " << (seed_expr)                         \
+               << " (base GAPSCHED_TEST_SEED = "                        \
+               << ::gapsched::testing::base_seed() << ")")
