@@ -9,9 +9,15 @@
 // the batched solve_many() driver; per-trial wall times come back in
 // SolveResult::stats, so no hand-rolled stopwatch/mutex plumbing remains.
 // Every request carries params.validate, so each returned schedule is also
-// re-checked by the independent oracle; the table reports the audit tally.
+// re-checked by the independent oracle; the table reports the audit tally,
+// the per-row numbers land in BENCH_tab7.json, and either a refuted audit
+// or exact-solver disagreement makes the binary exit non-zero (the CI
+// benchmark lane's correctness gate — every family here is exact).
 
 #include "bench_common.hpp"
+#include "json_report.hpp"
+
+#include <limits>
 
 #include "gapsched/engine/solve_many.hpp"
 #include "gapsched/gen/generators.hpp"
@@ -26,6 +32,13 @@ int main(int, char** argv) {
   const char* kSolvers[] = {"gap_dp", "brute_force", "span_search"};
   Table table({"n", "family", "agree", "oracle", "dp_ms", "brute_ms",
                "span_ms"});
+  bench::Json report = bench::Json::object();
+  report.set("bench", "tab7_exact_solver_shootout")
+      .set("seed", bench::kSeed)
+      .set("trials", kTrials);
+  bench::Json json_rows = bench::Json::array();
+  int refuted = 0;
+  int disagreements = 0;
   ThreadPool pool;
 
   struct Row {
@@ -88,6 +101,7 @@ int main(int, char** argv) {
         if (r->audit_error.empty()) {
           ++audit_passes;
         } else {
+          ++refuted;
           std::cerr << "T7: oracle refuted a result on n=" << row.n
                     << " trial " << trial << ": " << r->audit_error << "\n";
         }
@@ -96,6 +110,7 @@ int main(int, char** argv) {
       bf_ms += bf.stats.wall_ms;
       ss_ms += ss.stats.wall_ms;
     }
+    disagreements += kTrials - agree;
     table.row()
         .add(row.n)
         .add(row.family)
@@ -104,7 +119,26 @@ int main(int, char** argv) {
         .add(row.one_interval ? dp_ms / kTrials : -1.0, 2)
         .add(bf_ms / kTrials, 2)
         .add(ss_ms / kTrials, 2);
+    json_rows.push(
+        bench::Json::object()
+            .set("n", row.n)
+            .set("family", row.family)
+            .set("agree", agree)
+            .set("audits", audits)
+            .set("audit_passes", audit_passes)
+            .set("dp_ms_mean",
+                 row.one_interval ? dp_ms / kTrials
+                                  : std::numeric_limits<double>::quiet_NaN())
+            .set("brute_ms_mean", bf_ms / kTrials)
+            .set("span_ms_mean", ss_ms / kTrials));
   }
   bench::emit(argv[0], table);
-  return 0;
+  report.set("rows", std::move(json_rows))
+      .set("refuted_exact", refuted)
+      .set("disagreements", disagreements);
+  bench::emit_json("tab7", report);
+  // CI gate: both an oracle-refuted answer and disagreement between the
+  // independent exact solvers (the optimality cross-check an internally
+  // consistent but suboptimal answer would slip past) are solver bugs.
+  return refuted == 0 && disagreements == 0 ? 0 : 1;
 }

@@ -6,8 +6,20 @@
 // optimum, and the audit tally. This is the registry-wide coverage table
 // backing the differential suite (tests/differential/) — the same catalog,
 // addressable by the same names from the CLI (`solver_cli --scenarios`).
+//
+// A second section measures the engine's prep decomposition pipeline: the
+// exact DPs on every one-interval scenario with decomposition on (the
+// default) vs off, reporting component counts and the wall-time speedup.
+// Sparse far-apart families (sparse_spread, power_longhaul) are the ones
+// the pipeline exists for.
+//
+// Everything lands in BENCH_tab9.json (per-family wall times, component
+// counts, audit tallies) — the machine-readable perf baseline CI archives.
+// The binary exits non-zero when the oracle refutes any exact family's
+// answer, so the CI benchmark lane doubles as a correctness gate.
 
 #include "bench_common.hpp"
+#include "json_report.hpp"
 
 #include <cmath>
 
@@ -19,13 +31,21 @@ using namespace gapsched;
 int main(int, char** argv) {
   bench::banner("T9 (scenario catalog sweep)",
                 "every named scenario, exact anchors + heuristics, "
-                "oracle-audited");
+                "oracle-audited; prep decomposition on-vs-off");
 
   constexpr int kTrials = 8;
   constexpr double kAlpha = 2.5;
   constexpr std::size_t kMaxSpans = 2;
   const engine::SolverRegistry& registry = engine::SolverRegistry::instance();
   const std::vector<const engine::Solver*> solvers = registry.all();
+
+  bench::Json report = bench::Json::object();
+  report.set("bench", "tab9_scenario_sweep")
+      .set("seed", bench::kSeed)
+      .set("alpha", kAlpha)
+      .set("trials", kTrials);
+  bench::Json scenario_rows = bench::Json::array();
+  int refuted_exact = 0;
 
   Table table({"scenario", "n", "p", "feas", "gap_opt", "power_opt",
                "greedy/opt", "apx_power/opt", "restart", "oracle"});
@@ -58,11 +78,13 @@ int main(int, char** argv) {
     for (std::size_t i = 0; i < results.size(); ++i) {
       const engine::SolveResult& r = results[i];
       if (!r.ok) continue;  // outside this family's envelope
+      const engine::Solver* solver = registry.find(batch[i].solver);
       if (r.audited) {
         ++audits;
         if (r.audit_error.empty()) {
           ++audit_passes;
         } else {
+          if (solver != nullptr && solver->info().exact) ++refuted_exact;
           std::cerr << "T9: oracle refuted " << batch[i].solver << " on "
                     << sc->name << ": " << r.audit_error << "\n";
         }
@@ -107,7 +129,152 @@ int main(int, char** argv) {
         .add(mean(apx_sum, apxs) / power_opt, 3)
         .add(mean(restart_sum, restarts), 2)
         .add(std::to_string(audit_passes) + "/" + std::to_string(audits));
+    scenario_rows.push(
+        bench::Json::object()
+            .set("scenario", sc->name)
+            .set("n", sc->jobs)
+            .set("p", sc->processors)
+            .set("feasible_trials", feasible)
+            .set("verdict_trials", feasible + infeasible)
+            .set("gap_opt_mean", gap_opt)
+            .set("power_opt_mean", power_opt)
+            .set("greedy_over_opt", mean(greedy_sum, greedys) / gap_opt)
+            .set("apx_power_over_opt", mean(apx_sum, apxs) / power_opt)
+            .set("restart_mean", mean(restart_sum, restarts))
+            .set("audits", audits)
+            .set("audit_passes", audit_passes));
   }
   bench::emit(argv[0], table);
-  return 0;
+
+  // ------------------------------------------- prep decomposition study --
+  // Exact DPs with decomposition on vs off. Two regimes:
+  //   scale 1   every one-interval catalog scenario as drawn (n = 5..12;
+  //             at this size the joint DP costs microseconds and the
+  //             per-component setup dominates — recorded honestly),
+  //   scale 8   sparse_spread / power_longhaul tiled 8x along the
+  //             timeline (independent far-apart copies of the same
+  //             family — the sparse long-horizon workload the pipeline
+  //             exists for; the joint DP pays the full candidate axis
+  //             while prep solves 8 small clusters).
+  // Per cell: trials x reps solves per mode, summed wall time, mean
+  // component count, speedup = off/on. Serial solves keep timing clean.
+  std::cout << "=== prep decomposition: exact DPs, on vs off ===\n\n";
+  Table dtable({"scenario", "scale", "n", "solver", "components", "on_ms",
+                "off_ms", "speedup"});
+  bench::Json decomp_rows = bench::Json::array();
+
+  // Tiles `copies` independent draws of `sc` far enough apart that every
+  // tile is its own cluster at the tiled instance's cut threshold.
+  const auto tile = [](const scenarios::Scenario& sc, std::uint64_t seed,
+                       int copies) {
+    Instance out;
+    Time offset = 0;
+    for (int i = 0; i < copies; ++i) {
+      const Instance draw = sc.make(seed + static_cast<std::uint64_t>(i));
+      out.processors = draw.processors;
+      const Time span = draw.latest_deadline() - draw.earliest_release();
+      for (const Job& job : draw.jobs) {
+        out.jobs.push_back(Job{job.allowed.shifted(offset)});
+      }
+      // Next tile starts one full job-count past this one's deadline: the
+      // dead run exceeds any threshold max(n_total, ceil(alpha)) can ask.
+      offset += span + static_cast<Time>(sc.jobs) * (copies + 1) + 64;
+    }
+    return out;
+  };
+
+  struct Cell {
+    const scenarios::Scenario* sc;
+    int scale;
+    int trials;
+    int reps;
+  };
+  std::vector<Cell> cells;
+  for (const scenarios::Scenario* sc :
+       scenarios::ScenarioCatalog::instance().all()) {
+    if (!sc->one_interval) continue;
+    cells.push_back({sc, 1, kTrials, 5});
+  }
+  const scenarios::ScenarioCatalog& catalog =
+      scenarios::ScenarioCatalog::instance();
+  for (const char* name : {"sparse_spread", "power_longhaul"}) {
+    cells.push_back({catalog.find(name), 8, 4, 2});
+  }
+
+  for (const Cell& cell : cells) {
+    const scenarios::Scenario* sc = cell.sc;
+    for (const char* name : {"gap_dp", "power_dp"}) {
+      const engine::Solver* solver = registry.find(name);
+      double on_ms = 0.0, off_ms = 0.0, components_sum = 0.0;
+      std::size_t n = 0;
+      std::size_t solves = 0;
+      bool rejected = false;
+      for (int trial = 0; trial < cell.trials && !rejected; ++trial) {
+        engine::SolveRequest req;
+        req.instance = cell.scale == 1
+                           ? sc->make(bench::kSeed + trial)
+                           : tile(*sc, bench::kSeed + trial, cell.scale);
+        n = req.instance.n();
+        req.objective = solver->info().objective;
+        req.params.alpha = kAlpha;
+        req.params.validate = true;
+        for (int rep = 0; rep < cell.reps; ++rep) {
+          req.params.decompose = true;
+          const engine::SolveResult on = solver->solve(req);
+          req.params.decompose = false;
+          const engine::SolveResult off = solver->solve(req);
+          if (!on.ok || !off.ok) {
+            rejected = true;  // outside the family's envelope; skip cell
+            break;
+          }
+          for (const engine::SolveResult* r : {&on, &off}) {
+            if (r->audited && !r->audit_error.empty()) {
+              ++refuted_exact;
+              std::cerr << "T9: oracle refuted " << name << " (decompose "
+                        << (r == &on ? "on" : "off") << ") on " << sc->name
+                        << " x" << cell.scale << ": " << r->audit_error
+                        << "\n";
+            }
+          }
+          on_ms += on.stats.wall_ms;
+          off_ms += off.stats.wall_ms;
+          components_sum += static_cast<double>(on.stats.components);
+          ++solves;
+        }
+      }
+      if (rejected || solves == 0) continue;
+      const double components_mean = components_sum / solves;
+      const double speedup = on_ms > 0.0 ? off_ms / on_ms : 0.0;
+      dtable.row()
+          .add(sc->name)
+          .add(cell.scale)
+          .add(n)
+          .add(name)
+          .add(components_mean, 2)
+          .add(on_ms, 3)
+          .add(off_ms, 3)
+          .add(speedup, 2);
+      decomp_rows.push(bench::Json::object()
+                           .set("scenario", sc->name)
+                           .set("scale", cell.scale)
+                           .set("n", n)
+                           .set("solver", name)
+                           .set("trials", cell.trials)
+                           .set("reps", cell.reps)
+                           .set("components_mean", components_mean)
+                           .set("on_ms", on_ms)
+                           .set("off_ms", off_ms)
+                           .set("speedup", speedup));
+    }
+  }
+  dtable.print(std::cout);
+  std::cout << "\n";
+
+  report.set("scenarios", std::move(scenario_rows))
+      .set("decomposition", std::move(decomp_rows))
+      .set("refuted_exact", refuted_exact);
+  bench::emit_json("tab9", report);
+
+  // CI gate: a refuted exact answer is a solver bug, not a perf datum.
+  return refuted_exact == 0 ? 0 : 1;
 }

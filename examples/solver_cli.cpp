@@ -44,6 +44,10 @@ int usage() {
             << "  --validate       re-check the answer with the independent\n"
             << "                   schedule oracle (any solver; exit 3 on a\n"
             << "                   refuted answer)\n"
+            << "  --no-decompose   skip the prep pipeline that splits far-\n"
+            << "                   apart job clusters into independent\n"
+            << "                   components (exact gap/power solvers;\n"
+            << "                   decomposition is on by default)\n"
             << "run 'solver_cli --list' for the registered solvers and\n"
             << "'solver_cli --scenarios' for the named workload families\n";
   return 2;
@@ -181,6 +185,8 @@ int main(int argc, char** argv) {
         request.params.block_size = std::stoi(*v);
       } else if (arg == "--validate") {
         request.params.validate = true;
+      } else if (arg == "--no-decompose") {
+        request.params.decompose = false;
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "unknown option '" << arg << "'\n";
         return usage();
@@ -199,6 +205,11 @@ int main(int argc, char** argv) {
     bool applies = false;
     if (flag == "--validate") {
       applies = true;  // the oracle audits every family
+    } else if (flag == "--no-decompose") {
+      // Only the exact gap/power families consume the flag, but clearing a
+      // default-on optimization is never a surprising no-op — accept it
+      // everywhere like --validate.
+      applies = true;
     } else if (flag == "--alpha") {
       applies = (consumed & engine::kUsesAlpha) != 0;
     } else if (flag == "--spans") {
@@ -263,6 +274,10 @@ int main(int argc, char** argv) {
               << result.transitions << " span(s)";
   }
   std::cout << "  [" << result.stats.wall_ms << " ms]\n";
+  if (result.stats.components > 1) {
+    std::cout << "prep: solved as " << result.stats.components
+              << " independent components\n";
+  }
   std::cout << render_gantt(request.instance, result.schedule);
   // The metrics line reports power at the requested alpha for power solves
   // and at alpha = 1 otherwise, matching the pre-engine CLI's output.

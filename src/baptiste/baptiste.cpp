@@ -1,5 +1,7 @@
 #include "gapsched/baptiste/baptiste.hpp"
 
+#include <utility>
+
 #include "gapsched/dp/gap_dp.hpp"
 
 namespace gapsched {
@@ -9,6 +11,7 @@ BaptisteResult solve_baptiste(const Instance& inst) {
   single.processors = 1;
   GapDpResult r = solve_gap_dp(single);
   BaptisteResult out;
+  out.error = std::move(r.error);
   out.feasible = r.feasible;
   if (r.feasible) {
     out.spans = r.transitions;

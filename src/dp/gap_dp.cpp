@@ -1,5 +1,7 @@
 #include "gapsched/dp/gap_dp.hpp"
 
+#include <utility>
+
 #include "gapsched/dp/dp_common.hpp"
 
 namespace gapsched {
@@ -13,9 +15,11 @@ class Solver {
   explicit Solver(const Instance& inst)
       : ctx_(inst), p_(inst.processors) {}
 
+  std::string limit_violation() const { return ctx_.limit_violation(); }
+
   GapDpResult run() {
     const std::size_t n = ctx_.inst->n();
-    if (n == 0) return GapDpResult{true, 0, Schedule(0), 0};
+    if (n == 0) return GapDpResult{true, 0, Schedule(0), 0, {}};
 
     const std::size_t i_min = ctx_.index_of(ctx_.inst->earliest_release());
     const std::size_t i_max = ctx_.index_of(ctx_.inst->latest_deadline());
@@ -33,12 +37,14 @@ class Solver {
         }
       }
     }
-    if (best_l1 < 0) return GapDpResult{false, 0, Schedule(n), memo_.size()};
+    if (best_l1 < 0) {
+      return GapDpResult{false, 0, Schedule(n), memo_.size(), {}};
+    }
 
     Schedule sched(n);
     reconstruct(i_min, i_max, n, 0, best_l1, best_l2, sched);
     sched.assign_processors_staircase();
-    return GapDpResult{true, best, std::move(sched), memo_.size()};
+    return GapDpResult{true, best, std::move(sched), memo_.size(), {}};
   }
 
  private:
@@ -164,7 +170,17 @@ class Solver {
 }  // namespace
 
 GapDpResult solve_gap_dp(const Instance& inst) {
-  return Solver(inst).run();
+  Solver solver(inst);
+  // Reject before the first pack_state call: oversized instances would
+  // alias memo keys and return wrong optima (the engine's prep pipeline
+  // decomposes first, so this fires only for a genuinely oversized
+  // component).
+  if (std::string diag = solver.limit_violation(); !diag.empty()) {
+    GapDpResult rejected;
+    rejected.error = std::move(diag);
+    return rejected;
+  }
+  return solver.run();
 }
 
 }  // namespace gapsched

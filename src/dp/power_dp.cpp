@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <limits>
+#include <utility>
 
 #include "gapsched/dp/dp_common.hpp"
 
@@ -18,9 +19,11 @@ class Solver {
     assert(alpha >= 0.0);
   }
 
+  std::string limit_violation() const { return ctx_.limit_violation(); }
+
   PowerDpResult run() {
     const std::size_t n = ctx_.inst->n();
-    if (n == 0) return PowerDpResult{true, 0.0, Schedule(0), 0};
+    if (n == 0) return PowerDpResult{true, 0.0, Schedule(0), 0, {}};
 
     const std::size_t i_min = ctx_.index_of(ctx_.inst->earliest_release());
     const std::size_t i_max = ctx_.index_of(ctx_.inst->latest_deadline());
@@ -39,12 +42,14 @@ class Solver {
         }
       }
     }
-    if (best_l1 < 0) return PowerDpResult{false, 0.0, Schedule(n), memo_.size()};
+    if (best_l1 < 0) {
+      return PowerDpResult{false, 0.0, Schedule(n), memo_.size(), {}};
+    }
 
     Schedule sched(n);
     reconstruct(i_min, i_max, n, 0, best_l1, best_l2, sched);
     sched.assign_processors_staircase();
-    return PowerDpResult{true, best, std::move(sched), memo_.size()};
+    return PowerDpResult{true, best, std::move(sched), memo_.size(), {}};
   }
 
  private:
@@ -179,7 +184,14 @@ class Solver {
 }  // namespace
 
 PowerDpResult solve_power_dp(const Instance& inst, double alpha) {
-  return Solver(inst, alpha).run();
+  Solver solver(inst, alpha);
+  // Reject before the first pack_state call (see solve_gap_dp).
+  if (std::string diag = solver.limit_violation(); !diag.empty()) {
+    PowerDpResult rejected;
+    rejected.error = std::move(diag);
+    return rejected;
+  }
+  return solver.run();
 }
 
 }  // namespace gapsched

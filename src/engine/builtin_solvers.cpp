@@ -74,11 +74,17 @@ class GapDpSolver final : public BuiltinSolver {
                        .complexity = "O(n^7 p^5)",
                        .exact = true,
                        .requires_one_interval = true,
-                       .max_processors = 255,
-                       .max_n = 255}) {}
+                       // No max_n: the prep decomposition can shrink far
+                       // larger sparse instances under the DP's per-
+                       // component packed-key limits (n <= 255,
+                       // |Theta| < 2^16), which solve_gap_dp enforces.
+                       .max_processors = 255}) {}
 
   SolveResult do_solve(const SolveRequest& req) const override {
     GapDpResult r = solve_gap_dp(req.instance);
+    // Packed-state limit rejection (post-decomposition: a single component
+    // is genuinely too big for the DP's 64-bit memo keys).
+    if (!r.error.empty()) return SolveResult::rejected(std::move(r.error));
     SolveResult out = gap_result(r.feasible, r.transitions,
                                  std::move(r.schedule));
     out.stats.states = r.states;
@@ -96,11 +102,11 @@ class BaptisteSolver final : public BuiltinSolver {
                        .complexity = "O(n^7)",
                        .exact = true,
                        .requires_one_interval = true,
-                       .max_processors = 1,
-                       .max_n = 255}) {}
+                       .max_processors = 1}) {}
 
   SolveResult do_solve(const SolveRequest& req) const override {
     BaptisteResult r = solve_baptiste(req.instance);
+    if (!r.error.empty()) return SolveResult::rejected(std::move(r.error));
     return gap_result(r.feasible, r.spans, std::move(r.schedule));
   }
 };
@@ -209,11 +215,11 @@ class PowerDpSolver final : public BuiltinSolver {
                        .exact = true,
                        .requires_one_interval = true,
                        .max_processors = 255,
-                       .max_n = 255,
                        .params = kUsesAlpha}) {}
 
   SolveResult do_solve(const SolveRequest& req) const override {
     PowerDpResult r = solve_power_dp(req.instance, req.params.alpha);
+    if (!r.error.empty()) return SolveResult::rejected(std::move(r.error));
     SolveResult out = power_result(r.feasible, r.power, std::move(r.schedule));
     out.stats.states = r.states;
     return out;

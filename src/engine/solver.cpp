@@ -1,9 +1,66 @@
 #include "gapsched/engine/solver.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "gapsched/oracle/oracle.hpp"
+#include "gapsched/parallel/thread_pool.hpp"
+#include "gapsched/prep/prep.hpp"
 #include "gapsched/util/stopwatch.hpp"
 
 namespace gapsched::engine {
+
+namespace {
+
+/// Components are fanned over the shared ThreadPool only when the largest
+/// one is at least this many jobs: dispatch overhead exceeds an entire
+/// small-cluster DP solve, so small decompositions run inline.
+constexpr std::size_t kParallelFanoutMinComponentJobs = 16;
+
+/// Shared fan-out pool, lazily constructed on the first large
+/// decomposition and reused for every later solve. A per-solve pool would
+/// pay thread spawn inside the timed solve and nest a fresh pool under
+/// every solve_many worker. Component tasks never submit back into this
+/// pool, so concurrent solves sharing it cannot deadlock — parallel_for's
+/// global wait_idle only makes them wait out each other's tasks.
+ThreadPool& fanout_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+/// Decomposition is sound exactly for the families whose reported objective
+/// is provably additive across far-apart components: the exact gap and
+/// power solvers. Heuristics may legally return different (still valid)
+/// answers per component, and the throughput objective shares one global
+/// span budget across components, so both keep the undecomposed path.
+bool wants_decomposition(const SolverInfo& info, const SolveRequest& request) {
+  return request.params.decompose && info.exact &&
+         request.objective != Objective::kThroughput &&
+         request.instance.n() >= 2;
+}
+
+/// Cut threshold: separation > n keeps the Prop 2.1 candidate
+/// neighbourhoods of distinct components disjoint and makes gap optima
+/// additive; power additionally needs the dead run to be >= alpha so that
+/// bridging a processor across the cut is never cheaper than the fresh
+/// wake-up the right component already prices (see prep.hpp).
+Time cut_threshold(const SolveRequest& request) {
+  Time threshold = static_cast<Time>(request.instance.n());
+  if (request.objective == Objective::kPower) {
+    const double alpha_ceil = std::ceil(request.params.alpha);
+    // check() only guarantees alpha >= 0; an enormous (or infinite) alpha
+    // must disable cutting rather than overflow the Time cast.
+    if (!(alpha_ceil <
+          static_cast<double>(std::numeric_limits<Time>::max() / 2))) {
+      return std::numeric_limits<Time>::max();
+    }
+    threshold = std::max(threshold, static_cast<Time>(alpha_ceil));
+  }
+  return threshold;
+}
+
+}  // namespace
 
 std::string Solver::check(const SolveRequest& request) const {
   const SolverInfo& meta = info();
@@ -52,15 +109,88 @@ SolveResult Solver::solve(const SolveRequest& request) const {
     return SolveResult::rejected(std::move(diag));
   }
   Stopwatch sw;
-  SolveResult result = do_solve(request);
+  SolveResult result = wants_decomposition(info(), request)
+                           ? solve_decomposed(request)
+                           : do_solve(request);
   result.stats.wall_ms = sw.millis();
   const double limit = request.params.time_limit_s;
   result.timed_out = limit > 0.0 && result.stats.wall_ms > limit * 1e3;
-  if (request.params.validate) {
+  if (request.params.validate && result.ok) {
     result.audited = true;
     result.audit_error = oracle::check_result(request, result, info().exact);
   }
   return result;
+}
+
+SolveResult Solver::solve_decomposed(const SolveRequest& request) const {
+  prep::Decomposition dec =
+      prep::decompose(request.instance, cut_threshold(request));
+  if (dec.components.size() <= 1) {
+    SolveResult result = do_solve(request);
+    result.stats.components = 1;
+    return result;
+  }
+
+  // Component requests inherit the caller's parameters; the oracle audit
+  // and the wall-clock budget apply to the recombined whole, not the parts.
+  // The component instances are moved into the sub-requests — recombine()
+  // only needs the job maps and shifts.
+  std::size_t largest = 0;
+  for (const prep::Component& comp : dec.components) {
+    largest = std::max(largest, comp.instance.n());
+  }
+  std::vector<SolveResult> parts(dec.components.size());
+  const auto solve_component = [&](std::size_t c) {
+    SolveRequest sub;
+    sub.instance = std::move(dec.components[c].instance);
+    sub.objective = request.objective;
+    sub.params = request.params;
+    sub.params.validate = false;
+    sub.params.time_limit_s = 0.0;
+    parts[c] = do_solve(sub);
+  };
+  if (largest >= kParallelFanoutMinComponentJobs) {
+    parallel_for(fanout_pool(), dec.components.size(), solve_component);
+  } else {
+    for (std::size_t c = 0; c < dec.components.size(); ++c) {
+      solve_component(c);
+    }
+  }
+
+  SolveResult out;
+  out.ok = true;
+  out.feasible = true;
+  out.stats.components = dec.components.size();
+  for (std::size_t c = 0; c < parts.size(); ++c) {
+    const SolveResult& part = parts[c];
+    if (!part.ok) {
+      // A component the family itself cannot handle (e.g. a single cluster
+      // over the DP's packed-key limits) rejects the whole request; the
+      // component counter survives so callers can see how far prep got.
+      SolveResult rejected = SolveResult::rejected(
+          "component " + std::to_string(c) + " of " +
+          std::to_string(parts.size()) + ": " + part.error);
+      rejected.stats.components = dec.components.size();
+      return rejected;
+    }
+    out.feasible = out.feasible && part.feasible;
+    out.stats.states += part.stats.states;
+    out.stats.nodes += part.stats.nodes;
+  }
+  if (!out.feasible) return out;
+
+  // Components are separated by more than the cut threshold, so transitions
+  // and costs are additive (see prep.hpp for the two objectives' arguments).
+  std::vector<Schedule> schedules;
+  schedules.reserve(parts.size());
+  for (SolveResult& part : parts) {
+    out.cost += part.cost;
+    out.transitions += part.transitions;
+    schedules.push_back(std::move(part.schedule));
+  }
+  out.schedule = prep::recombine(dec, schedules, request.instance.n());
+  out.stats.scheduled = out.schedule.scheduled_count();
+  return out;
 }
 
 }  // namespace gapsched::engine

@@ -8,6 +8,7 @@
 // expect (spans / interior gaps rather than multiprocessor transitions).
 
 #include <cstdint>
+#include <string>
 
 #include "gapsched/core/schedule.hpp"
 
@@ -20,6 +21,9 @@ struct BaptisteResult {
   /// Interior gaps between spans: spans - 1 (0 when infeasible/empty).
   std::int64_t gaps = 0;
   Schedule schedule;
+  /// Non-empty when the underlying DP rejected the instance over its
+  /// packed-state key limits; `feasible` is then meaningless.
+  std::string error;
 };
 
 /// Exact single-processor gap scheduling. Requires a one-interval instance;

@@ -17,6 +17,7 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "gapsched/core/candidate_times.hpp"
@@ -32,11 +33,21 @@ namespace gapsched::dp {
 constexpr std::int64_t kInfCost = std::numeric_limits<std::int64_t>::max() / 4;
 
 /// Saturating cost addition: any operand at or beyond the sentinel, or any
-/// sum that would cross it, yields exactly kInfCost. Requires a, b >= 0.
+/// sum that would cross it, yields exactly kInfCost. Requires a, b >= 0
+/// (the overflow test `a > kInfCost - b` is only sound for non-negative
+/// operands; DP costs are counts and never go negative — asserted here so
+/// a future negative-cost path fails fast instead of wrapping).
 constexpr std::int64_t add_sat(std::int64_t a, std::int64_t b) {
+  assert(a >= 0 && b >= 0 && "add_sat requires non-negative operands");
   return (a >= kInfCost || b >= kInfCost || a > kInfCost - b) ? kInfCost
                                                               : a + b;
 }
+
+/// Capacity limits of the packed 64-bit state key (pack_state): window
+/// indices i1/i2 get 16 bits each, and k/q/l1/l2 get 8 bits each.
+constexpr std::size_t kMaxThetaSize = std::size_t{1} << 16;
+constexpr std::size_t kMaxDpJobs = 255;
+constexpr int kMaxDpProcessors = 255;
 
 /// Immutable per-solve context: deadline-sorted jobs and the candidate-time
 /// axis with core flags.
@@ -70,6 +81,31 @@ struct DpContext {
     }
   }
 
+  /// Non-empty diagnostic when the instance exceeds the pack_state key
+  /// capacity (|theta| < 2^16, n <= 255, p <= 255). Solving past these
+  /// limits silently aliases memo keys and returns wrong optima, so the
+  /// Theorem 1/2 solvers reject instead. The engine's prep decomposition
+  /// usually shrinks components far below the limits before they bind, so
+  /// a rejection means a single cluster is genuinely too big.
+  std::string limit_violation() const {
+    if (theta.size() >= kMaxThetaSize) {
+      return "candidate-time axis has " + std::to_string(theta.size()) +
+             " entries; the DP's packed state keys hold at most " +
+             std::to_string(kMaxThetaSize - 1);
+    }
+    if (inst->n() > kMaxDpJobs) {
+      return "n = " + std::to_string(inst->n()) +
+             " exceeds the DP's packed-key job limit " +
+             std::to_string(kMaxDpJobs);
+    }
+    if (inst->processors > kMaxDpProcessors) {
+      return "p = " + std::to_string(inst->processors) +
+             " exceeds the DP's packed-key processor limit " +
+             std::to_string(kMaxDpProcessors);
+    }
+    return "";
+  }
+
   std::size_t index_of(Time t) const {
     auto it = std::lower_bound(theta.begin(), theta.end(), t);
     assert(it != theta.end() && *it == t);
@@ -90,7 +126,10 @@ struct DpContext {
   }
 };
 
-/// Packed 64-bit state key. Limits: |theta| < 2^16, n <= 255, p <= 255.
+/// Packed 64-bit state key. Limits: |theta| < 2^16, n <= 255, p <= 255 —
+/// enforced by DpContext::limit_violation(), which every Theorem 1/2 solver
+/// checks before its first pack_state call (an oversized instance would
+/// otherwise alias keys and silently return wrong optima).
 inline std::uint64_t pack_state(std::size_t i1, std::size_t i2, std::size_t k,
                                 int q, int l1, int l2) {
   return (static_cast<std::uint64_t>(i1) << 48) |
@@ -132,8 +171,18 @@ class MemoTable {
   };
 
   explicit MemoTable(std::size_t expected = 0) {
-    std::size_t cap = 1024;
-    while (cap * 7 < expected * 10) cap <<= 1;
+    // Smallest power-of-two capacity with load factor <= 0.7 for the hint.
+    // The naive `cap * 7 < expected * 10` comparison overflows `expected *
+    // 10` (and then `cap * 7`) for very large hints, turning the loop into
+    // an allocation bomb; keep both products inside 64 bits by dividing
+    // instead, and clamp the pre-allocation — grow() covers any honest
+    // hint beyond the clamp at the usual amortized cost. The floor is
+    // deliberately small: component solves from the prep decomposition
+    // pipeline memoize a handful of states, and zeroing a large table was
+    // the dominant cost of solving a tiny cluster.
+    constexpr std::size_t kMaxInitialCap = std::size_t{1} << 18;
+    std::size_t cap = 64;
+    while (cap < kMaxInitialCap && cap * 7 / 10 < expected) cap <<= 1;
     slots_.resize(cap);
     used_.assign(cap, 0);
   }

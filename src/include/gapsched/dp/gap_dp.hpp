@@ -14,6 +14,7 @@
 // p = 1 reproduces Baptiste's algorithm [Bap06] (see baptiste/baptiste.hpp).
 
 #include <cstdint>
+#include <string>
 
 #include "gapsched/core/schedule.hpp"
 
@@ -27,10 +28,16 @@ struct GapDpResult {
   Schedule schedule;
   /// Number of memoized DP states (for the F1 scaling experiment).
   std::size_t states = 0;
+  /// Non-empty when the instance exceeds the DP's packed-state key limits
+  /// (|Theta| < 2^16, n <= 255, p <= 255): no solve was attempted and
+  /// `feasible` is meaningless. Solving anyway would silently alias memo
+  /// keys and return wrong optima.
+  std::string error;
 };
 
 /// Solves multiprocessor gap scheduling exactly. Requires a one-interval
-/// instance with n <= 255, p <= 255.
+/// instance; rejects (GapDpResult::error) instances over the packed-state
+/// limits n <= 255, p <= 255, |Theta| < 2^16.
 GapDpResult solve_gap_dp(const Instance& inst);
 
 }  // namespace gapsched

@@ -10,6 +10,8 @@
 // the empty-window base case uses the closed-form optimal bridging
 // min_x [ x * idle + (l2 - x) * alpha ].
 
+#include <string>
+
 #include "gapsched/core/schedule.hpp"
 
 namespace gapsched {
@@ -23,10 +25,15 @@ struct PowerDpResult {
   Schedule schedule;
   /// Number of memoized DP states.
   std::size_t states = 0;
+  /// Non-empty when the instance exceeds the DP's packed-state key limits
+  /// (|Theta| < 2^16, n <= 255, p <= 255): no solve was attempted and
+  /// `feasible` is meaningless.
+  std::string error;
 };
 
 /// Solves multiprocessor power minimization exactly. Requires a one-interval
-/// instance with n <= 255, p <= 255, alpha >= 0.
+/// instance and alpha >= 0; rejects (PowerDpResult::error) instances over
+/// the packed-state limits n <= 255, p <= 255, |Theta| < 2^16.
 PowerDpResult solve_power_dp(const Instance& inst, double alpha);
 
 }  // namespace gapsched

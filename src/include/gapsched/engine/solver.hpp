@@ -68,6 +68,15 @@ class Solver {
   /// check(); must fill ok/feasible/cost/transitions/schedule/stats fields
   /// other than wall_ms.
   virtual SolveResult do_solve(const SolveRequest& request) const = 0;
+
+ private:
+  /// The gapsched::prep pipeline: decompose the instance into independent
+  /// far-apart components, solve each through do_solve (fanned over a
+  /// ThreadPool for large instances), and recombine schedule, cost, and
+  /// stats. Called instead of a plain do_solve when the request opts in
+  /// (params.decompose) and the family is exact on a decomposable
+  /// objective.
+  SolveResult solve_decomposed(const SolveRequest& request) const;
 };
 
 }  // namespace gapsched::engine

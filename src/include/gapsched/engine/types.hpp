@@ -56,6 +56,16 @@ struct SolveParams {
   /// lands in SolveResult::audit_error (audit time is excluded from
   /// stats.wall_ms).
   bool validate = false;
+  /// When true (the default), the engine runs the gapsched::prep pipeline
+  /// before exact gap/power solves: the instance is canonicalized and split
+  /// into independent components wherever job clusters are separated by
+  /// more than n (and, for power, at least ceil(alpha)) empty time units —
+  /// cuts across which the optima are provably additive. Components are
+  /// solved separately and the schedule/cost/stats recombined; the oracle
+  /// audit (params.validate) runs on the recombined result. Heuristic and
+  /// throughput families ignore this flag. `solver_cli --no-decompose`
+  /// clears it.
+  bool decompose = true;
 };
 
 /// One unit of engine work: an instance, an objective, and parameters.
@@ -77,6 +87,9 @@ struct SolveStats {
   /// Jobs scheduled. Equals n for complete schedules; the objective value
   /// for the (partial-schedule) throughput solvers.
   std::size_t scheduled = 0;
+  /// Independent components the prep pipeline solved (1 when the pipeline
+  /// ran but found no cut; 0 when decomposition was off or not applicable).
+  std::size_t components = 0;
 };
 
 /// Uniform outcome of a dispatch.

@@ -38,31 +38,38 @@ Instance make_nested_windows(std::uint64_t seed) {
   return Instance::one_interval(windows);
 }
 
-/// Sparse spread: jobs pinned (width <= 2) far apart, so every feasible
+/// Sparse spread: wide windows (11-15 slots) far apart, so every feasible
 /// schedule pays one span per job — the max-gap and long-horizon power
-/// stressor (every idle run is far longer than any reasonable alpha).
+/// stressor (every idle run is far longer than any reasonable alpha). The
+/// wide windows make the whole-instance Prop 2.1 candidate axis pay
+/// ~2(n+2) times per job while each single-job cluster needs only ~6
+/// candidates, which is exactly the locality the prep decomposition
+/// pipeline exploits (T9 records the on-vs-off speedup).
 Instance make_sparse_spread(std::uint64_t seed) {
   Prng rng(mix(seed, 11));
   constexpr std::size_t n = 6;
   std::vector<std::pair<Time, Time>> windows;
   for (std::size_t i = 0; i < n; ++i) {
-    const Time lo = static_cast<Time>(i) * 9 + rng.uniform(0, 3);
-    windows.emplace_back(lo, lo + rng.uniform(0, 1));
+    const Time lo = static_cast<Time>(i) * 50 + rng.uniform(0, 3);
+    windows.emplace_back(lo, lo + 10 + rng.uniform(0, 4));
   }
   return Instance::one_interval(windows);
 }
 
-/// Long horizon, few jobs, medium windows: idle runs between clusters land
-/// on both sides of typical alpha values, so the power solvers must make
-/// non-trivial bridging decisions over a wide timeline.
+/// Long horizon, few jobs, wide windows: the first two anchors sit close
+/// enough that their idle run can dip below typical alpha values (the
+/// bridging-decision side), while the remaining anchors leave idle runs
+/// far above alpha over a ~400-unit timeline — the power solvers must make
+/// non-trivial bridging decisions, and the monolithic DP pays the full
+/// long-horizon candidate axis that the prep decomposition avoids.
 Instance make_power_longhaul(std::uint64_t seed) {
   Prng rng(mix(seed, 13));
-  constexpr Time kAnchors[] = {2, 9, 32, 63, 104};
+  constexpr Time kAnchors[] = {2, 14, 55, 115, 180, 250, 325, 405};
   std::vector<std::pair<Time, Time>> windows;
   for (Time anchor : kAnchors) {
     const Time t = anchor + rng.uniform(0, 4);
-    const Time lo = std::max<Time>(0, t - rng.uniform(0, 3));
-    windows.emplace_back(lo, t + rng.uniform(0, 3));
+    const Time lo = std::max<Time>(0, t - rng.uniform(2, 7));
+    windows.emplace_back(lo, t + rng.uniform(2, 7));
   }
   return Instance::one_interval(windows);
 }
@@ -215,13 +222,13 @@ ScenarioCatalog::ScenarioCatalog() {
   add(std::move(s));
 
   s = wrap("sparse_spread",
-           "near-pinned jobs far apart; forces one span per job",
+           "wide windows far apart; one forced span per job",
            make_sparse_spread);
   s.always_feasible = true;
   add(std::move(s));
 
   s = wrap("power_longhaul",
-           "few jobs on a long horizon; gaps straddle typical alpha",
+           "few wide-window jobs, long horizon; gaps straddle alpha",
            make_power_longhaul);
   s.always_feasible = true;
   add(std::move(s));

@@ -177,5 +177,68 @@ TEST(Differential, RegistryWideAgreementOnCatalog) {
   }
 }
 
+// The prep decomposition pipeline (on by default for the exact gap/power
+// families) must be invisible in every verdict: identical feasibility and
+// objective value, and oracle-clean schedules, for every family on every
+// catalog scenario. Heuristic and throughput families ignore the flag, so
+// for them this doubles as a determinism check.
+TEST(Differential, DecompositionOnVsOffAgreesAcrossCatalog) {
+  const SolverRegistry& registry = SolverRegistry::instance();
+  const std::vector<const Solver*> solvers = registry.all();
+  const std::vector<const Scenario*> catalog =
+      ScenarioCatalog::instance().all();
+  ThreadPool pool;
+
+  constexpr int kDraws = 3;
+  for (std::size_t sc_idx = 0; sc_idx < catalog.size(); ++sc_idx) {
+    const Scenario* sc = catalog[sc_idx];
+    SCOPED_TRACE(::testing::Message() << "scenario " << sc->name);
+    for (int draw = 0; draw < kDraws; ++draw) {
+      const std::uint64_t seed = testing::seed_for(7000 + sc_idx * 53 + draw);
+      GAPSCHED_TRACE_SEED(seed);
+      const Instance inst = sc->make(seed);
+
+      // Adjacent batch slots: [2i] decomposed (default), [2i+1] monolithic.
+      std::vector<BatchJob> batch;
+      batch.reserve(2 * solvers.size());
+      for (const Solver* solver : solvers) {
+        BatchJob job;
+        job.solver = solver->info().name;
+        job.request.instance = inst;
+        job.request.objective = solver->info().objective;
+        job.request.params.alpha = kAlpha;
+        job.request.params.max_spans = kMaxSpans;
+        job.request.params.validate = true;
+        BatchJob mono = job;
+        mono.request.params.decompose = false;
+        batch.push_back(std::move(job));
+        batch.push_back(std::move(mono));
+      }
+      const std::vector<SolveResult> results = engine::solve_many(batch, pool);
+      ASSERT_EQ(results.size(), 2 * solvers.size());
+
+      for (std::size_t i = 0; i < solvers.size(); ++i) {
+        const engine::SolverInfo& info = solvers[i]->info();
+        const SolveResult& on = results[2 * i];
+        const SolveResult& off = results[2 * i + 1];
+        SCOPED_TRACE(::testing::Message() << "family " << info.name);
+        ASSERT_EQ(on.ok, off.ok) << on.error << " vs " << off.error;
+        if (!on.ok) continue;
+        EXPECT_EQ(on.audit_error, "") << on.audit_error;
+        EXPECT_EQ(off.audit_error, "") << off.audit_error;
+        ASSERT_EQ(on.feasible, off.feasible);
+        if (!on.feasible) continue;
+        if (info.objective == Objective::kPower) {
+          EXPECT_NEAR(on.cost, off.cost, power_tol(on.cost, off.cost));
+        } else {
+          EXPECT_EQ(on.cost, off.cost);
+          EXPECT_EQ(on.transitions, off.transitions);
+        }
+        EXPECT_EQ(on.schedule.scheduled_count(), off.schedule.scheduled_count());
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gapsched

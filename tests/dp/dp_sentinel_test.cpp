@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "gapsched/dp/dp_common.hpp"
 #include "gapsched/dp/gap_dp.hpp"
@@ -119,8 +122,8 @@ TEST(MemoTable, MatchesUnorderedMapReference) {
   const std::uint64_t seed = testing::seed_for(400);
   GAPSCHED_TRACE_SEED(seed);
   Prng rng(seed);
-  // Enough inserts to force several growth rehashes past the 1024-slot
-  // initial capacity, with structured keys like the DP produces.
+  // Enough inserts to force many growth rehashes past the small initial
+  // capacity, with structured keys like the DP produces.
   for (int i = 0; i < 20000; ++i) {
     const std::uint64_t key =
         dp::pack_state(rng.index(300), rng.index(300), rng.index(40),
@@ -143,6 +146,99 @@ TEST(MemoTable, MatchesUnorderedMapReference) {
   }
   EXPECT_EQ(table.find(~0ull), nullptr);
   EXPECT_EQ(table.find(dp::pack_state(301, 0, 0, 0, 0, 0)), nullptr);
+}
+
+TEST(MemoTable, ExtremeCapacityHintsDoNotOverflow) {
+  // The capacity loop used to evaluate `cap * 7 < expected * 10`, which
+  // wraps for huge hints: expected = 2^61 turned into an allocation bomb
+  // (the loop doubled cap toward 2^60 slots) and expected near SIZE_MAX
+  // wrapped to a tiny target. Both extremes must now construct a modest,
+  // fully functional table.
+  for (const std::size_t hint :
+       {std::size_t{1} << 61, std::numeric_limits<std::size_t>::max(),
+        std::numeric_limits<std::size_t>::max() / 7}) {
+    dp::MemoTable<std::int64_t> table(hint);
+    for (std::uint64_t k = 0; k < 100; ++k) {
+      table.insert(dp::pack_state(k, k, 1, 0, 1, 1),
+                   static_cast<std::int64_t>(k), dp::Choice{});
+    }
+    EXPECT_EQ(table.size(), 100u);
+    for (std::uint64_t k = 0; k < 100; ++k) {
+      const auto* entry = table.find(dp::pack_state(k, k, 1, 0, 1, 1));
+      ASSERT_NE(entry, nullptr) << k;
+      EXPECT_EQ(entry->value, static_cast<std::int64_t>(k));
+    }
+  }
+}
+
+TEST(MemoTable, ModestHintsStillPreallocate) {
+  // Sanity on the non-extreme path: a hint-sized table absorbs that many
+  // inserts (the growth path stays correct regardless, per the reference
+  // test above).
+  dp::MemoTable<std::int64_t> table(5000);
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    table.insert(k, static_cast<std::int64_t>(k), dp::Choice{});
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  EXPECT_EQ(table.find(4999)->value, 4999);
+}
+
+// ------------------------------------------------- packed-key limit guard --
+
+// |Theta| past 2^16 used to alias pack_state keys silently (i1/i2 get 16
+// bits each): distinct DP states collided in the memo and the solver
+// returned whatever the first-inserted state computed — wrong optima with
+// no diagnostic. The guard must reject before the first pack_state call.
+TEST(PackedKeyGuard, OversizedThetaIsRejectedNotCorrupted) {
+  // 255 jobs with wide, chained-overlap windows: every consecutive pair
+  // overlaps (one cluster, nothing for prep to cut) and the Prop 2.1
+  // candidate axis exceeds 2^16 entries.
+  std::vector<std::pair<Time, Time>> windows;
+  for (int j = 0; j < 255; ++j) {
+    const Time lo = static_cast<Time>(j) * 520;
+    windows.emplace_back(lo, lo + 600);
+  }
+  const Instance inst = Instance::one_interval(windows);
+  dp::DpContext ctx(inst);
+  ASSERT_GE(ctx.theta.size(), dp::kMaxThetaSize);
+
+  const GapDpResult gap = solve_gap_dp(inst);
+  EXPECT_FALSE(gap.error.empty());
+  EXPECT_NE(gap.error.find("candidate-time axis"), std::string::npos)
+      << gap.error;
+  EXPECT_FALSE(gap.feasible);
+  EXPECT_EQ(gap.states, 0u);
+
+  const PowerDpResult power = solve_power_dp(inst, 2.0);
+  EXPECT_FALSE(power.error.empty());
+  EXPECT_FALSE(power.feasible);
+}
+
+TEST(PackedKeyGuard, JobAndProcessorLimitsAreEnforced) {
+  // n over 255 (windows overlap so prep cannot help a direct call).
+  Instance many;
+  many.processors = 1;
+  for (int j = 0; j < 256; ++j) {
+    many.jobs.push_back(Job{TimeSet::window(j, j + 1)});
+  }
+  const GapDpResult over_n = solve_gap_dp(many);
+  EXPECT_FALSE(over_n.error.empty());
+  EXPECT_NE(over_n.error.find("job limit"), std::string::npos) << over_n.error;
+
+  // p over 255.
+  Instance wide = Instance::one_interval({{0, 3}, {1, 4}});
+  wide.processors = 256;
+  const GapDpResult over_p = solve_gap_dp(wide);
+  EXPECT_FALSE(over_p.error.empty());
+  EXPECT_NE(over_p.error.find("processor limit"), std::string::npos)
+      << over_p.error;
+
+  // At the limits the DP still runs (sanity: the guard is strict, not
+  // off-by-one): p = 255 with two loose jobs is trivially feasible.
+  wide.processors = 255;
+  const GapDpResult at_p = solve_gap_dp(wide);
+  EXPECT_TRUE(at_p.error.empty());
+  EXPECT_TRUE(at_p.feasible);
 }
 
 }  // namespace
