@@ -5,9 +5,11 @@
 // differently. This table documents the agreement and the practical size
 // frontier of each, justifying which solver anchors which experiment.
 //
-// All solvers are reached through the engine registry and fanned out with
-// the batched solve_many() driver; per-trial wall times come back in
-// SolveResult::stats, so no hand-rolled stopwatch/mutex plumbing remains.
+// All solvers are reached through a persistent engine::Engine and fanned
+// out with its batched driver (solve cache off — every trial is a distinct
+// instance and the timings must stay comparable across commits); per-trial
+// wall times come back in SolveResult::stats, so no hand-rolled
+// stopwatch/mutex plumbing remains.
 // Every request carries params.validate, so each returned schedule is also
 // re-checked by the independent oracle; the table reports the audit tally,
 // the per-row numbers land in BENCH_tab7.json, and either a refuted audit
@@ -19,7 +21,7 @@
 
 #include <limits>
 
-#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/gen/generators.hpp"
 
 using namespace gapsched;
@@ -39,7 +41,7 @@ int main(int, char** argv) {
   bench::Json json_rows = bench::Json::array();
   int refuted = 0;
   int disagreements = 0;
-  ThreadPool pool;
+  engine::Engine eng({.cache = false});
 
   struct Row {
     std::size_t n;
@@ -68,8 +70,11 @@ int main(int, char** argv) {
     // One batched dispatch per solver; results come back trial-ordered.
     std::vector<std::vector<engine::SolveResult>> results;
     for (const char* name : kSolvers) {
-      const engine::Solver* solver = engine::SolverRegistry::instance().find(name);
-      results.push_back(engine::solve_many(*solver, requests, pool));
+      std::vector<engine::BatchJob> batch(kTrials);
+      for (int trial = 0; trial < kTrials; ++trial) {
+        batch[trial] = {name, requests[trial]};
+      }
+      results.push_back(eng.solve_batch(batch));
     }
 
     int agree = 0;

@@ -9,16 +9,17 @@
 // gap placement is what matters. (Lazy is in fact slightly worse than
 // eager here: deferring to deadlines scatters forced runs.)
 //
-// The whole ladder goes through the engine: one mixed-solver batch per
-// family, fanned out by solve_many() with deterministic result ordering.
-// Every request carries params.validate: a rung's answer only counts after
-// the independent oracle re-derives its transition count.
+// The whole ladder goes through a persistent engine::Engine: one
+// mixed-solver batch per family, fanned out by Engine::solve_batch with
+// deterministic result ordering (solve cache off — distinct draws, honest
+// timings). Every request carries params.validate: a rung's answer only
+// counts after the independent oracle re-derives its transition count.
 
 #include "bench_common.hpp"
 #include "json_report.hpp"
 
 #include "gapsched/core/stats.hpp"
-#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/matching/feasibility.hpp"
 
@@ -55,7 +56,7 @@ int main(int, char** argv) {
       .set("trials", kTrials);
   bench::Json json_rows = bench::Json::array();
   int refuted_exact = 0;  // the ladder's exact rung is baptiste
-  ThreadPool pool;
+  engine::Engine eng({.cache = false});
 
   for (const Family& f : kFamilies) {
     // Draw the family and drop infeasible draws with the cheap matching
@@ -76,8 +77,7 @@ int main(int, char** argv) {
       }
       instances.push_back(std::move(inst));
     }
-    const std::vector<engine::SolveResult> results =
-        engine::solve_many(batch, pool);
+    const std::vector<engine::SolveResult> results = eng.solve_batch(batch);
 
     double sums[kRungs] = {};
     std::size_t counts[kRungs] = {};

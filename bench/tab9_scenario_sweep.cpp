@@ -13,17 +13,27 @@
 // Sparse far-apart families (sparse_spread, power_longhaul) are the ones
 // the pipeline exists for.
 //
+// A third section measures the engine's content-addressed solve cache:
+// (a) the repeated catalog sweep — the same exact-anchor batch solved twice
+// through Engine::solve_stream with the cache on vs off (second pass with
+// the cache on is pure canonical-key lookups), and (b) N-identical-cluster
+// instances where the prep pipeline deduplicates the N byte-identical
+// components down to one DP solve, so the dedup speedup grows with N. Both
+// studies re-run fully audited afterwards: every cached answer must still
+// survive the independent oracle.
+//
 // Everything lands in BENCH_tab9.json (per-family wall times, component
-// counts, audit tallies) — the machine-readable perf baseline CI archives.
-// The binary exits non-zero when the oracle refutes any exact family's
-// answer, so the CI benchmark lane doubles as a correctness gate.
+// counts, audit tallies, cache speedups) — the machine-readable perf
+// baseline CI archives. The binary exits non-zero when the oracle refutes
+// any exact family's answer, so the CI benchmark lane doubles as a
+// correctness gate.
 
 #include "bench_common.hpp"
 #include "json_report.hpp"
 
 #include <cmath>
 
-#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/scenarios/scenarios.hpp"
 
 using namespace gapsched;
@@ -36,7 +46,10 @@ int main(int, char** argv) {
   constexpr int kTrials = 8;
   constexpr double kAlpha = 2.5;
   constexpr std::size_t kMaxSpans = 2;
-  const engine::SolverRegistry& registry = engine::SolverRegistry::instance();
+  // The sweep and decomposition sections run cache-off so their wall times
+  // stay comparable across commits; the cache study below owns its engines.
+  engine::Engine eng({.cache = false});
+  const engine::SolverRegistry& registry = eng.registry();
   const std::vector<const engine::Solver*> solvers = registry.all();
 
   bench::Json report = bench::Json::object();
@@ -49,7 +62,6 @@ int main(int, char** argv) {
 
   Table table({"scenario", "n", "p", "feas", "gap_opt", "power_opt",
                "greedy/opt", "apx_power/opt", "restart", "oracle"});
-  ThreadPool pool;
 
   for (const scenarios::Scenario* sc :
        scenarios::ScenarioCatalog::instance().all()) {
@@ -67,8 +79,7 @@ int main(int, char** argv) {
         batch.push_back(std::move(job));
       }
     }
-    const std::vector<engine::SolveResult> results =
-        engine::solve_many(batch, pool);
+    const std::vector<engine::SolveResult> results = eng.solve_batch(batch);
 
     int feasible = 0, infeasible = 0;
     std::size_t audits = 0, audit_passes = 0;
@@ -220,9 +231,9 @@ int main(int, char** argv) {
         req.params.validate = true;
         for (int rep = 0; rep < cell.reps; ++rep) {
           req.params.decompose = true;
-          const engine::SolveResult on = solver->solve(req);
+          const engine::SolveResult on = eng.solve(*solver, req);
           req.params.decompose = false;
-          const engine::SolveResult off = solver->solve(req);
+          const engine::SolveResult off = eng.solve(*solver, req);
           if (!on.ok || !off.ok) {
             rejected = true;  // outside the family's envelope; skip cell
             break;
@@ -270,8 +281,196 @@ int main(int, char** argv) {
   dtable.print(std::cout);
   std::cout << "\n";
 
+  // ------------------------------------------------- solve cache study --
+  // (a) Repeated catalog sweep: one exact-anchor batch (every one-interval
+  // scenario x {gap_dp, power_dp, baptiste} x kTrials draws), solved twice
+  // through Engine::solve_stream. With the cache on, the second pass is
+  // pure canonical-key lookups; with it off, every solve re-runs the DP.
+  // Timing passes run validate-off (the oracle costs the same either way
+  // and would blur the cache effect); a fully audited cache-on pass runs
+  // afterwards and feeds the refuted_exact gate — cached answers get no
+  // free pass from the oracle.
+  std::cout << "=== solve cache: repeat sweep + identical-component dedup "
+               "===\n\n";
+  const char* kAnchors[] = {"gap_dp", "power_dp", "baptiste"};
+  std::vector<engine::BatchJob> sweep_batch;
+  for (const scenarios::Scenario* sc :
+       scenarios::ScenarioCatalog::instance().all()) {
+    if (!sc->one_interval) continue;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const Instance inst = sc->make(bench::kSeed + trial);
+      for (const char* name : kAnchors) {
+        engine::BatchJob job;
+        job.solver = name;
+        job.request.instance = inst;
+        job.request.objective = registry.find(name)->info().objective;
+        job.request.params.alpha = kAlpha;
+        sweep_batch.push_back(std::move(job));
+      }
+    }
+  }
+  engine::Engine cached;                     // cache on (the default)
+  engine::Engine uncached({.cache = false});
+  const auto timed_stream = [&](engine::Engine& e) {
+    std::size_t delivered = 0;
+    Stopwatch sw;
+    const std::vector<engine::SolveResult> results = e.solve_stream(
+        sweep_batch,
+        [&](std::size_t, const engine::SolveResult&) { ++delivered; });
+    const double ms = sw.millis();
+    if (delivered != sweep_batch.size()) {
+      std::cerr << "T9: solve_stream delivered " << delivered << " of "
+                << sweep_batch.size() << " results\n";
+      ++refuted_exact;  // a broken stream is a bug, not a perf datum
+    }
+    return std::make_pair(ms, engine::summarize(results));
+  };
+  const auto [pass1_on_ms, sum1] = timed_stream(cached);
+  const auto [pass2_on_ms, sum2] = timed_stream(cached);
+  timed_stream(uncached);  // warm the pool, as pass 1 did for `cached`
+  const auto [pass2_off_ms, sum_off] = timed_stream(uncached);
+  const double sweep_speedup =
+      pass2_on_ms > 0.0 ? pass2_off_ms / pass2_on_ms : 0.0;
+
+  // Audited cache-on pass: every result now comes from the cache and every
+  // answer is re-derived by the independent oracle against the requester's
+  // own instance.
+  std::vector<engine::BatchJob> audited_batch = sweep_batch;
+  for (engine::BatchJob& job : audited_batch) {
+    job.request.params.validate = true;
+  }
+  const engine::BatchSummary audited_sum =
+      engine::summarize(cached.solve_batch(audited_batch));
+  refuted_exact += static_cast<int>(audited_sum.refuted);
+
+  Table ctable({"pass", "requests", "ms", "cache_hits", "speedup"});
+  ctable.row().add("1 (cache on, cold)").add(sweep_batch.size())
+      .add(pass1_on_ms, 2).add(sum1.cache_hits + sum1.component_cache_hits)
+      .add("");
+  ctable.row().add("2 (cache on, warm)").add(sweep_batch.size())
+      .add(pass2_on_ms, 2).add(sum2.cache_hits + sum2.component_cache_hits)
+      .add(sweep_speedup, 2);
+  ctable.row().add("2 (cache off)").add(sweep_batch.size())
+      .add(pass2_off_ms, 2)
+      .add(sum_off.cache_hits + sum_off.component_cache_hits).add("");
+  ctable.print(std::cout);
+  std::cout << "audited cache-on pass: " << audited_sum.audited
+            << " audits, " << audited_sum.refuted << " refuted, "
+            << audited_sum.cache_hits << " whole-request hits\n\n";
+
+  bench::Json sweep_json = bench::Json::object();
+  sweep_json.set("requests", sweep_batch.size())
+      .set("pass1_on_ms", pass1_on_ms)
+      .set("pass2_on_ms", pass2_on_ms)
+      .set("pass2_off_ms", pass2_off_ms)
+      .set("second_pass_speedup", sweep_speedup)
+      .set("pass2_cache_hits", sum2.cache_hits + sum2.component_cache_hits)
+      .set("audited", audited_sum.audited)
+      .set("audited_refuted", audited_sum.refuted);
+
+  // (b) N identical clusters: the decomposed components are byte-identical
+  // post canonicalization + compression, so the pipeline solves one and
+  // reuses it N-1 times — the dedup win grows with N. The cache-off engine
+  // solves all N components from scratch (same decomposition, no reuse).
+  const auto identical_clusters = [](int copies) {
+    // One fixed 10-job cluster with real slack (windows overlap, span ~26)
+    // so the per-component DP does non-trivial work, tiled far enough
+    // apart that every tile is its own component at any cut threshold the
+    // tiled instance can ask for (> max(n_total, ceil(alpha))).
+    Instance out;
+    const Time spacing = 26 + static_cast<Time>(copies) * 10 + 64;
+    for (int i = 0; i < copies; ++i) {
+      const Time base = static_cast<Time>(i) * spacing;
+      for (int j = 0; j < 10; ++j) {
+        const Time lo = base + static_cast<Time>(j) * 2;
+        out.jobs.push_back(Job{TimeSet::window(lo, lo + 7)});
+      }
+    }
+    return out;
+  };
+  Table dedup_table({"clusters", "n", "solver", "deduped", "on_ms", "off_ms",
+                     "speedup"});
+  bench::Json dedup_rows = bench::Json::array();
+  constexpr int kDedupReps = 3;  // summed: single solves are jitter-prone
+  for (const int copies : {8, 32, 128, 300}) {
+    const Instance inst = identical_clusters(copies);
+    for (const char* name : {"gap_dp", "power_dp"}) {
+      const engine::Solver* solver = registry.find(name);
+      engine::SolveRequest req;
+      req.instance = inst;
+      req.objective = solver->info().objective;
+      req.params.alpha = kAlpha;
+
+      double on_ms = 0.0, off_ms = 0.0;
+      engine::SolveResult on;
+      bool bad = false;
+      for (int rep = 0; rep < kDedupReps && !bad; ++rep) {
+        // Fresh per-rep engine: each "on" solve measures intra-request
+        // dedup on a cold cache, not a warm lookup.
+        engine::Engine fresh;
+        Stopwatch sw;
+        on = fresh.solve(name, req);
+        on_ms += sw.millis();
+        sw.reset();
+        const engine::SolveResult off = uncached.solve(name, req);
+        off_ms += sw.millis();
+        if (!on.ok || !off.ok || on.cost != off.cost) {
+          std::cerr << "T9: cache dedup mismatch on " << copies
+                    << " clusters (" << name << "): "
+                    << (on.ok ? (off.ok ? "cost differs" : off.error)
+                              : on.error)
+                    << "\n";
+          ++refuted_exact;
+          bad = true;
+          break;
+        }
+        if (rep > 0) continue;
+        // Audited warm re-solve: all components served from the cache,
+        // and the oracle re-derives the recombined answer.
+        engine::SolveRequest audited = req;
+        audited.params.validate = true;
+        const engine::SolveResult warm = fresh.solve(name, audited);
+        if (!warm.stats.cache_hit || !warm.audit_error.empty()) {
+          std::cerr << "T9: audited warm solve failed on " << copies
+                    << " clusters (" << name << "): "
+                    << (warm.audit_error.empty() ? "not a cache hit"
+                                                 : warm.audit_error)
+                    << "\n";
+          ++refuted_exact;
+        }
+      }
+      if (bad) continue;
+      const double speedup = on_ms > 0.0 ? off_ms / on_ms : 0.0;
+      dedup_table.row()
+          .add(copies)
+          .add(inst.n())
+          .add(name)
+          .add(on.stats.components_deduped)
+          .add(on_ms, 3)
+          .add(off_ms, 3)
+          .add(speedup, 2);
+      dedup_rows.push(bench::Json::object()
+                          .set("clusters", copies)
+                          .set("n", inst.n())
+                          .set("solver", name)
+                          .set("components", on.stats.components)
+                          .set("components_deduped",
+                               on.stats.components_deduped)
+                          .set("on_ms", on_ms)
+                          .set("off_ms", off_ms)
+                          .set("speedup", speedup));
+    }
+  }
+  dedup_table.print(std::cout);
+  std::cout << "\n";
+
+  bench::Json cache_json = bench::Json::object();
+  cache_json.set("repeat_sweep", std::move(sweep_json))
+      .set("identical_clusters", std::move(dedup_rows));
+
   report.set("scenarios", std::move(scenario_rows))
       .set("decomposition", std::move(decomp_rows))
+      .set("cache_study", std::move(cache_json))
       .set("refuted_exact", refuted_exact);
   bench::emit_json("tab9", report);
 

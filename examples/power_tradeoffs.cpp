@@ -13,7 +13,7 @@
 
 #include "gapsched/core/stats.hpp"
 #include "gapsched/dp/gap_dp.hpp"
-#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/io/render.hpp"
 #include "gapsched/matching/hall.hpp"
 
@@ -45,18 +45,17 @@ int main() {
             << render_gantt(inst, gap.schedule) << "\n";
 
   // The alpha sweep is a batch of independent power solves: fan it out
-  // through the engine's parallel driver (results stay sweep-ordered).
+  // through the engine's batch driver (results stay sweep-ordered; each
+  // alpha keys its own cache entry, so re-running the sweep would be free).
   const std::vector<double> alphas = {0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 50.0};
-  std::vector<engine::SolveRequest> sweep;
+  std::vector<engine::BatchJob> sweep;
   for (double alpha : alphas) {
-    engine::SolveRequest req{inst, engine::Objective::kPower, {}};
-    req.params.alpha = alpha;
-    sweep.push_back(std::move(req));
+    engine::BatchJob job{"power_dp", {inst, engine::Objective::kPower, {}}};
+    job.request.params.alpha = alpha;
+    sweep.push_back(std::move(job));
   }
-  const engine::Solver* power_dp =
-      engine::SolverRegistry::instance().find("power_dp");
-  const std::vector<engine::SolveResult> optima =
-      engine::solve_many(*power_dp, sweep);
+  engine::Engine eng;
+  const std::vector<engine::SolveResult> optima = eng.solve_batch(sweep);
 
   std::cout << "alpha   power_opt   power_of_gap_opt   same_schedule?\n";
   for (std::size_t i = 0; i < alphas.size(); ++i) {

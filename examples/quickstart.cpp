@@ -5,14 +5,14 @@
 //
 // Walks through the core API: Instance construction, the Theorem 1 gap DP,
 // the Theorem 2 power DP, schedule validation and metrics — then the same
-// solves again through the engine registry, the uniform entry point the
-// CLI and benches use.
+// solves again through a persistent engine::Engine, the uniform stateful
+// entry point the CLI and benches use (registry + solve cache + pool).
 
 #include <iostream>
 
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/dp/power_dp.hpp"
-#include "gapsched/engine/registry.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/io/render.hpp"
 
 using namespace gapsched;
@@ -52,19 +52,29 @@ int main() {
               << "\n";
   }
 
-  // The engine view of the same solves: pick a solver from the registry by
-  // name, hand it a SolveRequest, get a uniform SolveResult back. This is
-  // how the CLI dispatches and how solve_many() batches across a pool.
-  std::cout << "\nvia the engine registry:\n";
+  // The engine view of the same solves: construct one Engine (it owns the
+  // solver registry, a content-addressed solve cache, and the batch worker
+  // pool), hand it a SolveRequest, get a uniform SolveResult back. This is
+  // how the CLI dispatches and how Engine::solve_batch fans out.
+  std::cout << "\nvia the engine:\n";
+  engine::Engine eng;
   for (const char* name : {"gap_dp", "power_dp"}) {
     engine::SolveRequest request;
     request.instance = inst;
-    request.objective =
-        engine::SolverRegistry::instance().find(name)->info().objective;
+    request.objective = eng.registry().find(name)->info().objective;
     request.params.alpha = 2.0;
-    const engine::SolveResult r = engine::solve_with(name, request);
+    const engine::SolveResult r = eng.solve(name, request);
     std::cout << "  " << name << ": cost " << r.cost << " ("
               << r.stats.wall_ms << " ms)\n";
+    // A repeated solve is served from the cache: same canonical instance,
+    // same consumed parameters, so the content-addressed key matches.
+    const engine::SolveResult again = eng.solve(name, request);
+    std::cout << "  " << name << " again: cost " << again.cost << " ("
+              << (again.stats.cache_hit ? "cache hit" : "cache miss")
+              << ", " << again.stats.wall_ms << " ms)\n";
   }
+  const engine::CacheStats cs = eng.cache_stats();
+  std::cout << "cache: " << cs.hits << " hits, " << cs.misses
+            << " misses, " << cs.entries << " entries\n";
   return 0;
 }

@@ -1,5 +1,6 @@
 // Command-line front end of the solver engine: every algorithm family is
-// reached through the SolverRegistry, never by hand-wired calls.
+// reached through a persistent gapsched::engine::Engine (registry + solve
+// cache + worker pool), never by hand-wired calls.
 //
 //   $ ./solver_cli --list                        # enumerate the registry
 //   $ ./solver_cli gap_dp instance.txt           # Theorem 1 exact
@@ -7,12 +8,20 @@
 //   $ ./solver_cli powermin_approx --alpha 2.5 instance.txt
 //   $ ./solver_cli fhkn_greedy instance.txt
 //   $ ./solver_cli restart_greedy --spans 3 instance.txt
+//   $ ./solver_cli gap_dp --json scenario:sparse_spread:7   # io/json codec
 //
 // Legacy spellings (gaps / power / power-approx / greedy / throughput) are
 // kept as aliases of the registry names.
 //
-// Prints the objective value, a Gantt chart, metrics, and the schedule in
-// the io/serialize.hpp text format.
+// Default output: the objective value, a Gantt chart, metrics, and the
+// schedule in the io/serialize.hpp text format. With --json, the result is
+// emitted as the io/json.hpp response document instead (machine-readable;
+// stdout carries only the JSON). --cache-stats prints the engine's solve-
+// cache hit/miss tallies to stderr at exit.
+//
+// Exit codes: 0 solved; 1 infeasible; 2 bad usage / rejected request;
+// 3 oracle refuted the answer (--validate); 4 the solve exceeded
+// --time-limit (the answer is printed but must be treated as advisory).
 
 #include <fstream>
 #include <iostream>
@@ -20,7 +29,8 @@
 #include <string>
 #include <vector>
 
-#include "gapsched/engine/registry.hpp"
+#include "gapsched/engine/engine.hpp"
+#include "gapsched/io/json.hpp"
 #include "gapsched/io/render.hpp"
 #include "gapsched/io/serialize.hpp"
 #include "gapsched/scenarios/scenarios.hpp"
@@ -48,15 +58,21 @@ int usage() {
             << "                   apart job clusters into independent\n"
             << "                   components (exact gap/power solvers;\n"
             << "                   decomposition is on by default)\n"
+            << "  --time-limit <s> advisory wall-clock budget in seconds;\n"
+            << "                   exit 4 when the solve ran longer\n"
+            << "  --json           emit the result as the io/json.hpp JSON\n"
+            << "                   response document (machine-readable)\n"
+            << "  --cache-stats    print the engine's solve-cache tallies\n"
+            << "                   to stderr at exit\n"
             << "run 'solver_cli --list' for the registered solvers and\n"
             << "'solver_cli --scenarios' for the named workload families\n";
   return 2;
 }
 
-int list_solvers() {
+int list_solvers(const engine::Engine& eng) {
   Table table({"solver", "objective", "exact", "paper", "complexity",
                "summary"});
-  for (const engine::Solver* solver : engine::SolverRegistry::instance().all()) {
+  for (const engine::Solver* solver : eng.registry().all()) {
     const engine::SolverInfo& info = solver->info();
     table.row()
         .add(info.name)
@@ -130,19 +146,29 @@ std::optional<Instance> load(const std::string& path) {
   return inst;
 }
 
+void print_cache_stats(const engine::Engine& eng) {
+  const engine::CacheStats s = eng.cache_stats();
+  std::cerr << "cache: " << s.hits << " hit(s) / " << s.misses
+            << " miss(es), " << s.entries << " entrie(s), " << s.insertions
+            << " insertion(s), " << s.evictions << " eviction(s)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  // One persistent engine for the whole invocation: registry, solve cache,
+  // and (for batched front ends built on this) the shared worker pool.
+  engine::Engine eng;
   if (args.empty()) return usage();
-  if (args[0] == "--list" || args[0] == "list") return list_solvers();
+  if (args[0] == "--list" || args[0] == "list") return list_solvers(eng);
   if (args[0] == "--scenarios" || args[0] == "scenarios") {
     return list_scenarios();
   }
   if (args.size() < 2) return usage();
 
   const std::string name = canonical_name(args[0]);
-  const engine::Solver* solver = engine::SolverRegistry::instance().find(name);
+  const engine::Solver* solver = eng.registry().find(name);
   if (solver == nullptr) {
     std::cerr << "unknown solver '" << args[0] << "' (see solver_cli --list)\n";
     return 2;
@@ -150,6 +176,8 @@ int main(int argc, char** argv) {
 
   engine::SolveRequest request;
   request.objective = solver->info().objective;
+  bool emit_json = false;
+  bool cache_stats = false;
   // Flags may appear anywhere; non-flag arguments are collected and
   // resolved afterwards so the legacy "power <alpha> <file>" and
   // "throughput <k> <file>" spellings still work.
@@ -183,10 +211,22 @@ int main(int argc, char** argv) {
         auto v = value();
         if (!v) return usage();
         request.params.block_size = std::stoi(*v);
+      } else if (arg == "--time-limit") {
+        auto v = value();
+        if (!v) return usage();
+        request.params.time_limit_s = std::stod(*v);
+        if (request.params.time_limit_s < 0.0) {
+          std::cerr << "--time-limit must be >= 0 (0 = unlimited)\n";
+          return 2;
+        }
       } else if (arg == "--validate") {
         request.params.validate = true;
       } else if (arg == "--no-decompose") {
         request.params.decompose = false;
+      } else if (arg == "--json") {
+        emit_json = true;
+      } else if (arg == "--cache-stats") {
+        cache_stats = true;
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "unknown option '" << arg << "'\n";
         return usage();
@@ -203,8 +243,9 @@ int main(int argc, char** argv) {
   const unsigned consumed = solver->info().params;
   for (const std::string& flag : flags_seen) {
     bool applies = false;
-    if (flag == "--validate") {
-      applies = true;  // the oracle audits every family
+    if (flag == "--validate" || flag == "--json" || flag == "--cache-stats" ||
+        flag == "--time-limit") {
+      applies = true;  // engine-level concerns, meaningful for every family
     } else if (flag == "--no-decompose") {
       // Only the exact gap/power families consume the flag, but clearing a
       // default-on optimization is never a surprising no-op — accept it
@@ -251,7 +292,12 @@ int main(int argc, char** argv) {
   if (!inst) return 1;
   request.instance = std::move(*inst);
 
-  const engine::SolveResult result = solver->solve(request);
+  const engine::SolveResult result = eng.solve(*solver, request);
+
+  // Machine-readable mode: the response document is the whole stdout.
+  if (emit_json) std::cout << io::result_to_json(result) << "\n";
+  if (cache_stats) print_cache_stats(eng);
+
   if (!result.ok) {
     std::cerr << "rejected: " << result.error << "\n";
     return 2;
@@ -260,10 +306,16 @@ int main(int argc, char** argv) {
     std::cerr << "oracle REFUTED the answer: " << result.audit_error << "\n";
     return 3;
   }
-  if (!result.feasible) {
-    std::cout << "infeasible\n";
-    return 1;
+  if (result.timed_out) {
+    std::cerr << "time limit exceeded (" << result.stats.wall_ms << " ms > "
+              << request.params.time_limit_s * 1e3
+              << " ms); treat the answer as advisory\n";
   }
+  if (!result.feasible) {
+    if (!emit_json) std::cout << "infeasible\n";
+    return result.timed_out ? 4 : 1;
+  }
+  if (emit_json) return result.timed_out ? 4 : 0;
 
   const engine::SolverInfo& info = solver->info();
   std::cout << info.name << " (" << engine::to_string(info.objective)
@@ -276,7 +328,12 @@ int main(int argc, char** argv) {
   std::cout << "  [" << result.stats.wall_ms << " ms]\n";
   if (result.stats.components > 1) {
     std::cout << "prep: solved as " << result.stats.components
-              << " independent components\n";
+              << " independent components";
+    if (result.stats.components_deduped > 0) {
+      std::cout << " (" << result.stats.components_deduped
+                << " deduplicated as identical)";
+    }
+    std::cout << "\n";
   }
   std::cout << render_gantt(request.instance, result.schedule);
   // The metrics line reports power at the requested alpha for power solves
@@ -290,5 +347,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
   write_schedule(std::cout, result.schedule);
-  return 0;
+  return result.timed_out ? 4 : 0;
 }

@@ -1,0 +1,40 @@
+#include "gapsched/core/hash.hpp"
+
+namespace gapsched {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64_word(std::uint64_t word, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t digest(const TimeSet& set, std::uint64_t seed) {
+  std::uint64_t h = fnv1a64_word(set.interval_count(), seed);
+  for (const Interval& iv : set.intervals()) {
+    h = fnv1a64_word(static_cast<std::uint64_t>(iv.lo), h);
+    h = fnv1a64_word(static_cast<std::uint64_t>(iv.hi), h);
+  }
+  return h;
+}
+
+std::uint64_t digest(const Instance& inst, std::uint64_t seed) {
+  std::uint64_t h = fnv1a64_word(static_cast<std::uint64_t>(inst.processors),
+                                 seed);
+  h = fnv1a64_word(inst.n(), h);
+  for (const Job& job : inst.jobs) h = digest(job.allowed, h);
+  return h;
+}
+
+}  // namespace gapsched

@@ -1,0 +1,136 @@
+#include "gapsched/engine/cache.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "gapsched/core/hash.hpp"
+
+namespace gapsched::engine {
+
+namespace {
+
+/// Doubles are keyed at 17 significant digits: enough that any two
+/// distinct double values produce distinct text (and equal values always
+/// the same text), which is all a deterministic key needs. Unlike the
+/// io/json.cpp writer, no shortest-round-trip search is done — keys are
+/// not meant to be pretty.
+void append_double(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+CacheKey make_cache_key(const SolverInfo& info, Objective objective,
+                        const SolveParams& params, const Instance& canonical) {
+  std::string text;
+  text.reserve(48 + canonical.n() * 12);
+  text += info.name;
+  text += '|';
+  text += to_string(objective);
+  text += "|p";
+  text += std::to_string(canonical.processors);
+  if ((info.params & kUsesAlpha) != 0) {
+    text += "|a=";
+    append_double(text, params.alpha);
+  }
+  if ((info.params & kUsesMaxSpans) != 0) {
+    text += "|k=";
+    text += std::to_string(params.max_spans);
+  }
+  if ((info.params & kUsesThreshold) != 0) {
+    text += "|t=";
+    append_double(text, params.powerdown_threshold);
+  }
+  if ((info.params & kUsesPacking) != 0) {
+    text += "|s=";
+    text += std::to_string(params.swap_size);
+    text += ",b=";
+    text += std::to_string(params.block_size);
+  }
+  for (const Job& job : canonical.jobs) {
+    text += '|';
+    for (const Interval& iv : job.allowed.intervals()) {
+      text += std::to_string(iv.lo);
+      text += ',';
+      text += std::to_string(iv.hi);
+      text += ';';
+    }
+  }
+  CacheKey key;
+  key.digest = fnv1a64(text);
+  key.text = std::move(text);
+  return key;
+}
+
+SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const SolveResult> SolveCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return it->second.result;
+}
+
+void SolveCache::insert(const CacheKey& key, const SolveResult& result) {
+  // Request-independent normal form (built outside the lock): the
+  // pipeline re-derives timing and audit for every request a hit serves.
+  auto stored = std::make_shared<SolveResult>(result);
+  stored->stats.wall_ms = 0.0;
+  stored->stats.cache_hit = false;
+  stored->stats.component_cache_hits = 0;
+  stored->stats.components_deduped = 0;
+  stored->timed_out = false;
+  stored->audited = false;
+  stored->audit_error.clear();
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Another worker solved the same canonical form first; keep its entry
+    // (deterministic solvers produce the same result) and refresh LRU.
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  auto [pos, inserted] =
+      map_.emplace(key, Entry{std::move(stored), lru_.end()});
+  lru_.push_front(&pos->first);
+  pos->second.lru = lru_.begin();
+  ++insertions_;
+  if (capacity_ > 0 && map_.size() > capacity_) evict_locked();
+}
+
+void SolveCache::evict_locked() {
+  while (map_.size() > capacity_ && !lru_.empty()) {
+    const CacheKey* victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(*victim);
+    ++evictions_;
+  }
+}
+
+CacheStats SolveCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = map_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void SolveCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace gapsched::engine

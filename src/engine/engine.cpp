@@ -1,0 +1,101 @@
+#include "gapsched/engine/engine.hpp"
+
+#include <utility>
+
+namespace gapsched::engine {
+
+BatchSummary summarize(const std::vector<SolveResult>& results) {
+  BatchSummary s;
+  s.total = results.size();
+  for (const SolveResult& r : results) {
+    if (!r.ok) {
+      ++s.rejected;
+      continue;
+    }
+    ++s.ok;
+    if (r.feasible) {
+      ++s.feasible;
+    } else {
+      ++s.infeasible;
+    }
+    if (r.timed_out) ++s.timed_out;
+    if (r.audited) {
+      ++s.audited;
+      if (!r.audit_error.empty()) ++s.refuted;
+    }
+    if (r.stats.cache_hit) ++s.cache_hits;
+    s.component_cache_hits += r.stats.component_cache_hits;
+    s.components_deduped += r.stats.components_deduped;
+  }
+  return s;
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      registry_(SolverRegistry::create_with_builtins()),
+      cache_(options.cache
+                 ? std::make_unique<SolveCache>(options.cache_capacity)
+                 : nullptr) {}
+
+Engine::~Engine() = default;
+
+SolveResult Engine::solve(std::string_view solver,
+                          const SolveRequest& request) {
+  const Solver* s = registry_->find(solver);
+  if (s == nullptr) {
+    return SolveResult::rejected("unknown solver '" + std::string(solver) +
+                                 "'");
+  }
+  return solve(*s, request);
+}
+
+SolveResult Engine::solve(const Solver& solver, const SolveRequest& request) {
+  return solver.solve(request, SolveHooks{cache_.get()});
+}
+
+std::vector<SolveResult> Engine::solve_batch(
+    const std::vector<BatchJob>& jobs) {
+  return solve_stream(jobs, nullptr);
+}
+
+std::vector<SolveResult> Engine::solve_stream(
+    const std::vector<BatchJob>& jobs, const StreamCallback& on_result) {
+  std::vector<SolveResult> results(jobs.size());
+  // Resolve solver names up front so every entry hits the registry once and
+  // worker threads only touch immutable Solver objects.
+  std::vector<const Solver*> solvers(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    solvers[i] = registry_->find(jobs[i].solver);
+  }
+  const SolveHooks hooks{cache_.get()};
+  std::mutex callback_mu;
+  parallel_for(batch_pool(), jobs.size(), [&](std::size_t i) {
+    results[i] = solvers[i] != nullptr
+                     ? solvers[i]->solve(jobs[i].request, hooks)
+                     : SolveResult::rejected("unknown solver '" +
+                                             jobs[i].solver + "'");
+    if (on_result) {
+      std::lock_guard<std::mutex> lk(callback_mu);
+      on_result(i, results[i]);
+    }
+  });
+  return results;
+}
+
+CacheStats Engine::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : CacheStats{};
+}
+
+void Engine::clear_cache() {
+  if (cache_ != nullptr) cache_->clear();
+}
+
+ThreadPool& Engine::batch_pool() {
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  return *pool_;
+}
+
+}  // namespace gapsched::engine

@@ -14,6 +14,12 @@ SolverRegistry& SolverRegistry::instance() {
   return registry;
 }
 
+std::unique_ptr<SolverRegistry> SolverRegistry::create_with_builtins() {
+  std::unique_ptr<SolverRegistry> registry(new SolverRegistry);
+  register_builtin_solvers(*registry);
+  return registry;
+}
+
 bool SolverRegistry::add(std::unique_ptr<Solver> solver) {
   const std::string& name = solver->info().name;
   return solvers_.emplace(name, std::move(solver)).second;

@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "gapsched/core/transforms.hpp"
+#include "gapsched/engine/cache.hpp"
 #include "gapsched/oracle/oracle.hpp"
 #include "gapsched/parallel/thread_pool.hpp"
 #include "gapsched/prep/prep.hpp"
@@ -18,12 +25,14 @@ namespace {
 /// small-cluster DP solve, so small decompositions run inline.
 constexpr std::size_t kParallelFanoutMinComponentJobs = 16;
 
+constexpr std::size_t kNoDup = static_cast<std::size_t>(-1);
+
 /// Shared fan-out pool, lazily constructed on the first large
 /// decomposition and reused for every later solve. A per-solve pool would
 /// pay thread spawn inside the timed solve and nest a fresh pool under
-/// every solve_many worker. Component tasks never submit back into this
-/// pool, so concurrent solves sharing it cannot deadlock — parallel_for's
-/// global wait_idle only makes them wait out each other's tasks.
+/// every batch worker. Component tasks never submit back into this pool,
+/// so concurrent solves sharing it cannot deadlock — parallel_for's global
+/// wait_idle only makes them wait out each other's tasks.
 ThreadPool& fanout_pool() {
   static ThreadPool pool;
   return pool;
@@ -58,6 +67,56 @@ Time cut_threshold(const SolveRequest& request) {
     threshold = std::max(threshold, static_cast<Time>(alpha_ceil));
   }
   return threshold;
+}
+
+/// Gap-objective pipeline solves run on the dead-time-compressed component
+/// (core/transforms): runs no job can use shrink to one unit, which cuts
+/// the Prop 2.1 candidate axis and makes canonical cache keys independent
+/// of interior dead-run lengths. The power objective is skipped — the
+/// length-aware guard — because idle-bridging costs min(gap, alpha) depend
+/// on real gap lengths, which compression destroys.
+bool wants_compression(const SolveRequest& request) {
+  return request.objective == Objective::kGaps;
+}
+
+/// Maps a schedule produced on a compressed instance back to the
+/// uncompressed time axis (job order is unchanged by compression).
+Schedule decompress_times(const Schedule& in, const CompressedInstance& ci) {
+  Schedule out(in.size());
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    const std::optional<Placement>& slot = in.at(j);
+    if (slot.has_value()) {
+      out.place(j, ci.to_original(slot->time), slot->processor);
+    }
+  }
+  return out;
+}
+
+/// Maps a schedule of the canonicalized instance back to the original job
+/// indices and time origin.
+Schedule uncanonicalize(const Schedule& in, const prep::Canonical& canon) {
+  Schedule out(in.size());
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    const std::optional<Placement>& slot = in.at(j);
+    if (slot.has_value()) {
+      out.place(canon.order[j], slot->time + canon.shift, slot->processor);
+    }
+  }
+  return out;
+}
+
+/// Inverse of uncanonicalize: rewrites an original-coordinate schedule in
+/// canonical job order and origin, the form cache entries are stored in.
+Schedule canonicalize_schedule(const Schedule& in,
+                               const prep::Canonical& canon) {
+  Schedule out(in.size());
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    const std::optional<Placement>& slot = in.at(canon.order[j]);
+    if (slot.has_value()) {
+      out.place(j, slot->time - canon.shift, slot->processor);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -105,13 +164,23 @@ std::string Solver::check(const SolveRequest& request) const {
 }
 
 SolveResult Solver::solve(const SolveRequest& request) const {
+  return solve(request, SolveHooks{});
+}
+
+SolveResult Solver::solve(const SolveRequest& request,
+                          const SolveHooks& hooks) const {
   if (std::string diag = check(request); !diag.empty()) {
     return SolveResult::rejected(std::move(diag));
   }
   Stopwatch sw;
-  SolveResult result = wants_decomposition(info(), request)
-                           ? solve_decomposed(request)
-                           : do_solve(request);
+  SolveResult result;
+  if (wants_decomposition(info(), request)) {
+    result = solve_decomposed(request, hooks);
+  } else if (hooks.cache != nullptr) {
+    result = solve_whole_cached(request, *hooks.cache);
+  } else {
+    result = do_solve(request);
+  }
   result.stats.wall_ms = sw.millis();
   const double limit = request.params.time_limit_s;
   result.timed_out = limit > 0.0 && result.stats.wall_ms > limit * 1e3;
@@ -122,27 +191,118 @@ SolveResult Solver::solve(const SolveRequest& request) const {
   return result;
 }
 
-SolveResult Solver::solve_decomposed(const SolveRequest& request) const {
+SolveResult Solver::solve_whole_cached(const SolveRequest& request,
+                                       SolveCache& cache) const {
+  const prep::Canonical canon = prep::canonicalize(request.instance);
+  const CacheKey key =
+      make_cache_key(info(), request.objective, request.params, canon.instance);
+  if (std::shared_ptr<const SolveResult> hit = cache.lookup(key)) {
+    SolveResult result = *hit;  // entry is shared; copy outside the lock
+    result.stats.cache_hit = true;
+    result.schedule = uncanonicalize(result.schedule, canon);
+    return result;
+  }
+  // Miss: solve the ORIGINAL instance — heuristic families are job-order
+  // sensitive, so a cold solve must behave exactly like the stateless path
+  // — and store the result rewritten in canonical coordinates, the form
+  // that serves every time-shifted or job-permuted copy of this workload.
+  SolveRequest sub;
+  sub.instance = request.instance;
+  sub.objective = request.objective;
+  sub.params = request.params;
+  sub.params.validate = false;
+  sub.params.time_limit_s = 0.0;
+  SolveResult result = do_solve(sub);
+  if (result.ok) {
+    SolveResult canonical = result;
+    canonical.schedule = canonicalize_schedule(result.schedule, canon);
+    cache.insert(key, canonical);
+  }
+  return result;
+}
+
+SolveResult Solver::solve_decomposed(const SolveRequest& request,
+                                     const SolveHooks& hooks) const {
   prep::Decomposition dec =
       prep::decompose(request.instance, cut_threshold(request));
-  if (dec.components.size() <= 1) {
+  const bool compress = wants_compression(request);
+  if (dec.components.size() <= 1 && hooks.cache == nullptr && !compress) {
     SolveResult result = do_solve(request);
     result.stats.components = 1;
     return result;
   }
 
+  // Per-component solve form: the decompose() components are already
+  // canonical (sorted jobs, origin 0); gap components are additionally
+  // dead-time compressed, which is also the form their cache key hashes —
+  // two components differing only in interior dead-run lengths share an
+  // entry.
+  const std::size_t m = dec.components.size();
+  std::vector<CompressedInstance> compressed(compress ? m : 0);
+  std::vector<Instance*> solve_inst(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    if (compress) {
+      compressed[c] = compress_dead_time(dec.components[c].instance);
+      solve_inst[c] = &compressed[c].instance;
+    } else {
+      solve_inst[c] = &dec.components[c].instance;
+    }
+  }
+
+  std::vector<SolveResult> parts(m);
+  SolveStats agg;
+  agg.components = m;
+
+  // With a cache: deduplicate identical components within this request and
+  // consult the cross-request cache, leaving only genuinely new components
+  // to solve. Without one, solve everything (the stateless path).
+  std::vector<std::size_t> to_solve;
+  std::vector<std::size_t> hit_components;
+  std::vector<std::size_t> dup_of(m, kNoDup);
+  std::vector<CacheKey> keys;
+  if (hooks.cache != nullptr) {
+    keys.reserve(m);
+    for (std::size_t c = 0; c < m; ++c) {
+      keys.push_back(make_cache_key(info(), request.objective, request.params,
+                                    *solve_inst[c]));
+    }
+    std::map<std::string_view, std::size_t> first_with_key;
+    for (std::size_t c = 0; c < m; ++c) {
+      const auto [it, inserted] = first_with_key.try_emplace(keys[c].text, c);
+      if (!inserted) {
+        dup_of[c] = it->second;
+        ++agg.components_deduped;
+        continue;
+      }
+      if (std::shared_ptr<const SolveResult> hit =
+              hooks.cache->lookup(keys[c])) {
+        parts[c] = *hit;  // entry is shared; copy outside the lock
+        hit_components.push_back(c);
+        ++agg.component_cache_hits;
+      } else {
+        to_solve.push_back(c);
+      }
+    }
+  } else {
+    to_solve.resize(m);
+    for (std::size_t c = 0; c < m; ++c) to_solve[c] = c;
+  }
+  agg.cache_hit = hooks.cache != nullptr && to_solve.empty() &&
+                  agg.component_cache_hits > 0;
+
   // Component requests inherit the caller's parameters; the oracle audit
   // and the wall-clock budget apply to the recombined whole, not the parts.
-  // The component instances are moved into the sub-requests — recombine()
-  // only needs the job maps and shifts.
   std::size_t largest = 0;
-  for (const prep::Component& comp : dec.components) {
-    largest = std::max(largest, comp.instance.n());
+  for (std::size_t c : to_solve) {
+    largest = std::max(largest, solve_inst[c]->n());
   }
-  std::vector<SolveResult> parts(dec.components.size());
-  const auto solve_component = [&](std::size_t c) {
+  const auto solve_component = [&](std::size_t i) {
+    const std::size_t c = to_solve[i];
     SolveRequest sub;
-    sub.instance = std::move(dec.components[c].instance);
+    // Safe to move: cache keys were built above, recombine() reads only
+    // the components' job maps and shifts, and decompress_times() reads
+    // only the interval maps — nothing needs the instance afterwards.
+    sub.instance = std::move(*solve_inst[c]);
     sub.objective = request.objective;
     sub.params = request.params;
     sub.params.validate = false;
@@ -150,43 +310,59 @@ SolveResult Solver::solve_decomposed(const SolveRequest& request) const {
     parts[c] = do_solve(sub);
   };
   if (largest >= kParallelFanoutMinComponentJobs) {
-    parallel_for(fanout_pool(), dec.components.size(), solve_component);
+    parallel_for(fanout_pool(), to_solve.size(), solve_component);
   } else {
-    for (std::size_t c = 0; c < dec.components.size(); ++c) {
-      solve_component(c);
+    for (std::size_t i = 0; i < to_solve.size(); ++i) solve_component(i);
+  }
+  if (hooks.cache != nullptr) {
+    for (std::size_t c : to_solve) {
+      if (parts[c].ok) hooks.cache->insert(keys[c], parts[c]);
+    }
+    for (std::size_t c = 0; c < m; ++c) {
+      if (dup_of[c] != kNoDup) parts[c] = parts[dup_of[c]];
     }
   }
 
   SolveResult out;
   out.ok = true;
   out.feasible = true;
-  out.stats.components = dec.components.size();
-  for (std::size_t c = 0; c < parts.size(); ++c) {
+  out.stats = agg;
+  for (std::size_t c = 0; c < m; ++c) {
     const SolveResult& part = parts[c];
     if (!part.ok) {
       // A component the family itself cannot handle (e.g. a single cluster
       // over the DP's packed-key limits) rejects the whole request; the
       // component counter survives so callers can see how far prep got.
       SolveResult rejected = SolveResult::rejected(
-          "component " + std::to_string(c) + " of " +
-          std::to_string(parts.size()) + ": " + part.error);
-      rejected.stats.components = dec.components.size();
+          "component " + std::to_string(c) + " of " + std::to_string(m) +
+          ": " + part.error);
+      rejected.stats = agg;
       return rejected;
     }
     out.feasible = out.feasible && part.feasible;
-    out.stats.states += part.stats.states;
-    out.stats.nodes += part.stats.nodes;
+  }
+  // states/nodes sum the solver work embodied in the answer's unique
+  // components: fresh solves plus the work that originally produced each
+  // cached entry (matching the whole-instance hit path); deduplicated
+  // copies reuse a counted representative and contribute nothing.
+  for (const std::vector<std::size_t>* group : {&to_solve, &hit_components}) {
+    for (std::size_t c : *group) {
+      out.stats.states += parts[c].stats.states;
+      out.stats.nodes += parts[c].stats.nodes;
+    }
   }
   if (!out.feasible) return out;
 
   // Components are separated by more than the cut threshold, so transitions
   // and costs are additive (see prep.hpp for the two objectives' arguments).
-  std::vector<Schedule> schedules;
-  schedules.reserve(parts.size());
-  for (SolveResult& part : parts) {
-    out.cost += part.cost;
-    out.transitions += part.transitions;
-    schedules.push_back(std::move(part.schedule));
+  std::vector<Schedule> schedules(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    out.cost += parts[c].cost;
+    out.transitions += parts[c].transitions;
+    // Deduplicated components share a compressed-coordinate schedule but
+    // map back through their own dead-run lengths.
+    schedules[c] = compress ? decompress_times(parts[c].schedule, compressed[c])
+                            : std::move(parts[c].schedule);
   }
   out.schedule = prep::recombine(dec, schedules, request.instance.n());
   out.stats.scheduled = out.schedule.scheduled_count();

@@ -1,0 +1,107 @@
+#pragma once
+// Content-addressed solve cache: the cross-request memo behind
+// gapsched::engine::Engine.
+//
+// Entries are keyed by the canonical form of a solve — solver name,
+// objective, the parameter fields the solver actually consumes (per
+// SolverInfo::params), and the prep-canonicalized instance (jobs sorted,
+// origin at 0; gap-objective components additionally dead-time compressed).
+// Time-shifted and job-permuted copies of a workload therefore share one
+// entry, and identical components inside one decomposed instance collapse
+// onto the same key. The key carries both a 64-bit FNV-1a digest (the hash
+// bucket — the "content address") and the full canonical text, compared on
+// lookup so digest collisions can never alias two different solves.
+//
+// Thread safety: all operations take an internal mutex; the cache is shared
+// by Engine::solve_stream workers and by the prep pipeline's component
+// fan-out. Capacity is enforced LRU.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "gapsched/engine/solver.hpp"
+#include "gapsched/engine/types.hpp"
+
+namespace gapsched::engine {
+
+/// Canonical-form cache key: FNV-1a digest + the exact canonical text.
+struct CacheKey {
+  std::uint64_t digest = 0;
+  std::string text;
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const {
+    return static_cast<std::size_t>(key.digest);
+  }
+};
+
+/// Builds the key for solving `canonical` (which must already be in
+/// canonical form — prep::canonicalize output, a prep::decompose component,
+/// or its dead-time-compressed image) with this solver. Only parameter
+/// fields the solver consumes (info.params) enter the key, so e.g. changing
+/// alpha busts power_dp entries but not gap_dp ones. validate, time_limit_s
+/// and decompose are post-processing / routing concerns and never key.
+CacheKey make_cache_key(const SolverInfo& info, Objective objective,
+                        const SolveParams& params, const Instance& canonical);
+
+/// Cumulative counters; `entries` is the current size.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+class SolveCache {
+ public:
+  /// `capacity` caps the entry count (LRU eviction); 0 means unbounded.
+  explicit SolveCache(std::size_t capacity = 4096);
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// Returns the cached result (schedule in the key's canonical
+  /// coordinates; nullptr on a miss) and bumps the entry to
+  /// most-recently-used. Counts a hit or a miss either way. Entries are
+  /// immutable and shared: only a pointer is copied under the cache lock,
+  /// so concurrent hits on large schedules do not serialize on the mutex.
+  std::shared_ptr<const SolveResult> lookup(const CacheKey& key);
+
+  /// Stores `result` under `key`, normalized to be request-independent:
+  /// wall time, timeout and audit fields are cleared so a later hit can
+  /// re-derive them for its own request. Re-inserting an existing key only
+  /// refreshes its LRU position.
+  void insert(const CacheKey& key, const SolveResult& result);
+
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  void evict_locked();
+
+  struct Entry {
+    std::shared_ptr<const SolveResult> result;
+    std::list<const CacheKey*>::iterator lru;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  // front = most recently used; pointers reference map_ keys (stable).
+  std::list<const CacheKey*> lru_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t insertions_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace gapsched::engine

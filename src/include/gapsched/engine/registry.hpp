@@ -17,7 +17,14 @@ namespace gapsched::engine {
 class SolverRegistry {
  public:
   /// The process-wide registry, with all built-in solvers registered.
+  /// Used by the deprecated free-function entry points; new code should
+  /// own a registry through gapsched::engine::Engine.
   static SolverRegistry& instance();
+
+  /// A fresh registry populated with every built-in solver — the form an
+  /// Engine owns, so per-engine add() calls never leak into the process-
+  /// wide instance().
+  static std::unique_ptr<SolverRegistry> create_with_builtins();
 
   /// Registers a solver. Returns false (and drops `solver`) when a solver
   /// with the same name already exists.
@@ -43,8 +50,10 @@ class SolverRegistry {
   std::map<std::string, std::unique_ptr<Solver>, std::less<>> solvers_;
 };
 
-/// Convenience: look up `solver_name` in the global registry and solve.
-/// Unknown names come back as an engine-level rejection.
+/// Deprecated shim (kept for one release): look up `solver_name` in the
+/// process-wide registry and solve statelessly — no cross-request cache, no
+/// shared pool. New code should construct a gapsched::engine::Engine and
+/// call Engine::solve.
 SolveResult solve_with(std::string_view solver_name,
                        const SolveRequest& request);
 

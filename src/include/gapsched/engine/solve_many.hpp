@@ -1,8 +1,14 @@
 #pragma once
-// Batched parallel driver: fan independent SolveRequests out over a
-// ThreadPool with deterministic result ordering (results[i] always answers
-// jobs[i], bitwise identical regardless of thread count — the solvers are
-// single-threaded and deterministic, so parallelism lives only here).
+// DEPRECATED batched driver (kept as thin stateless shims for one release):
+// fan independent SolveRequests out over a ThreadPool with deterministic
+// result ordering (results[i] always answers jobs[i], bitwise identical
+// regardless of thread count — the solvers are single-threaded and
+// deterministic, so parallelism lives only here).
+//
+// New code should construct a gapsched::engine::Engine and use
+// Engine::solve_batch / Engine::solve_stream, which add the persistent
+// worker pool, the content-addressed solve cache, and streaming delivery.
+// These free functions share no state across calls and never cache.
 
 #include <cstddef>
 #include <string>
@@ -14,24 +20,19 @@
 
 namespace gapsched::engine {
 
-/// One batch entry: a request routed to a named solver, so a single batch
-/// can mix families (the shootout/ladder pattern).
-struct BatchJob {
-  std::string solver;
-  SolveRequest request;
-};
-
-/// Solves every job on `pool`'s workers. results[i] corresponds to jobs[i];
-/// unknown solver names yield per-entry rejections, never an exception.
+/// Deprecated: solves every job on `pool`'s workers. results[i] corresponds
+/// to jobs[i]; unknown solver names yield per-entry rejections, never an
+/// exception. Prefer Engine::solve_batch.
 std::vector<SolveResult> solve_many(const std::vector<BatchJob>& jobs,
                                     ThreadPool& pool);
 
-/// Same-solver convenience overload.
+/// Deprecated same-solver convenience overload.
 std::vector<SolveResult> solve_many(const Solver& solver,
                                     const std::vector<SolveRequest>& requests,
                                     ThreadPool& pool);
 
-/// Owns a transient pool of `threads` workers (0 = hardware concurrency).
+/// Deprecated: owns a transient pool of `threads` workers (0 = hardware
+/// concurrency). Prefer Engine, which keeps its pool alive across batches.
 std::vector<SolveResult> solve_many(const std::vector<BatchJob>& jobs,
                                     std::size_t threads = 0);
 std::vector<SolveResult> solve_many(const Solver& solver,

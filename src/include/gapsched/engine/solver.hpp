@@ -10,6 +10,21 @@
 
 namespace gapsched::engine {
 
+class SolveCache;
+
+/// Cross-request state threaded through one solve by a stateful front end
+/// (gapsched::engine::Engine). The default-constructed form is stateless
+/// and reproduces the plain free-function behavior exactly.
+struct SolveHooks {
+  /// Content-addressed solve cache. When set, the pipeline canonicalizes
+  /// the instance before solving, looks whole solves and decomposition
+  /// components up by canonical form, deduplicates identical components
+  /// within one request, and inserts fresh results. When null, nothing is
+  /// canonicalized outside the decomposition path and no state is shared
+  /// across calls.
+  SolveCache* cache = nullptr;
+};
+
 /// Which SolveParams fields a family reads. Front ends use this to reject
 /// options the selected solver would silently ignore; check() uses it to
 /// validate only the parameters that are actually consumed.
@@ -59,6 +74,12 @@ class Solver {
   /// Never throws: rejections come back as SolveResult::rejected.
   SolveResult solve(const SolveRequest& request) const;
 
+  /// Stateful variant: same pipeline, threaded through the Engine-owned
+  /// cross-request state in `hooks` (see SolveHooks). solve(request) is
+  /// exactly solve(request, {}).
+  SolveResult solve(const SolveRequest& request,
+                    const SolveHooks& hooks) const;
+
   /// Returns a non-empty diagnostic when `solve` would reject the request
   /// without running the underlying algorithm.
   std::string check(const SolveRequest& request) const;
@@ -71,12 +92,23 @@ class Solver {
 
  private:
   /// The gapsched::prep pipeline: decompose the instance into independent
-  /// far-apart components, solve each through do_solve (fanned over a
-  /// ThreadPool for large instances), and recombine schedule, cost, and
-  /// stats. Called instead of a plain do_solve when the request opts in
+  /// far-apart components (gap-objective components are additionally
+  /// dead-time compressed — see core/transforms), solve each through
+  /// do_solve (fanned over a ThreadPool for large instances; with a cache
+  /// in `hooks`, identical components are deduplicated and looked up
+  /// cross-request), and recombine schedule, cost, and stats. Called
+  /// instead of a plain do_solve when the request opts in
   /// (params.decompose) and the family is exact on a decomposable
   /// objective.
-  SolveResult solve_decomposed(const SolveRequest& request) const;
+  SolveResult solve_decomposed(const SolveRequest& request,
+                               const SolveHooks& hooks) const;
+
+  /// Cache path for solves outside the decomposition pipeline: key the
+  /// prep-canonicalized instance, serve hits by mapping the cached
+  /// schedule back to the request's job order and time origin, and insert
+  /// fresh results in canonical coordinates.
+  SolveResult solve_whole_cached(const SolveRequest& request,
+                                 SolveCache& cache) const;
 };
 
 }  // namespace gapsched::engine

@@ -75,6 +75,15 @@ struct SolveRequest {
   SolveParams params;
 };
 
+/// One batch entry: a request routed to a named solver, so a single batch
+/// can mix families (the shootout/ladder pattern). Consumed by
+/// Engine::solve_batch / Engine::solve_stream and the deprecated
+/// solve_many() shims.
+struct BatchJob {
+  std::string solver;
+  SolveRequest request;
+};
+
 /// Solver-reported diagnostics, uniform across families (fields a family
 /// does not produce stay 0).
 struct SolveStats {
@@ -90,6 +99,19 @@ struct SolveStats {
   /// Independent components the prep pipeline solved (1 when the pipeline
   /// ran but found no cut; 0 when decomposition was off or not applicable).
   std::size_t components = 0;
+  /// True when the whole answer was served from the engine's
+  /// content-addressed solve cache without invoking any solver — a
+  /// whole-instance hit, or a decomposition all of whose components hit.
+  /// `states`/`nodes` always sum the solver work embodied in the answer's
+  /// unique parts: fresh solves plus the work that originally produced
+  /// each cached entry; deduplicated component copies add nothing.
+  bool cache_hit = false;
+  /// Components of this solve served from the cross-request solve cache.
+  std::size_t component_cache_hits = 0;
+  /// Components that were byte-identical (post canonicalization and, for
+  /// gap solves, dead-time compression) to an earlier component of the
+  /// same request and reused its result instead of solving again.
+  std::size_t components_deduped = 0;
 };
 
 /// Uniform outcome of a dispatch.

@@ -1,0 +1,62 @@
+#pragma once
+// JSON request/response codec for the solver engine: the one wire
+// representation shared by `solver_cli --json`, the benches, and any
+// server front end, so every consumer reads and writes the same documents.
+//
+// Request document:
+//   {
+//     "gapsched": "request",
+//     "solver": "power_dp",
+//     "objective": "power",
+//     "params": { "alpha": 2.5, "max_spans": 1, "powerdown_threshold": -1,
+//                 "swap_size": 2, "block_size": 2, "time_limit_s": 0,
+//                 "validate": false, "decompose": true },
+//     "instance": { "processors": 1,
+//                   "jobs": [ [[0, 5]], [[2, 3], [8, 9]] ] }
+//   }
+// (each job is its list of inclusive [lo, hi] allowed intervals; omitted
+// params keep their defaults).
+//
+// Response document:
+//   {
+//     "gapsched": "result",
+//     "ok": true, "error": "", "feasible": true, "cost": 2,
+//     "transitions": 2, "timed_out": false,
+//     "audited": false, "audit_error": "",
+//     "stats": { "wall_ms": ..., "states": ..., "nodes": ...,
+//                "scheduled": ..., "components": ..., "cache_hit": false,
+//                "component_cache_hits": 0, "components_deduped": 0 },
+//     "schedule": { "jobs": 5,
+//                   "slots": [ { "job": 0, "time": 10, "processor": -1 } ] }
+//   }
+// (slots list only scheduled jobs; processor -1 means profile form).
+//
+// The readers accept any standard JSON document with these fields (extra
+// fields are ignored) and return nullopt with *error set on malformed
+// input. Non-finite doubles degrade to null on write, matching
+// bench/json_report.hpp.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gapsched/engine/types.hpp"
+
+namespace gapsched::io {
+
+/// Serializes a named engine request.
+std::string request_to_json(std::string_view solver,
+                            const engine::SolveRequest& request);
+
+/// Parses a request document; fills *solver with the "solver" field.
+std::optional<engine::SolveRequest> request_from_json(
+    std::string_view text, std::string* solver, std::string* error = nullptr);
+
+/// Serializes an engine result.
+std::string result_to_json(const engine::SolveResult& result);
+
+/// Parses a result document.
+std::optional<engine::SolveResult> result_from_json(
+    std::string_view text, std::string* error = nullptr);
+
+}  // namespace gapsched::io

@@ -1,0 +1,620 @@
+#include "gapsched/io/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace gapsched::io {
+
+namespace {
+
+// --------------------------------------------------------------- writing --
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";  // JSON has no NaN/inf
+    return;
+  }
+  // Shortest decimal form that round-trips.
+  for (int prec = 1; prec <= 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, value);
+    if (std::strtod(probe, nullptr) == value) {
+      out += probe;
+      return;
+    }
+  }
+}
+
+void append_bool(std::string& out, bool value) {
+  out += value ? "true" : "false";
+}
+
+// --------------------------------------------------------------- parsing --
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::int64_t integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<JsonValue> elements;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Minimal recursive-descent parser for standard JSON (no comments, no
+/// trailing commas). Depth-limited so adversarial input cannot blow the
+/// stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue v;
+    if (!value(v, 0)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = at("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string at(std::string msg) {
+    return msg + " (at byte " + std::to_string(pos_) + ")";
+  }
+
+  bool fail(std::string msg) {
+    if (error_.empty()) error_ = at(std::move(msg));
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("document nested too deeply");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of document");
+    const char c = text_[pos_];
+    if (c == '{') return object(out, depth);
+    if (c == '[') return array(out, depth);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.string);
+    }
+    if (c == 't') {
+      if (!literal("true")) return fail("bad literal");
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return fail("bad literal");
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return fail("bad literal");
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return number(out);
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    if (integral) {
+      errno = 0;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        out.integer = v;
+        out.is_integer = true;
+      }
+    }
+    return true;
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // The engine documents are ASCII; anything else degrades to '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected an object key");
+      }
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!value(element, depth + 1)) return false;
+      out.elements.push_back(std::move(element));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ----------------------------------------------- typed field extraction --
+
+bool get_bool(const JsonValue& obj, std::string_view key, bool* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) return v == nullptr;
+  *out = v->boolean;
+  return true;
+}
+
+bool get_double(const JsonValue& obj, std::string_view key, double* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != JsonValue::Kind::kNumber) return false;
+  *out = v->number;
+  return true;
+}
+
+bool get_int(const JsonValue& obj, std::string_view key, std::int64_t* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != JsonValue::Kind::kNumber || !v->is_integer) return false;
+  *out = v->integer;
+  return true;
+}
+
+bool get_string(const JsonValue& obj, std::string_view key, std::string* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != JsonValue::Kind::kString) return false;
+  *out = v->string;
+  return true;
+}
+
+/// True when `v` narrows to int without truncation — out-of-range wire
+/// input must be a parse error, never a plausible-looking wrong value.
+bool fits_int(std::int64_t v) {
+  return v >= std::numeric_limits<int>::min() &&
+         v <= std::numeric_limits<int>::max();
+}
+
+bool parse_params(const JsonValue& obj, engine::SolveParams* params,
+                  std::string* why) {
+  const JsonValue* p = obj.find("params");
+  if (p == nullptr) return true;  // all defaults
+  if (p->kind != JsonValue::Kind::kObject) {
+    *why = "'params' must be an object";
+    return false;
+  }
+  std::int64_t max_spans = static_cast<std::int64_t>(params->max_spans);
+  std::int64_t swap_size = params->swap_size;
+  std::int64_t block_size = params->block_size;
+  const bool ok = get_double(*p, "alpha", &params->alpha) &&
+                  get_int(*p, "max_spans", &max_spans) &&
+                  get_double(*p, "powerdown_threshold",
+                             &params->powerdown_threshold) &&
+                  get_int(*p, "swap_size", &swap_size) &&
+                  get_int(*p, "block_size", &block_size) &&
+                  get_double(*p, "time_limit_s", &params->time_limit_s) &&
+                  get_bool(*p, "validate", &params->validate) &&
+                  get_bool(*p, "decompose", &params->decompose);
+  if (!ok || max_spans < 0 || !fits_int(swap_size) || !fits_int(block_size)) {
+    *why = "malformed 'params' field";
+    return false;
+  }
+  params->max_spans = static_cast<std::size_t>(max_spans);
+  params->swap_size = static_cast<int>(swap_size);
+  params->block_size = static_cast<int>(block_size);
+  return true;
+}
+
+bool parse_instance(const JsonValue& obj, Instance* inst, std::string* why) {
+  const JsonValue* in = obj.find("instance");
+  if (in == nullptr || in->kind != JsonValue::Kind::kObject) {
+    *why = "missing 'instance' object";
+    return false;
+  }
+  std::int64_t processors = 1;
+  if (!get_int(*in, "processors", &processors) || !fits_int(processors)) {
+    *why = "malformed 'processors'";
+    return false;
+  }
+  inst->processors = static_cast<int>(processors);
+  const JsonValue* jobs = in->find("jobs");
+  if (jobs == nullptr || jobs->kind != JsonValue::Kind::kArray) {
+    *why = "missing 'jobs' array";
+    return false;
+  }
+  inst->jobs.clear();
+  inst->jobs.reserve(jobs->elements.size());
+  for (const JsonValue& job : jobs->elements) {
+    if (job.kind != JsonValue::Kind::kArray) {
+      *why = "each job must be an array of [lo, hi] intervals";
+      return false;
+    }
+    std::vector<Interval> intervals;
+    intervals.reserve(job.elements.size());
+    for (const JsonValue& iv : job.elements) {
+      if (iv.kind != JsonValue::Kind::kArray || iv.elements.size() != 2 ||
+          !iv.elements[0].is_integer || !iv.elements[1].is_integer) {
+        *why = "each interval must be an integer pair [lo, hi]";
+        return false;
+      }
+      intervals.push_back(Interval{iv.elements[0].integer,
+                                   iv.elements[1].integer});
+    }
+    inst->jobs.push_back(Job{TimeSet(std::move(intervals))});
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string request_to_json(std::string_view solver,
+                            const engine::SolveRequest& request) {
+  const engine::SolveParams& p = request.params;
+  std::string out;
+  out += "{\n  \"gapsched\": \"request\",\n  \"solver\": ";
+  append_escaped(out, solver);
+  out += ",\n  \"objective\": ";
+  append_escaped(out, engine::to_string(request.objective));
+  out += ",\n  \"params\": {\n    \"alpha\": ";
+  append_double(out, p.alpha);
+  out += ",\n    \"max_spans\": " + std::to_string(p.max_spans);
+  out += ",\n    \"powerdown_threshold\": ";
+  append_double(out, p.powerdown_threshold);
+  out += ",\n    \"swap_size\": " + std::to_string(p.swap_size);
+  out += ",\n    \"block_size\": " + std::to_string(p.block_size);
+  out += ",\n    \"time_limit_s\": ";
+  append_double(out, p.time_limit_s);
+  out += ",\n    \"validate\": ";
+  append_bool(out, p.validate);
+  out += ",\n    \"decompose\": ";
+  append_bool(out, p.decompose);
+  out += "\n  },\n  \"instance\": {\n    \"processors\": " +
+         std::to_string(request.instance.processors);
+  out += ",\n    \"jobs\": [";
+  for (std::size_t j = 0; j < request.instance.n(); ++j) {
+    out += j == 0 ? "\n" : ",\n";
+    out += "      [";
+    const TimeSet& allowed = request.instance.jobs[j].allowed;
+    for (std::size_t k = 0; k < allowed.intervals().size(); ++k) {
+      if (k > 0) out += ", ";
+      const Interval& iv = allowed.intervals()[k];
+      out += '[' + std::to_string(iv.lo) + ", " + std::to_string(iv.hi) + ']';
+    }
+    out += ']';
+  }
+  out += request.instance.n() == 0 ? "]\n" : "\n    ]\n";
+  out += "  }\n}";
+  return out;
+}
+
+std::optional<engine::SolveRequest> request_from_json(std::string_view text,
+                                                      std::string* solver,
+                                                      std::string* error) {
+  Parser parser(text);
+  std::optional<JsonValue> doc = parser.parse(error);
+  if (!doc.has_value()) return std::nullopt;
+  if (doc->kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "request document must be an object";
+    return std::nullopt;
+  }
+  std::string why;
+  std::string solver_name;
+  if (!get_string(*doc, "solver", &solver_name) || solver_name.empty()) {
+    if (error != nullptr) *error = "missing 'solver' field";
+    return std::nullopt;
+  }
+  engine::SolveRequest request;
+  std::string objective_name;
+  if (!get_string(*doc, "objective", &objective_name)) {
+    if (error != nullptr) *error = "malformed 'objective'";
+    return std::nullopt;
+  }
+  if (!objective_name.empty()) {
+    const auto obj = engine::objective_from_string(objective_name);
+    if (!obj.has_value()) {
+      if (error != nullptr) *error = "unknown objective '" + objective_name + "'";
+      return std::nullopt;
+    }
+    request.objective = *obj;
+  }
+  if (!parse_params(*doc, &request.params, &why) ||
+      !parse_instance(*doc, &request.instance, &why)) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  }
+  if (solver != nullptr) *solver = std::move(solver_name);
+  return request;
+}
+
+std::string result_to_json(const engine::SolveResult& result) {
+  std::string out;
+  out += "{\n  \"gapsched\": \"result\",\n  \"ok\": ";
+  append_bool(out, result.ok);
+  out += ",\n  \"error\": ";
+  append_escaped(out, result.error);
+  out += ",\n  \"feasible\": ";
+  append_bool(out, result.feasible);
+  out += ",\n  \"cost\": ";
+  append_double(out, result.cost);
+  out += ",\n  \"transitions\": " + std::to_string(result.transitions);
+  out += ",\n  \"timed_out\": ";
+  append_bool(out, result.timed_out);
+  out += ",\n  \"audited\": ";
+  append_bool(out, result.audited);
+  out += ",\n  \"audit_error\": ";
+  append_escaped(out, result.audit_error);
+  const engine::SolveStats& s = result.stats;
+  out += ",\n  \"stats\": {\n    \"wall_ms\": ";
+  append_double(out, s.wall_ms);
+  out += ",\n    \"states\": " + std::to_string(s.states);
+  out += ",\n    \"nodes\": " + std::to_string(s.nodes);
+  out += ",\n    \"scheduled\": " + std::to_string(s.scheduled);
+  out += ",\n    \"components\": " + std::to_string(s.components);
+  out += ",\n    \"cache_hit\": ";
+  append_bool(out, s.cache_hit);
+  out += ",\n    \"component_cache_hits\": " +
+         std::to_string(s.component_cache_hits);
+  out += ",\n    \"components_deduped\": " +
+         std::to_string(s.components_deduped);
+  out += "\n  },\n  \"schedule\": {\n    \"jobs\": " +
+         std::to_string(result.schedule.size());
+  out += ",\n    \"slots\": [";
+  bool first = true;
+  for (std::size_t j = 0; j < result.schedule.size(); ++j) {
+    const std::optional<Placement>& slot = result.schedule.at(j);
+    if (!slot.has_value()) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "      { \"job\": " + std::to_string(j) +
+           ", \"time\": " + std::to_string(slot->time) +
+           ", \"processor\": " + std::to_string(slot->processor) + " }";
+  }
+  out += first ? "]\n" : "\n    ]\n";
+  out += "  }\n}";
+  return out;
+}
+
+std::optional<engine::SolveResult> result_from_json(std::string_view text,
+                                                    std::string* error) {
+  Parser parser(text);
+  std::optional<JsonValue> doc = parser.parse(error);
+  if (!doc.has_value()) return std::nullopt;
+  if (doc->kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "result document must be an object";
+    return std::nullopt;
+  }
+  engine::SolveResult result;
+  std::int64_t transitions = 0;
+  const bool ok = get_bool(*doc, "ok", &result.ok) &&
+                  get_string(*doc, "error", &result.error) &&
+                  get_bool(*doc, "feasible", &result.feasible) &&
+                  get_double(*doc, "cost", &result.cost) &&
+                  get_int(*doc, "transitions", &transitions) &&
+                  get_bool(*doc, "timed_out", &result.timed_out) &&
+                  get_bool(*doc, "audited", &result.audited) &&
+                  get_string(*doc, "audit_error", &result.audit_error);
+  if (!ok) {
+    if (error != nullptr) *error = "malformed result field";
+    return std::nullopt;
+  }
+  result.transitions = transitions;
+  if (const JsonValue* s = doc->find("stats");
+      s != nullptr && s->kind == JsonValue::Kind::kObject) {
+    std::int64_t states = 0, nodes = 0, scheduled = 0, components = 0;
+    std::int64_t comp_hits = 0, deduped = 0;
+    if (!get_double(*s, "wall_ms", &result.stats.wall_ms) ||
+        !get_int(*s, "states", &states) || !get_int(*s, "nodes", &nodes) ||
+        !get_int(*s, "scheduled", &scheduled) ||
+        !get_int(*s, "components", &components) ||
+        !get_bool(*s, "cache_hit", &result.stats.cache_hit) ||
+        !get_int(*s, "component_cache_hits", &comp_hits) ||
+        !get_int(*s, "components_deduped", &deduped)) {
+      if (error != nullptr) *error = "malformed 'stats' field";
+      return std::nullopt;
+    }
+    result.stats.states = static_cast<std::size_t>(states);
+    result.stats.nodes = static_cast<std::size_t>(nodes);
+    result.stats.scheduled = static_cast<std::size_t>(scheduled);
+    result.stats.components = static_cast<std::size_t>(components);
+    result.stats.component_cache_hits = static_cast<std::size_t>(comp_hits);
+    result.stats.components_deduped = static_cast<std::size_t>(deduped);
+  }
+  if (const JsonValue* sched = doc->find("schedule");
+      sched != nullptr && sched->kind == JsonValue::Kind::kObject) {
+    std::int64_t n = 0;
+    if (!get_int(*sched, "jobs", &n) || n < 0) {
+      if (error != nullptr) *error = "malformed 'schedule.jobs'";
+      return std::nullopt;
+    }
+    Schedule schedule(static_cast<std::size_t>(n));
+    const JsonValue* slots = sched->find("slots");
+    if (slots != nullptr) {
+      if (slots->kind != JsonValue::Kind::kArray) {
+        if (error != nullptr) *error = "'schedule.slots' must be an array";
+        return std::nullopt;
+      }
+      for (const JsonValue& slot : slots->elements) {
+        std::int64_t job = -1, time = 0, processor = Placement::kUnassigned;
+        if (slot.kind != JsonValue::Kind::kObject ||
+            !get_int(slot, "job", &job) || !get_int(slot, "time", &time) ||
+            !get_int(slot, "processor", &processor) || job < 0 || job >= n ||
+            !fits_int(processor)) {
+          if (error != nullptr) *error = "malformed schedule slot";
+          return std::nullopt;
+        }
+        schedule.place(static_cast<std::size_t>(job), time,
+                       static_cast<int>(processor));
+      }
+    }
+    result.schedule = std::move(schedule);
+  }
+  return result;
+}
+
+}  // namespace gapsched::io

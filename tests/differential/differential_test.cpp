@@ -7,6 +7,12 @@
 //   * no heuristic ever beats the exact optimum,
 //   * the throughput greedy never beats the exhaustive restart optimum.
 //
+// The whole sweep runs through a persistent engine::Engine with its solve
+// cache ON: identical components dedup, repeated canonical forms hit the
+// cache, and every served answer — cached or fresh — must still survive the
+// oracle and agree with its exact peers. This doubles as the cache's
+// soundness sweep across the catalog.
+//
 // Runs under the `long` ctest label. Failures print the scenario name and
 // the PRNG seed; replay with GAPSCHED_TEST_SEED=<base> (see README).
 
@@ -17,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/restart/restart_greedy.hpp"
 #include "gapsched/scenarios/scenarios.hpp"
 #include "../support/test_seed.hpp"
@@ -44,7 +50,8 @@ double power_tol(double a, double b) {
 }
 
 TEST(Differential, RegistryWideAgreementOnCatalog) {
-  const SolverRegistry& registry = SolverRegistry::instance();
+  engine::Engine eng;  // solve cache ON: cached answers face the same bar
+  const SolverRegistry& registry = eng.registry();
   const std::vector<const Solver*> solvers = registry.all();
   ASSERT_EQ(solvers.size(), 12u) << "differential suite expects every "
                                     "registered family to participate";
@@ -52,7 +59,6 @@ TEST(Differential, RegistryWideAgreementOnCatalog) {
       ScenarioCatalog::instance().all();
   ASSERT_GE(catalog.size(), 10u);
 
-  ThreadPool pool;
   std::map<std::string, int> solved_cells;  // family -> cells it answered
 
   for (std::size_t sc_idx = 0; sc_idx < catalog.size(); ++sc_idx) {
@@ -75,7 +81,7 @@ TEST(Differential, RegistryWideAgreementOnCatalog) {
         job.request.params.validate = true;
         batch.push_back(std::move(job));
       }
-      const std::vector<SolveResult> results = engine::solve_many(batch, pool);
+      const std::vector<SolveResult> results = eng.solve_batch(batch);
       ASSERT_EQ(results.size(), solvers.size());
 
       // -- oracle: every produced answer survives the independent audit --
@@ -129,8 +135,12 @@ TEST(Differential, RegistryWideAgreementOnCatalog) {
       // -- the catalog's advertised guarantees hold -----------------------
       ASSERT_NE(feasible_verdict, -1)
           << "no exact solver accepted this scenario";
-      if (sc->always_feasible) EXPECT_EQ(feasible_verdict, 1);
-      if (sc->always_infeasible) EXPECT_EQ(feasible_verdict, 0);
+      if (sc->always_feasible) {
+        EXPECT_EQ(feasible_verdict, 1);
+      }
+      if (sc->always_infeasible) {
+        EXPECT_EQ(feasible_verdict, 0);
+      }
 
       // -- heuristics are bounded below by the exact optimum --------------
       for (std::size_t i = 0; i < solvers.size(); ++i) {
@@ -183,11 +193,13 @@ TEST(Differential, RegistryWideAgreementOnCatalog) {
 // catalog scenario. Heuristic and throughput families ignore the flag, so
 // for them this doubles as a determinism check.
 TEST(Differential, DecompositionOnVsOffAgreesAcrossCatalog) {
-  const SolverRegistry& registry = SolverRegistry::instance();
+  // Cache OFF here: the on/off pair must be two genuinely independent
+  // solves, not one solve and one canonical-key lookup of it.
+  engine::Engine eng({.cache = false});
+  const SolverRegistry& registry = eng.registry();
   const std::vector<const Solver*> solvers = registry.all();
   const std::vector<const Scenario*> catalog =
       ScenarioCatalog::instance().all();
-  ThreadPool pool;
 
   constexpr int kDraws = 3;
   for (std::size_t sc_idx = 0; sc_idx < catalog.size(); ++sc_idx) {
@@ -214,7 +226,7 @@ TEST(Differential, DecompositionOnVsOffAgreesAcrossCatalog) {
         batch.push_back(std::move(job));
         batch.push_back(std::move(mono));
       }
-      const std::vector<SolveResult> results = engine::solve_many(batch, pool);
+      const std::vector<SolveResult> results = eng.solve_batch(batch);
       ASSERT_EQ(results.size(), 2 * solvers.size());
 
       for (std::size_t i = 0; i < solvers.size(); ++i) {

@@ -17,7 +17,7 @@
 #include <numeric>
 #include <vector>
 
-#include "gapsched/engine/registry.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/scenarios/scenarios.hpp"
 #include "gapsched/util/prng.hpp"
 #include "../support/test_seed.hpp"
@@ -43,12 +43,18 @@ std::vector<const scenarios::Scenario*> dp_scenarios() {
 }
 
 SolveResult solve(const char* solver, Instance inst, Objective obj) {
+  // The engine's solve cache stays OFF here on purpose: shifted and
+  // permuted instances share a canonical form, so with the cache on every
+  // invariance below would be satisfied by construction (one solve, N
+  // lookups) instead of by N independent solves. The cache-on equivalences
+  // are pinned separately in tests/engine/engine_cache_test.cpp.
+  static engine::Engine eng({.cache = false});
   SolveRequest req;
   req.instance = std::move(inst);
   req.objective = obj;
   req.params.alpha = kAlpha;
   req.params.validate = true;
-  SolveResult r = engine::solve_with(solver, req);
+  SolveResult r = eng.solve(solver, req);
   EXPECT_EQ(r.audit_error, "") << solver << ": " << r.audit_error;
   return r;
 }

@@ -1,0 +1,465 @@
+// The stateful Engine API: content-addressed solve cache semantics
+// (hit-on-identical, miss-on-consumed-param-change, canonical-form
+// equivalence), identical-component deduplication through the prep
+// pipeline, streaming batch delivery, per-engine registries, LRU eviction,
+// and the batch summary. The concurrency tests here also run under the CI
+// ASan/UBSan lane.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gapsched/core/hash.hpp"
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/engine/engine.hpp"
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/prep/prep.hpp"
+#include "../support/test_seed.hpp"
+
+namespace gapsched::engine {
+namespace {
+
+Instance small_instance(std::uint64_t site) {
+  Prng rng(testing::seed_for(site));
+  return gen_feasible_one_interval(rng, 8, 16, 3, 1);
+}
+
+Instance shifted(const Instance& inst, Time delta) {
+  Instance out;
+  out.processors = inst.processors;
+  for (const Job& j : inst.jobs) out.jobs.push_back(Job{j.allowed.shifted(delta)});
+  return out;
+}
+
+Instance reversed(const Instance& inst) {
+  Instance out;
+  out.processors = inst.processors;
+  out.jobs.assign(inst.jobs.rbegin(), inst.jobs.rend());
+  return out;
+}
+
+/// `copies` byte-identical far-apart clusters of three jobs each.
+Instance identical_clusters(int copies) {
+  Instance out;
+  const Time spacing = 8 + static_cast<Time>(copies) * 3 + 64;
+  for (int i = 0; i < copies; ++i) {
+    const Time base = static_cast<Time>(i) * spacing;
+    out.jobs.push_back(Job{TimeSet::window(base, base + 4)});
+    out.jobs.push_back(Job{TimeSet::window(base + 1, base + 5)});
+    out.jobs.push_back(Job{TimeSet::window(base + 3, base + 7)});
+  }
+  return out;
+}
+
+// -------------------------------------------------------- cache semantics --
+
+TEST(EngineCache, HitOnIdenticalRequest) {
+  Engine eng;
+  SolveRequest req{small_instance(30), Objective::kGaps, {}};
+
+  const SolveResult first = eng.solve("gap_dp", req);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.stats.cache_hit);
+
+  const SolveResult second = eng.solve("gap_dp", req);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.stats.cache_hit);
+  EXPECT_EQ(second.feasible, first.feasible);
+  EXPECT_EQ(second.cost, first.cost);
+  EXPECT_EQ(second.transitions, first.transitions);
+  EXPECT_EQ(second.schedule, first.schedule);
+
+  const CacheStats stats = eng.cache_stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.insertions, 1u);
+}
+
+TEST(EngineCache, MissOnConsumedParamChange) {
+  Engine eng;
+  const Instance inst = small_instance(31);
+
+  // power_dp consumes alpha: changing it must key a fresh entry.
+  SolveRequest power{inst, Objective::kPower, {}};
+  power.params.alpha = 2.0;
+  eng.solve("power_dp", power);
+  EXPECT_TRUE(eng.solve("power_dp", power).stats.cache_hit);
+  power.params.alpha = 2.5;
+  EXPECT_FALSE(eng.solve("power_dp", power).stats.cache_hit);
+
+  // restart_greedy consumes max_spans.
+  SolveRequest tp{inst, Objective::kThroughput, {}};
+  tp.params.max_spans = 1;
+  eng.solve("restart_greedy", tp);
+  EXPECT_TRUE(eng.solve("restart_greedy", tp).stats.cache_hit);
+  tp.params.max_spans = 2;
+  EXPECT_FALSE(eng.solve("restart_greedy", tp).stats.cache_hit);
+
+  // powermin_approx consumes swap_size / block_size.
+  SolveRequest apx{inst, Objective::kPower, {}};
+  eng.solve("powermin_approx", apx);
+  EXPECT_TRUE(eng.solve("powermin_approx", apx).stats.cache_hit);
+  apx.params.swap_size = 1;
+  EXPECT_FALSE(eng.solve("powermin_approx", apx).stats.cache_hit);
+  apx.params.block_size = 3;
+  EXPECT_FALSE(eng.solve("powermin_approx", apx).stats.cache_hit);
+}
+
+TEST(EngineCache, UnconsumedParamDoesNotBustTheCache) {
+  Engine eng;
+  SolveRequest req{small_instance(32), Objective::kGaps, {}};
+  req.params.alpha = 2.0;
+  eng.solve("gap_dp", req);
+  // gap_dp reads no alpha (SolverInfo::params), so the key is unchanged —
+  // and so are validate / time_limit_s, which are post-processing concerns.
+  req.params.alpha = 9.0;
+  req.params.time_limit_s = 1e6;
+  EXPECT_TRUE(eng.solve("gap_dp", req).stats.cache_hit);
+}
+
+TEST(EngineCache, CanonicalEquivalenceHitsAndSurvivesTheOracle) {
+  Engine eng;
+  const Instance base = small_instance(33);
+  SolveRequest req{base, Objective::kGaps, {}};
+  const SolveResult first = eng.solve("gap_dp", req);
+  ASSERT_TRUE(first.ok && first.feasible) << first.error;
+
+  // Time-shifted and job-permuted copies canonicalize — and therefore hash
+  // — identically (the core digest pins the same equivalence).
+  EXPECT_EQ(digest(prep::canonicalize(base).instance),
+            digest(prep::canonicalize(shifted(base, 97)).instance));
+  EXPECT_EQ(digest(prep::canonicalize(base).instance),
+            digest(prep::canonicalize(reversed(base)).instance));
+
+  SolveRequest moved{shifted(base, 97), Objective::kGaps, {}};
+  moved.params.validate = true;  // the oracle audits the mapped-back answer
+  const SolveResult hit = eng.solve("gap_dp", moved);
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_TRUE(hit.stats.cache_hit);
+  EXPECT_EQ(hit.cost, first.cost);
+  EXPECT_TRUE(hit.audited);
+  EXPECT_EQ(hit.audit_error, "");
+  EXPECT_EQ(hit.schedule.validate(moved.instance), "");
+
+  SolveRequest permuted{reversed(base), Objective::kGaps, {}};
+  permuted.params.validate = true;
+  const SolveResult hit2 = eng.solve("gap_dp", permuted);
+  ASSERT_TRUE(hit2.ok) << hit2.error;
+  EXPECT_TRUE(hit2.stats.cache_hit);
+  EXPECT_EQ(hit2.cost, first.cost);
+  EXPECT_EQ(hit2.audit_error, "");
+  EXPECT_EQ(hit2.schedule.validate(permuted.instance), "");
+}
+
+// The whole-instance path (families outside the decomposition pipeline)
+// also canonicalizes: a heuristic's cached answer serves shifted copies.
+TEST(EngineCache, WholeInstancePathCanonicalizes) {
+  Engine eng;
+  const Instance base = small_instance(34);
+  SolveRequest req{base, Objective::kGaps, {}};
+  const SolveResult first = eng.solve("fhkn_greedy", req);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  SolveRequest moved{shifted(base, 41), Objective::kGaps, {}};
+  moved.params.validate = true;
+  const SolveResult hit = eng.solve("fhkn_greedy", moved);
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_TRUE(hit.stats.cache_hit);
+  EXPECT_EQ(hit.cost, first.cost);
+  EXPECT_EQ(hit.audit_error, "");
+}
+
+// A cold miss must behave exactly like the stateless path: heuristic
+// families are job-order sensitive, so the engine solves the requester's
+// original instance and only the STORED entry is rewritten in canonical
+// coordinates.
+TEST(EngineCache, ColdMissMatchesTheStatelessPathBitForBit) {
+  // Deliberately unsorted, origin off zero: canonicalization would both
+  // permute and shift this instance.
+  const Instance inst =
+      Instance::one_interval({{12, 14}, {5, 9}, {10, 13}, {5, 7}, {8, 15}});
+  Engine cached;
+  Engine stateless({.cache = false});
+  for (const char* solver : {"fhkn_greedy", "lazy", "online_edf", "gap_dp"}) {
+    SCOPED_TRACE(solver);
+    SolveRequest req{inst, Objective::kGaps, {}};
+    const SolveResult cold = cached.solve(solver, req);
+    const SolveResult plain = stateless.solve(solver, req);
+    ASSERT_TRUE(cold.ok && plain.ok) << cold.error << plain.error;
+    EXPECT_FALSE(cold.stats.cache_hit);
+    EXPECT_EQ(cold.feasible, plain.feasible);
+    EXPECT_EQ(cold.cost, plain.cost);
+    EXPECT_EQ(cold.schedule, plain.schedule);
+  }
+}
+
+TEST(EngineCache, CacheOffEngineNeverHits) {
+  Engine eng({.cache = false});
+  SolveRequest req{small_instance(35), Objective::kGaps, {}};
+  eng.solve("gap_dp", req);
+  const SolveResult second = eng.solve("gap_dp", req);
+  EXPECT_FALSE(second.stats.cache_hit);
+  const CacheStats stats = eng.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+// ------------------------------------------------------- component dedup --
+
+TEST(EngineCache, IdenticalComponentDedupOn300Clusters) {
+  Engine eng;
+  const Instance inst = identical_clusters(300);
+  ASSERT_EQ(inst.n(), 900u);
+
+  // Ground truth: one cluster solved directly.
+  const GapDpResult cluster = solve_gap_dp(identical_clusters(1));
+  ASSERT_TRUE(cluster.feasible);
+
+  SolveRequest req{inst, Objective::kGaps, {}};
+  req.params.validate = true;
+  const SolveResult r = eng.solve("gap_dp", req);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.stats.components, 300u);
+  EXPECT_EQ(r.stats.components_deduped, 299u);
+  EXPECT_FALSE(r.stats.cache_hit);  // the representative was a fresh solve
+  EXPECT_EQ(r.transitions, 300 * cluster.transitions);
+  EXPECT_TRUE(r.schedule.complete());
+  EXPECT_EQ(r.audit_error, "");
+
+  // Second request: the lone representative now hits the cache, so the
+  // whole answer is served without a solver call.
+  const SolveResult warm = eng.solve("gap_dp", req);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.stats.cache_hit);
+  EXPECT_EQ(warm.stats.component_cache_hits, 1u);
+  EXPECT_EQ(warm.stats.components_deduped, 299u);
+  EXPECT_EQ(warm.transitions, r.transitions);
+  EXPECT_EQ(warm.audit_error, "");
+  // states always sum the work embodied in the answer's unique parts —
+  // the cached entry reports the DP states that originally produced it,
+  // matching the cold solve's accounting.
+  EXPECT_EQ(warm.stats.states, r.stats.states);
+  EXPECT_GT(warm.stats.states, 0u);
+}
+
+// Dead-time compression makes gap-objective components that differ only in
+// interior dead-run lengths share one canonical key: {0},{4} and {0},{5}
+// both compress to {0},{2}.
+TEST(EngineCache, CompressionDedupsComponentsWithDifferentDeadRuns) {
+  Instance inst = Instance::one_interval({{0, 0}, {4, 4}, {100, 100},
+                                          {105, 105}});
+  Engine eng;
+  SolveRequest req{inst, Objective::kGaps, {}};
+  req.params.validate = true;
+  const SolveResult r = eng.solve("gap_dp", req);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.stats.components, 2u);
+  EXPECT_EQ(r.stats.components_deduped, 1u);
+  // Each pinned pair needs two spans; the dedup must not distort costs.
+  EXPECT_EQ(r.transitions, 4);
+  EXPECT_EQ(r.audit_error, "");
+  // The shared compressed schedule maps back through each component's own
+  // dead-run lengths.
+  EXPECT_EQ(r.schedule.at(0)->time, 0);
+  EXPECT_EQ(r.schedule.at(1)->time, 4);
+  EXPECT_EQ(r.schedule.at(2)->time, 100);
+  EXPECT_EQ(r.schedule.at(3)->time, 105);
+}
+
+// --------------------------------------------------------------- streaming --
+
+TEST(EngineStream, DeliversEveryResultOnceAndKeepsRequestOrder) {
+  Engine eng;
+  std::vector<BatchJob> jobs;
+  for (int seed = 0; seed < 12; ++seed) {
+    jobs.push_back({"gap_dp", {small_instance(600 + seed),
+                               Objective::kGaps, {}}});
+  }
+  jobs.push_back({"no_such_solver", {small_instance(1), Objective::kGaps, {}}});
+
+  std::set<std::size_t> delivered;
+  std::size_t callbacks = 0;
+  const std::vector<SolveResult> results = eng.solve_stream(
+      jobs, [&](std::size_t index, const SolveResult& r) {
+        // Callback invocations are serialized by the engine; no locking.
+        ++callbacks;
+        EXPECT_TRUE(delivered.insert(index).second) << "duplicate " << index;
+        if (jobs[index].solver == "no_such_solver") {
+          EXPECT_FALSE(r.ok);
+        }
+      });
+  ASSERT_EQ(results.size(), jobs.size());
+  EXPECT_EQ(callbacks, jobs.size());
+  EXPECT_EQ(delivered.size(), jobs.size());
+
+  // Request order in the returned vector, and each slot answers its own
+  // request (exact costs are canonical-form independent).
+  for (std::size_t i = 0; i + 1 < jobs.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << i;
+    const GapDpResult direct = solve_gap_dp(jobs[i].request.instance);
+    EXPECT_EQ(results[i].feasible, direct.feasible) << i;
+    if (direct.feasible) {
+      EXPECT_EQ(results[i].transitions, direct.transitions) << i;
+    }
+  }
+  EXPECT_FALSE(results.back().ok);
+}
+
+TEST(EngineStream, ConcurrentStreamsShareTheCacheSafely) {
+  // Two threads stream overlapping batches through one engine: the solve
+  // cache (and its component dedup) is hammered concurrently. Run under
+  // the CI ASan lane, this is the thread-safety check for the cache.
+  Engine eng;
+  std::vector<BatchJob> jobs;
+  for (int seed = 0; seed < 6; ++seed) {
+    jobs.push_back({"gap_dp", {identical_clusters(20 + seed),
+                               Objective::kGaps, {}}});
+    jobs.push_back({"power_dp", {small_instance(700 + seed),
+                                 Objective::kPower, {}}});
+  }
+
+  std::vector<SolveResult> a, b;
+  std::atomic<int> delivered{0};
+  const Engine::StreamCallback count = [&](std::size_t,
+                                           const SolveResult&) {
+    delivered.fetch_add(1);
+  };
+  std::thread ta([&] { a = eng.solve_stream(jobs, count); });
+  std::thread tb([&] { b = eng.solve_stream(jobs, count); });
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(delivered.load(), static_cast<int>(2 * jobs.size()));
+  ASSERT_EQ(a.size(), jobs.size());
+  ASSERT_EQ(b.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(a[i].ok) << a[i].error;
+    ASSERT_TRUE(b[i].ok) << b[i].error;
+    EXPECT_EQ(a[i].feasible, b[i].feasible) << i;
+    EXPECT_EQ(a[i].cost, b[i].cost) << i;
+    EXPECT_EQ(a[i].schedule, b[i].schedule) << i;
+  }
+}
+
+// ------------------------------------------------------------- registries --
+
+TEST(EngineRegistry, IsOwnedPerEngine) {
+  class FakeSolver final : public Solver {
+   public:
+    FakeSolver() {
+      info_.name = "per_engine_fake";
+      info_.summary = "test double";
+      info_.paper_ref = "n/a";
+      info_.complexity = "O(1)";
+    }
+    const SolverInfo& info() const override { return info_; }
+
+   protected:
+    SolveResult do_solve(const SolveRequest&) const override {
+      SolveResult r;
+      r.ok = true;
+      r.feasible = true;
+      return r;
+    }
+
+   private:
+    SolverInfo info_;
+  };
+
+  Engine eng;
+  EXPECT_EQ(eng.registry().size(), SolverRegistry::instance().size());
+  ASSERT_TRUE(eng.registry().add(std::make_unique<FakeSolver>()));
+  EXPECT_NE(eng.registry().find("per_engine_fake"), nullptr);
+  // The process-wide registry (the deprecated shims' registry) is
+  // untouched, and so is a sibling engine.
+  EXPECT_EQ(SolverRegistry::instance().find("per_engine_fake"), nullptr);
+  Engine sibling;
+  EXPECT_EQ(sibling.registry().find("per_engine_fake"), nullptr);
+}
+
+// ----------------------------------------------------------- LRU eviction --
+
+TEST(SolveCacheLru, EvictsLeastRecentlyUsed) {
+  SolveCache cache(/*capacity=*/2);
+  const SolverInfo& info = SolverRegistry::instance().find("gap_dp")->info();
+  const auto key_for = [&](Time t) {
+    return make_cache_key(info, Objective::kGaps, SolveParams{},
+                          Instance::one_interval({{t, t}}));
+  };
+  SolveResult r;
+  r.ok = true;
+  r.feasible = true;
+
+  cache.insert(key_for(1), r);
+  cache.insert(key_for(2), r);
+  EXPECT_TRUE((cache.lookup(key_for(1)) != nullptr));  // 1 becomes MRU
+  cache.insert(key_for(3), r);                        // evicts 2
+  EXPECT_TRUE((cache.lookup(key_for(1)) != nullptr));
+  EXPECT_FALSE((cache.lookup(key_for(2)) != nullptr));
+  EXPECT_TRUE((cache.lookup(key_for(3)) != nullptr));
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.capacity, 2u);
+}
+
+TEST(SolveCacheLru, NormalizesStoredResults) {
+  SolveCache cache;
+  const SolverInfo& info = SolverRegistry::instance().find("gap_dp")->info();
+  const CacheKey key = make_cache_key(info, Objective::kGaps, SolveParams{},
+                                      Instance::one_interval({{0, 0}}));
+  SolveResult r;
+  r.ok = true;
+  r.feasible = true;
+  r.timed_out = true;
+  r.audited = true;
+  r.audit_error = "stale";
+  r.stats.wall_ms = 123.0;
+  r.stats.cache_hit = true;
+  cache.insert(key, r);
+  const auto hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_FALSE(hit->timed_out);
+  EXPECT_FALSE(hit->audited);
+  EXPECT_EQ(hit->audit_error, "");
+  EXPECT_EQ(hit->stats.wall_ms, 0.0);
+  EXPECT_FALSE(hit->stats.cache_hit);
+}
+
+// ------------------------------------------------------------- summaries --
+
+TEST(BatchSummaryTest, CountsTimedOutRejectedAndRefutedSeparately) {
+  Engine eng;
+  std::vector<BatchJob> jobs;
+  jobs.push_back({"gap_dp", {small_instance(40), Objective::kGaps, {}}});
+  jobs.push_back({"no_such_solver", {small_instance(41),
+                                     Objective::kGaps, {}}});
+  BatchJob slow{"gap_dp", {small_instance(42), Objective::kGaps, {}}};
+  slow.request.params.time_limit_s = 1e-12;  // everything exceeds this
+  jobs.push_back(std::move(slow));
+
+  const std::vector<SolveResult> results = eng.solve_batch(jobs);
+  const BatchSummary summary = summarize(results);
+  EXPECT_EQ(summary.total, 3u);
+  EXPECT_EQ(summary.ok, 2u);
+  EXPECT_EQ(summary.rejected, 1u);
+  // The fix this pins: a timed-out result is counted, and it disqualifies
+  // the batch from unqualified success even though its entry is `ok`.
+  EXPECT_EQ(summary.timed_out, 1u);
+  EXPECT_FALSE(summary.success());
+
+  jobs.pop_back();
+  jobs.erase(jobs.begin() + 1);
+  const BatchSummary clean = summarize(eng.solve_batch(jobs));
+  EXPECT_EQ(clean.rejected, 0u);
+  EXPECT_EQ(clean.timed_out, 0u);
+  EXPECT_TRUE(clean.success());
+}
+
+}  // namespace
+}  // namespace gapsched::engine

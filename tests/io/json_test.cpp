@@ -1,0 +1,163 @@
+// io/json.hpp — the engine's JSON request/response codec: round trips,
+// default handling, and malformed-document rejection.
+
+#include <gtest/gtest.h>
+
+#include "gapsched/engine/engine.hpp"
+#include "gapsched/io/json.hpp"
+
+namespace gapsched::io {
+namespace {
+
+using engine::Objective;
+using engine::SolveRequest;
+using engine::SolveResult;
+
+TEST(JsonCodec, RequestRoundTripsThroughTheWireFormat) {
+  SolveRequest request;
+  request.objective = Objective::kPower;
+  request.params.alpha = 2.5;
+  request.params.max_spans = 3;
+  request.params.powerdown_threshold = 1.25;
+  request.params.swap_size = 1;
+  request.params.block_size = 4;
+  request.params.time_limit_s = 0.5;
+  request.params.validate = true;
+  request.params.decompose = false;
+  request.instance.processors = 2;
+  request.instance.jobs.push_back(Job{TimeSet::window(0, 5)});
+  request.instance.jobs.push_back(
+      Job{TimeSet{{Interval{2, 3}, Interval{8, 9}}}});
+
+  const std::string text = request_to_json("power_dp", request);
+  std::string solver, error;
+  const auto parsed = request_from_json(text, &solver, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(solver, "power_dp");
+  EXPECT_EQ(parsed->objective, Objective::kPower);
+  EXPECT_DOUBLE_EQ(parsed->params.alpha, 2.5);
+  EXPECT_EQ(parsed->params.max_spans, 3u);
+  EXPECT_DOUBLE_EQ(parsed->params.powerdown_threshold, 1.25);
+  EXPECT_EQ(parsed->params.swap_size, 1);
+  EXPECT_EQ(parsed->params.block_size, 4);
+  EXPECT_DOUBLE_EQ(parsed->params.time_limit_s, 0.5);
+  EXPECT_TRUE(parsed->params.validate);
+  EXPECT_FALSE(parsed->params.decompose);
+  EXPECT_EQ(parsed->instance.processors, 2);
+  ASSERT_EQ(parsed->instance.n(), 2u);
+  EXPECT_EQ(parsed->instance.jobs[0].allowed, request.instance.jobs[0].allowed);
+  EXPECT_EQ(parsed->instance.jobs[1].allowed, request.instance.jobs[1].allowed);
+}
+
+TEST(JsonCodec, OmittedParamsKeepDefaults) {
+  std::string solver, error;
+  const auto parsed = request_from_json(
+      R"({"solver": "gap_dp", "instance": {"jobs": [[[0, 4]], [[2, 6]]]}})",
+      &solver, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(solver, "gap_dp");
+  EXPECT_EQ(parsed->objective, Objective::kGaps);
+  EXPECT_EQ(parsed->instance.processors, 1);
+  EXPECT_DOUBLE_EQ(parsed->params.alpha, 2.0);
+  EXPECT_TRUE(parsed->params.decompose);
+}
+
+TEST(JsonCodec, ResultRoundTripsIncludingTheSchedule) {
+  // A real engine answer, not a hand-built document.
+  engine::Engine eng;
+  SolveRequest request;
+  request.instance = Instance::one_interval({{0, 3}, {1, 4}, {10, 12}});
+  request.params.validate = true;
+  const SolveResult solved = eng.solve("gap_dp", request);
+  ASSERT_TRUE(solved.ok) << solved.error;
+
+  std::string error;
+  const auto parsed = result_from_json(result_to_json(solved), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->ok, solved.ok);
+  EXPECT_EQ(parsed->feasible, solved.feasible);
+  EXPECT_DOUBLE_EQ(parsed->cost, solved.cost);
+  EXPECT_EQ(parsed->transitions, solved.transitions);
+  EXPECT_EQ(parsed->audited, solved.audited);
+  EXPECT_EQ(parsed->audit_error, solved.audit_error);
+  EXPECT_EQ(parsed->stats.states, solved.stats.states);
+  EXPECT_EQ(parsed->stats.components, solved.stats.components);
+  EXPECT_EQ(parsed->schedule, solved.schedule);
+}
+
+TEST(JsonCodec, RejectedAndInfeasibleResultsRoundTrip) {
+  SolveResult rejected = SolveResult::rejected("out of envelope");
+  std::string error;
+  auto parsed = result_from_json(result_to_json(rejected), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->error, "out of envelope");
+
+  SolveResult infeasible;
+  infeasible.ok = true;
+  infeasible.feasible = false;
+  parsed = result_from_json(result_to_json(infeasible), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->ok);
+  EXPECT_FALSE(parsed->feasible);
+  EXPECT_EQ(parsed->schedule.size(), 0u);
+}
+
+TEST(JsonCodec, MalformedDocumentsAreRejectedWithDiagnostics) {
+  std::string solver, error;
+  EXPECT_FALSE(request_from_json("", &solver, &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(request_from_json("[1, 2]", &solver, &error).has_value());
+  EXPECT_FALSE(
+      request_from_json(R"({"instance": {"jobs": []}})", &solver, &error)
+          .has_value());  // no solver
+  EXPECT_FALSE(request_from_json(
+                   R"({"solver": "gap_dp", "objective": "profit",
+                       "instance": {"jobs": []}})",
+                   &solver, &error)
+                   .has_value());  // unknown objective
+  EXPECT_FALSE(request_from_json(
+                   R"({"solver": "gap_dp",
+                       "instance": {"jobs": [[[0]]]}})",
+                   &solver, &error)
+                   .has_value());  // interval is not a pair
+  EXPECT_FALSE(request_from_json(
+                   R"({"solver": "gap_dp", "instance": {"jobs": []}} x)",
+                   &solver, &error)
+                   .has_value());  // trailing garbage
+
+  // Out-of-range integers must be parse errors, not silent truncations
+  // to plausible-looking values.
+  EXPECT_FALSE(request_from_json(
+                   R"({"solver": "gap_dp",
+                       "instance": {"processors": 4294967297,
+                                    "jobs": [[[0, 4]]]}})",
+                   &solver, &error)
+                   .has_value());
+  EXPECT_FALSE(request_from_json(
+                   R"({"solver": "powermin_approx",
+                       "params": {"swap_size": 4294967298},
+                       "instance": {"jobs": [[[0, 4]]]}})",
+                   &solver, &error)
+                   .has_value());
+
+  EXPECT_FALSE(result_from_json("{", &error).has_value());
+  EXPECT_FALSE(
+      result_from_json(R"({"ok": true, "schedule": {"jobs": 1,
+                           "slots": [{"job": 5, "time": 0,
+                                      "processor": -1}]}})",
+                       &error)
+          .has_value());  // slot out of range
+}
+
+TEST(JsonCodec, StringEscapesSurvive) {
+  SolveResult r = SolveResult::rejected("line\none\t\"quoted\" \\ back");
+  std::string error;
+  const auto parsed = result_from_json(result_to_json(r), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->error, "line\none\t\"quoted\" \\ back");
+}
+
+}  // namespace
+}  // namespace gapsched::io

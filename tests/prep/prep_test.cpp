@@ -15,10 +15,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gapsched/core/transforms.hpp"
 #include "gapsched/dp/dp_common.hpp"
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/dp/power_dp.hpp"
-#include "gapsched/engine/registry.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/oracle/oracle.hpp"
 #include "gapsched/prep/prep.hpp"
@@ -40,6 +41,14 @@ SolveRequest request(Instance inst, Objective obj, double alpha = 2.5,
   req.params.validate = true;
   req.params.decompose = decompose;
   return req;
+}
+
+/// These suites pin the stateless pipeline itself (decomposition,
+/// compression, recombination), so the engine's solve cache stays off —
+/// cache-on semantics live in tests/engine/engine_cache_test.cpp.
+SolveResult engine_solve(const char* solver, const SolveRequest& req) {
+  static engine::Engine eng({.cache = false});
+  return eng.solve(solver, req);
 }
 
 // ----------------------------------------------------------- canonicalize --
@@ -232,12 +241,12 @@ TEST(Decompose, RecombinedCostIsComponentSumPlusZeroBridges) {
     power_sum += p.power;
   }
 
-  const SolveResult gap_whole = engine::solve_with(
+  const SolveResult gap_whole = engine_solve(
       "gap_dp", request(inst, Objective::kGaps, alpha));
   ASSERT_TRUE(gap_whole.ok && gap_whole.feasible);
   EXPECT_EQ(gap_whole.transitions, gap_sum);
 
-  const SolveResult pow_whole = engine::solve_with(
+  const SolveResult pow_whole = engine_solve(
       "power_dp", request(inst, Objective::kPower, alpha));
   ASSERT_TRUE(pow_whole.ok && pow_whole.feasible);
   EXPECT_NEAR(pow_whole.cost, power_sum, 1e-9 * std::max(1.0, power_sum));
@@ -255,7 +264,7 @@ TEST(Decompose, InfeasibleComponentMakesWholeInfeasible) {
   const Instance inst = Instance::one_interval(
       {{0, 1}, {1, 2}, {60, 61}, {60, 61}, {60, 61}});
   const SolveResult r =
-      engine::solve_with("gap_dp", request(inst, Objective::kGaps));
+      engine_solve("gap_dp", request(inst, Objective::kGaps));
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_GT(r.stats.components, 1u);
   EXPECT_FALSE(r.feasible);
@@ -276,7 +285,7 @@ TEST(Decompose, ManySingletonComponentsMatchClosedForm) {
   const double alpha = 3.0;
 
   const SolveResult gap =
-      engine::solve_with("gap_dp", request(inst, Objective::kGaps, alpha));
+      engine_solve("gap_dp", request(inst, Objective::kGaps, alpha));
   ASSERT_TRUE(gap.ok) << gap.error;
   ASSERT_TRUE(gap.feasible);
   EXPECT_EQ(gap.stats.components, 40u);
@@ -285,7 +294,7 @@ TEST(Decompose, ManySingletonComponentsMatchClosedForm) {
   EXPECT_EQ(gap.audit_error, "");
 
   const SolveResult power =
-      engine::solve_with("power_dp", request(inst, Objective::kPower, alpha));
+      engine_solve("power_dp", request(inst, Objective::kPower, alpha));
   ASSERT_TRUE(power.ok) << power.error;
   ASSERT_TRUE(power.feasible);
   EXPECT_EQ(power.stats.components, 40u);
@@ -308,7 +317,7 @@ TEST(Decompose, ThreadPoolFanoutMatchesClosedFormForLargeComponents) {
   const Instance inst = Instance::one_interval(windows);
 
   const SolveResult gap =
-      engine::solve_with("gap_dp", request(inst, Objective::kGaps));
+      engine_solve("gap_dp", request(inst, Objective::kGaps));
   ASSERT_TRUE(gap.ok) << gap.error;
   ASSERT_TRUE(gap.feasible);
   EXPECT_EQ(gap.stats.components, 3u);
@@ -329,17 +338,90 @@ TEST(Decompose, UnlocksInstancesOverThePackedKeyJobLimit) {
   const Instance inst = Instance::one_interval(windows);
 
   const SolveResult on =
-      engine::solve_with("gap_dp", request(inst, Objective::kGaps));
+      engine_solve("gap_dp", request(inst, Objective::kGaps));
   ASSERT_TRUE(on.ok) << on.error;
   ASSERT_TRUE(on.feasible);
   EXPECT_EQ(on.stats.components, 300u);
   EXPECT_EQ(on.transitions, 300);
   EXPECT_EQ(on.audit_error, "");
 
-  const SolveResult off = engine::solve_with(
+  const SolveResult off = engine_solve(
       "gap_dp", request(inst, Objective::kGaps, 2.5, false));
   EXPECT_FALSE(off.ok);
   EXPECT_NE(off.error.find("packed-key"), std::string::npos) << off.error;
+}
+
+// ------------------------------ dead-time compression in the pipeline --
+// Gap-objective pipeline solves run on dead-time-compressed components
+// (core/transforms): interior runs no job can use shrink to one unit. The
+// transition objective is exactly preserved; power is skipped because its
+// idle-bridging term min(gap, alpha) depends on real gap lengths.
+
+TEST(Compression, GapPipelinePreservesOptimaAndShrinksTheAxis) {
+  // One cluster with a 3-unit interior dead run (separation <= n, so
+  // decomposition cannot cut it — only compression removes it).
+  const Instance inst = Instance::one_interval({{0, 1}, {1, 2}, {6, 7}});
+  const SolveResult on =
+      engine_solve("gap_dp", request(inst, Objective::kGaps));
+  const SolveResult off =
+      engine_solve("gap_dp", request(inst, Objective::kGaps, 2.5, false));
+  ASSERT_TRUE(on.ok && off.ok) << on.error << off.error;
+  ASSERT_TRUE(on.feasible && off.feasible);
+  EXPECT_EQ(on.transitions, off.transitions);
+  EXPECT_EQ(on.audit_error, "");
+  EXPECT_EQ(off.audit_error, "");
+  // The compressed candidate axis can only be smaller.
+  EXPECT_LE(on.stats.states, off.stats.states);
+  // The recombined schedule lives in original time coordinates.
+  EXPECT_EQ(on.schedule.validate(inst), "");
+}
+
+TEST(Compression, WeldedClustersCompressAcrossTheDeadSpan) {
+  // A multi-interval job welds two far-apart clusters into one component
+  // (decompose cannot cut through its span), leaving a ~990-unit interior
+  // dead run that only compression removes. The exact multi-interval
+  // families must agree with their uncompressed selves.
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet::window(0, 1)});
+  inst.jobs.push_back(Job{TimeSet{{Interval{0, 1}, Interval{1000, 1001}}}});
+  inst.jobs.push_back(Job{TimeSet::window(1000, 1001)});
+  for (const char* solver : {"brute_force", "span_search"}) {
+    SCOPED_TRACE(solver);
+    const SolveResult on =
+        engine_solve(solver, request(inst, Objective::kGaps));
+    const SolveResult off = engine_solve(
+        solver, request(inst, Objective::kGaps, 2.5, false));
+    ASSERT_TRUE(on.ok && off.ok) << on.error << off.error;
+    ASSERT_TRUE(on.feasible && off.feasible);
+    EXPECT_EQ(on.stats.components, 1u);  // welded: no cut, only compression
+    EXPECT_EQ(on.transitions, off.transitions);
+    EXPECT_EQ(on.audit_error, "");
+    EXPECT_EQ(on.schedule.validate(inst), "");
+  }
+}
+
+TEST(Compression, PowerSolvesSkipCompressionByDesign) {
+  // Two pinned jobs separated by a 6-unit gap, alpha = 10: the power
+  // optimum bridges the real gap (6 < alpha). Had the pipeline compressed
+  // the gap to one unit, the bridge term would shrink and the reported
+  // optimum would be wrong — this pins the length-aware guard.
+  const Instance inst = Instance::one_interval({{0, 0}, {7, 7}});
+  const double alpha = 10.0;
+  const SolveResult on = engine_solve(
+      "power_dp", request(inst, Objective::kPower, alpha));
+  const SolveResult off = engine_solve(
+      "power_dp", request(inst, Objective::kPower, alpha, false));
+  ASSERT_TRUE(on.ok && off.ok) << on.error << off.error;
+  ASSERT_TRUE(on.feasible && off.feasible);
+  EXPECT_NEAR(on.cost, off.cost, 1e-9);
+  EXPECT_EQ(on.audit_error, "");
+
+  // Sanity: on the compressed image the optimum genuinely differs, so the
+  // equality above is evidence the guard held, not a vacuous check.
+  const CompressedInstance ci = compress_dead_time(inst);
+  const PowerDpResult compressed = solve_power_dp(ci.instance, alpha);
+  ASSERT_TRUE(compressed.feasible);
+  EXPECT_NE(compressed.power, on.cost);
 }
 
 TEST(Decompose, GuardFiresOnlyForOversizedSingleComponents) {
