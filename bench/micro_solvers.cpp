@@ -9,7 +9,7 @@
 #include "gapsched/dp/dp_common.hpp"
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/dp/power_dp.hpp"
-#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/greedy/fhkn_greedy.hpp"
 #include "gapsched/matching/feasibility.hpp"
@@ -108,17 +108,19 @@ BENCHMARK(BM_DpMemoTable)->Arg(1000)->Arg(10000);
 // Engine dispatch overhead: the same gap DP solve through the registry
 // (request validation + virtual hop + stats plumbing) vs BM_GapDp above.
 void BM_EngineDispatch(benchmark::State& state) {
+  engine::Engine eng({.cache = false});
   engine::SolveRequest request;
   request.instance = make_instance(state.range(0), 1);
   request.objective = engine::Objective::kGaps;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine::solve_with("gap_dp", request));
+    benchmark::DoNotOptimize(eng.solve("gap_dp", request));
   }
 }
 BENCHMARK(BM_EngineDispatch)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
 
-// Batched driver throughput: a mixed shootout batch fanned over the pool.
-void BM_SolveMany(benchmark::State& state) {
+// Batched driver throughput: a mixed shootout batch fanned over the
+// engine's persistent worker pool (cache off: every rep re-solves).
+void BM_SolveBatch(benchmark::State& state) {
   std::vector<engine::BatchJob> jobs;
   for (int i = 0; i < state.range(0); ++i) {
     engine::BatchJob job;
@@ -127,11 +129,11 @@ void BM_SolveMany(benchmark::State& state) {
     job.request.objective = engine::Objective::kGaps;
     jobs.push_back(std::move(job));
   }
-  ThreadPool pool;
+  engine::Engine eng({.cache = false});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine::solve_many(jobs, pool));
+    benchmark::DoNotOptimize(eng.solve_batch(jobs));
   }
 }
-BENCHMARK(BM_SolveMany)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolveBatch)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace

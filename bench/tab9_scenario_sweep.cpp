@@ -33,6 +33,7 @@
 
 #include <cmath>
 
+#include "gapsched/core/transforms.hpp"
 #include "gapsched/engine/engine.hpp"
 #include "gapsched/scenarios/scenarios.hpp"
 
@@ -157,21 +158,35 @@ int main(int, char** argv) {
   }
   bench::emit(argv[0], table);
 
-  // ------------------------------------------- prep decomposition study --
-  // Exact DPs with decomposition on vs off. Two regimes:
-  //   scale 1   every one-interval catalog scenario as drawn (n = 5..12;
+  // ------------------- prep decomposition + compression study --
+  // Exact DPs in three pipeline modes:
+  //   raw    decompose off (monolithic DP, full candidate axis),
+  //   dec    decompose on, dead-time compression off,
+  //   full   decompose on + length-aware compression (the default:
+  //          interior runs truncated to 1 unit for gaps, ceil(alpha)+1
+  //          for power).
+  // Two regimes:
+  //   scale 1   every one-interval catalog scenario as drawn (n = 5..13;
   //             at this size the joint DP costs microseconds and the
   //             per-component setup dominates — recorded honestly),
   //   scale 8   sparse_spread / power_longhaul tiled 8x along the
-  //             timeline (independent far-apart copies of the same
-  //             family — the sparse long-horizon workload the pipeline
-  //             exists for; the joint DP pays the full candidate axis
-  //             while prep solves 8 small clusters).
+  //             timeline. Tiling keeps the intra-tile dead runs (~35-70
+  //             units) BELOW the tiled instance's cut threshold n = 48/64,
+  //             so decomposition cuts only the inter-tile runs and
+  //             compression truncates the intra-tile ones (dead_cut
+  //             reports how much).
   // Per cell: trials x reps solves per mode, summed wall time, mean
-  // component count, speedup = off/on. Serial solves keep timing clean.
-  std::cout << "=== prep decomposition: exact DPs, on vs off ===\n\n";
-  Table dtable({"scenario", "scale", "n", "solver", "components", "on_ms",
-                "off_ms", "speedup"});
+  // component count, dec_x = raw/dec, comp_x = dec/full, total = raw/full.
+  // Serial solves keep timing clean. Honest reading of comp_x: the Prop
+  // 2.1 candidate set lives inside the allowed-window union, so truncating
+  // dead runs does NOT shrink the DP state count — comp_x hovers a little
+  // under 1 (the transform's overhead on microsecond solves). What the
+  // cap buys the power objective is canonical-form normalization, measured
+  // below: length-varied clusters dedup to one solve (b2) and stretched
+  // copies hit the cache (c).
+  std::cout << "=== prep decomposition + compression: exact DPs ===\n\n";
+  Table dtable({"scenario", "scale", "n", "solver", "components", "dead_cut",
+                "full_ms", "dec_ms", "raw_ms", "dec_x", "comp_x", "total_x"});
   bench::Json decomp_rows = bench::Json::array();
 
   // Tiles `copies` independent draws of `sc` far enough apart that every
@@ -216,7 +231,8 @@ int main(int, char** argv) {
     const scenarios::Scenario* sc = cell.sc;
     for (const char* name : {"gap_dp", "power_dp"}) {
       const engine::Solver* solver = registry.find(name);
-      double on_ms = 0.0, off_ms = 0.0, components_sum = 0.0;
+      double full_ms = 0.0, dec_ms = 0.0, raw_ms = 0.0;
+      double components_sum = 0.0, dead_cut_sum = 0.0;
       std::size_t n = 0;
       std::size_t solves = 0;
       bool rejected = false;
@@ -231,40 +247,52 @@ int main(int, char** argv) {
         req.params.validate = true;
         for (int rep = 0; rep < cell.reps; ++rep) {
           req.params.decompose = true;
-          const engine::SolveResult on = eng.solve(*solver, req);
+          req.params.compress = true;
+          const engine::SolveResult full = eng.solve(*solver, req);
+          req.params.compress = false;
+          const engine::SolveResult dec = eng.solve(*solver, req);
           req.params.decompose = false;
-          const engine::SolveResult off = eng.solve(*solver, req);
-          if (!on.ok || !off.ok) {
+          const engine::SolveResult raw = eng.solve(*solver, req);
+          if (!full.ok || !dec.ok || !raw.ok) {
             rejected = true;  // outside the family's envelope; skip cell
             break;
           }
-          for (const engine::SolveResult* r : {&on, &off}) {
+          for (const engine::SolveResult* r : {&full, &dec, &raw}) {
             if (r->audited && !r->audit_error.empty()) {
               ++refuted_exact;
-              std::cerr << "T9: oracle refuted " << name << " (decompose "
-                        << (r == &on ? "on" : "off") << ") on " << sc->name
-                        << " x" << cell.scale << ": " << r->audit_error
-                        << "\n";
+              std::cerr << "T9: oracle refuted " << name << " (mode "
+                        << (r == &full ? "full" : (r == &dec ? "dec" : "raw"))
+                        << ") on " << sc->name << " x" << cell.scale << ": "
+                        << r->audit_error << "\n";
             }
           }
-          on_ms += on.stats.wall_ms;
-          off_ms += off.stats.wall_ms;
-          components_sum += static_cast<double>(on.stats.components);
+          full_ms += full.stats.wall_ms;
+          dec_ms += dec.stats.wall_ms;
+          raw_ms += raw.stats.wall_ms;
+          components_sum += static_cast<double>(full.stats.components);
+          dead_cut_sum += static_cast<double>(full.stats.dead_time_removed);
           ++solves;
         }
       }
       if (rejected || solves == 0) continue;
       const double components_mean = components_sum / solves;
-      const double speedup = on_ms > 0.0 ? off_ms / on_ms : 0.0;
+      const double dead_cut_mean = dead_cut_sum / solves;
+      const double dec_x = dec_ms > 0.0 ? raw_ms / dec_ms : 0.0;
+      const double comp_x = full_ms > 0.0 ? dec_ms / full_ms : 0.0;
+      const double total_x = full_ms > 0.0 ? raw_ms / full_ms : 0.0;
       dtable.row()
           .add(sc->name)
           .add(cell.scale)
           .add(n)
           .add(name)
           .add(components_mean, 2)
-          .add(on_ms, 3)
-          .add(off_ms, 3)
-          .add(speedup, 2);
+          .add(dead_cut_mean, 1)
+          .add(full_ms, 3)
+          .add(dec_ms, 3)
+          .add(raw_ms, 3)
+          .add(dec_x, 2)
+          .add(comp_x, 2)
+          .add(total_x, 2);
       decomp_rows.push(bench::Json::object()
                            .set("scenario", sc->name)
                            .set("scale", cell.scale)
@@ -273,9 +301,13 @@ int main(int, char** argv) {
                            .set("trials", cell.trials)
                            .set("reps", cell.reps)
                            .set("components_mean", components_mean)
-                           .set("on_ms", on_ms)
-                           .set("off_ms", off_ms)
-                           .set("speedup", speedup));
+                           .set("dead_time_removed_mean", dead_cut_mean)
+                           .set("on_ms", full_ms)
+                           .set("nocompress_ms", dec_ms)
+                           .set("off_ms", raw_ms)
+                           .set("decomp_speedup", dec_x)
+                           .set("compress_speedup", comp_x)
+                           .set("speedup", total_x));
     }
   }
   dtable.print(std::cout);
@@ -464,9 +496,170 @@ int main(int, char** argv) {
   dedup_table.print(std::cout);
   std::cout << "\n";
 
+  // (b2) Decomposition x compression, multiplicatively: N far-apart
+  // clusters whose window patterns are identical but whose INTERIOR dead
+  // runs all differ (cluster i's runs are cap + i units — every one past
+  // the cap, every one under the cut threshold). Decomposition cuts the
+  // clusters apart either way; without compression all N components key
+  // apart and solve separately, with the length-aware compression they
+  // collapse onto ONE canonical form, so the pipeline does a single DP
+  // solve plus N-1 dedup reuses. The speedup is compression's alone (both
+  // engines cache, both decompose) and grows with N — the sparse
+  // long-horizon power win the ROADMAP item asked for.
+  std::cout << "=== decomposition x compression: length-varied clusters "
+               "===\n\n";
+  const Time kCap = static_cast<Time>(std::ceil(kAlpha)) + 1;
+  const auto varied_clusters = [&](int copies) {
+    Instance out;
+    Time base = 0;
+    for (int i = 0; i < copies; ++i) {
+      // 8 six-slot windows per cluster (real per-cluster DP work),
+      // interior runs of cap + i.
+      Time t = base;
+      for (int j = 0; j < 8; ++j) {
+        out.jobs.push_back(Job{TimeSet::window(t, t + 5)});
+        t += 6 + kCap + static_cast<Time>(i);
+      }
+      base = t + static_cast<Time>(copies) * 8 + 64;  // always cut here
+    }
+    return out;
+  };
+  Table varied_table({"clusters", "n", "solver", "deduped_on", "deduped_off",
+                      "on_ms", "off_ms", "speedup"});
+  bench::Json varied_rows = bench::Json::array();
+  for (const int copies : {8, 32, 128}) {
+    const Instance inst = varied_clusters(copies);
+    for (const char* name : {"power_dp", "gap_dp"}) {
+      engine::SolveRequest req;
+      req.instance = inst;
+      req.objective = registry.find(name)->info().objective;
+      req.params.alpha = kAlpha;
+      double on_ms = 0.0, off_ms = 0.0;
+      engine::SolveResult on, off;
+      bool bad = false;
+      for (int rep = 0; rep < kDedupReps && !bad; ++rep) {
+        engine::Engine fresh_on, fresh_off;  // cold caches each rep
+        req.params.compress = true;
+        Stopwatch sw;
+        on = fresh_on.solve(name, req);
+        on_ms += sw.millis();
+        req.params.compress = false;
+        sw.reset();
+        off = fresh_off.solve(name, req);
+        off_ms += sw.millis();
+        if (!on.ok || !off.ok || on.cost != off.cost) {
+          std::cerr << "T9: varied-run compression mismatch on " << copies
+                    << " clusters (" << name << ")\n";
+          ++refuted_exact;
+          bad = true;
+          break;
+        }
+        if (rep > 0) continue;
+        engine::SolveRequest audited = req;
+        audited.params.compress = true;
+        audited.params.validate = true;
+        const engine::SolveResult checked = fresh_on.solve(name, audited);
+        if (!checked.audit_error.empty()) {
+          std::cerr << "T9: oracle refuted the compressed varied-run solve ("
+                    << name << "): " << checked.audit_error << "\n";
+          ++refuted_exact;
+        }
+      }
+      if (bad) continue;
+      const double speedup = on_ms > 0.0 ? off_ms / on_ms : 0.0;
+      varied_table.row()
+          .add(copies)
+          .add(inst.n())
+          .add(name)
+          .add(on.stats.components_deduped)
+          .add(off.stats.components_deduped)
+          .add(on_ms, 3)
+          .add(off_ms, 3)
+          .add(speedup, 2);
+      varied_rows.push(bench::Json::object()
+                           .set("clusters", copies)
+                           .set("n", inst.n())
+                           .set("solver", name)
+                           .set("components", on.stats.components)
+                           .set("deduped_compress_on",
+                                on.stats.components_deduped)
+                           .set("deduped_compress_off",
+                                off.stats.components_deduped)
+                           .set("on_ms", on_ms)
+                           .set("off_ms", off_ms)
+                           .set("speedup", speedup));
+    }
+  }
+  varied_table.print(std::cout);
+  std::cout << "\n";
+
+  // (c) Cache-key normalization across dead-run lengths: the length-aware
+  // compression makes a time-stretched copy of a power workload (every
+  // interior dead run dilated by k, all runs already past the cap
+  // ceil(alpha) + 1) compress to the SAME canonical components, so the
+  // stretched copy is served entirely from the cache — one solve covers
+  // the whole dilation family. Chain instances keep the dead runs below
+  // the cut threshold before and after stretching (runs of 5 -> 20 vs
+  // n = 24), so normalization is compression's doing, not decomposition's.
+  std::cout << "=== solve cache: stretched-copy normalization (power) ===\n\n";
+  const auto chain = [](int jobs, Time spacing) {
+    Instance out;
+    for (int i = 0; i < jobs; ++i) {
+      const Time t = static_cast<Time>(i) * spacing;
+      out.jobs.push_back(Job{TimeSet::window(t, t)});
+    }
+    return out;
+  };
+  Table stretch_table({"solver", "n", "k", "components", "hits", "served"});
+  bench::Json stretch_rows = bench::Json::array();
+  for (const char* name : {"power_dp", "gap_dp"}) {
+    // k is bounded by the cut threshold: dilated runs (5k) must stay under
+    // n = 24 or the stretched copy decomposes differently by design.
+    for (const Time k : {Time{2}, Time{4}}) {
+      engine::Engine fresh;
+      engine::SolveRequest req;
+      req.instance = chain(24, 6);  // dead runs of 5 > cap 4, < n = 24
+      req.objective = registry.find(name)->info().objective;
+      req.params.alpha = kAlpha;
+      req.params.validate = true;
+      const engine::SolveResult cold = fresh.solve(name, req);
+      engine::SolveRequest stretched = req;
+      stretched.instance =
+          stretch_dead_time(req.instance, k, scenarios::kStretchMinRun);
+      const engine::SolveResult warm = fresh.solve(name, stretched);
+      const bool served = warm.stats.cache_hit;
+      if (!cold.ok || !warm.ok || !served || cold.cost != warm.cost ||
+          !warm.audit_error.empty()) {
+        std::cerr << "T9: stretched copy missed the cache (" << name
+                  << ", k=" << k << "): "
+                  << (warm.ok ? warm.audit_error : warm.error) << "\n";
+        ++refuted_exact;
+      }
+      stretch_table.row()
+          .add(name)
+          .add(req.instance.n())
+          .add(k)
+          .add(warm.stats.components)
+          .add(warm.stats.component_cache_hits)
+          .add(served ? "cache" : "MISS");
+      stretch_rows.push(bench::Json::object()
+                            .set("solver", name)
+                            .set("n", req.instance.n())
+                            .set("k", k)
+                            .set("components", warm.stats.components)
+                            .set("component_cache_hits",
+                                 warm.stats.component_cache_hits)
+                            .set("served_from_cache", served));
+    }
+  }
+  stretch_table.print(std::cout);
+  std::cout << "\n";
+
   bench::Json cache_json = bench::Json::object();
   cache_json.set("repeat_sweep", std::move(sweep_json))
-      .set("identical_clusters", std::move(dedup_rows));
+      .set("identical_clusters", std::move(dedup_rows))
+      .set("length_varied_clusters", std::move(varied_rows))
+      .set("stretch_normalization", std::move(stretch_rows));
 
   report.set("scenarios", std::move(scenario_rows))
       .set("decomposition", std::move(decomp_rows))

@@ -58,6 +58,10 @@ int usage() {
             << "                   apart job clusters into independent\n"
             << "                   components (exact gap/power solvers;\n"
             << "                   decomposition is on by default)\n"
+            << "  --no-compress    keep interior dead runs at full length\n"
+            << "                   instead of the pipeline's length-aware\n"
+            << "                   compression (1 unit for gap solves,\n"
+            << "                   ceil(alpha)+1 for power solves)\n"
             << "  --time-limit <s> advisory wall-clock budget in seconds;\n"
             << "                   exit 4 when the solve ran longer\n"
             << "  --json           emit the result as the io/json.hpp JSON\n"
@@ -101,6 +105,9 @@ int list_scenarios() {
         .add(s->summary);
   }
   table.print(std::cout);
+  std::cout << "\nwrapper: scenario:stretched:<k>:<name>[:<seed>] dilates "
+               "every interior dead run of length >= "
+            << scenarios::kStretchMinRun << " by k\n";
   return 0;
 }
 
@@ -116,17 +123,25 @@ std::string canonical_name(const std::string& mode) {
 
 std::optional<Instance> load(const std::string& path) {
   // scenario:<name>[:<seed>] draws from the catalog instead of a file.
+  // Wrapper names contain colons of their own (stretched:<k>:<base>), so
+  // the seed is the LAST segment, and only when it is all digits.
   if (path.rfind("scenario:", 0) == 0) {
     std::string spec = path.substr(9);
     std::uint64_t seed = 1;
-    if (const auto colon = spec.find(':'); colon != std::string::npos) {
-      try {
-        seed = std::stoull(spec.substr(colon + 1));
-      } catch (const std::exception&) {
-        std::cerr << "bad scenario seed in '" << path << "'\n";
-        return std::nullopt;
+    if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+      const std::string tail = spec.substr(colon + 1);
+      const bool numeric =
+          !tail.empty() && tail.find_first_not_of("0123456789") ==
+                               std::string::npos;
+      if (numeric) {
+        try {
+          seed = std::stoull(tail);
+        } catch (const std::exception&) {
+          std::cerr << "bad scenario seed in '" << path << "'\n";
+          return std::nullopt;
+        }
+        spec.resize(colon);
       }
-      spec.resize(colon);
     }
     auto inst = scenarios::make_scenario(spec, seed);
     if (!inst) {
@@ -223,6 +238,8 @@ int main(int argc, char** argv) {
         request.params.validate = true;
       } else if (arg == "--no-decompose") {
         request.params.decompose = false;
+      } else if (arg == "--no-compress") {
+        request.params.compress = false;
       } else if (arg == "--json") {
         emit_json = true;
       } else if (arg == "--cache-stats") {
@@ -246,9 +263,9 @@ int main(int argc, char** argv) {
     if (flag == "--validate" || flag == "--json" || flag == "--cache-stats" ||
         flag == "--time-limit") {
       applies = true;  // engine-level concerns, meaningful for every family
-    } else if (flag == "--no-decompose") {
-      // Only the exact gap/power families consume the flag, but clearing a
-      // default-on optimization is never a surprising no-op — accept it
+    } else if (flag == "--no-decompose" || flag == "--no-compress") {
+      // Only the exact gap/power families consume these flags, but clearing
+      // a default-on optimization is never a surprising no-op — accept them
       // everywhere like --validate.
       applies = true;
     } else if (flag == "--alpha") {
@@ -326,12 +343,16 @@ int main(int argc, char** argv) {
               << result.transitions << " span(s)";
   }
   std::cout << "  [" << result.stats.wall_ms << " ms]\n";
-  if (result.stats.components > 1) {
+  if (result.stats.components > 1 || result.stats.dead_time_removed > 0) {
     std::cout << "prep: solved as " << result.stats.components
-              << " independent components";
+              << " independent component(s)";
     if (result.stats.components_deduped > 0) {
       std::cout << " (" << result.stats.components_deduped
                 << " deduplicated as identical)";
+    }
+    if (result.stats.dead_time_removed > 0) {
+      std::cout << ", " << result.stats.dead_time_removed
+                << " dead time unit(s) compressed away";
     }
     std::cout << "\n";
   }

@@ -5,6 +5,36 @@
 
 namespace gapsched {
 
+namespace {
+
+/// Union of all allowed times: its maximal intervals are the live regions.
+TimeSet live_regions(const Instance& inst) {
+  TimeSet live;
+  for (const Job& j : inst.jobs) live = live.unite(j.allowed);
+  return live;
+}
+
+/// Rewrites every job's intervals through `map` (a per-live-interval time
+/// map that preserves interval lengths, so only each interval's lo needs
+/// mapping).
+template <typename MapLo>
+std::vector<Job> map_jobs(const Instance& inst, MapLo&& map_lo) {
+  std::vector<Job> out;
+  out.reserve(inst.n());
+  for (const Job& j : inst.jobs) {
+    std::vector<Interval> mapped;
+    mapped.reserve(j.allowed.interval_count());
+    for (const Interval& iv : j.allowed.intervals()) {
+      const Time lo = map_lo(iv.lo);
+      mapped.push_back({lo, lo + iv.length() - 1});
+    }
+    out.push_back(Job{TimeSet(std::move(mapped))});
+  }
+  return out;
+}
+
+}  // namespace
+
 Time CompressedInstance::to_original(Time compressed) const {
   // Find the compressed interval containing the time.
   for (std::size_t i = 0; i < compressed_intervals.size(); ++i) {
@@ -28,34 +58,85 @@ Time CompressedInstance::to_compressed(Time original) const {
   return original;
 }
 
+Time CompressedInstance::dead_time_removed() const {
+  if (original_intervals.empty()) return 0;
+  const Time original_span =
+      original_intervals.back().hi - original_intervals.front().lo;
+  const Time compressed_span =
+      compressed_intervals.back().hi - compressed_intervals.front().lo;
+  return original_span - compressed_span;
+}
+
 CompressedInstance compress_dead_time(const Instance& inst) {
+  return compress_dead_time_capped(inst, 1);
+}
+
+CompressedInstance compress_dead_time_capped(const Instance& inst, Time cap) {
+  assert(cap >= 1 && "dead runs cannot shrink below one unit");
   CompressedInstance out;
   out.instance.processors = inst.processors;
   if (inst.n() == 0) return out;
 
-  // Union of all allowed times: its maximal intervals are the live regions.
-  TimeSet live;
-  for (const Job& j : inst.jobs) live = live.unite(j.allowed);
+  const TimeSet live = live_regions(inst);
 
-  // Lay live intervals out left to right, one dead unit between them.
+  // Lay live intervals out left to right, truncating each interior dead run
+  // of length d to min(d, cap) units.
   Time cursor = 0;
+  Time prev_hi = 0;
+  bool first = true;
   for (const Interval& iv : live.intervals()) {
+    if (!first) {
+      cursor += std::min<Time>(iv.lo - prev_hi - 1, cap);
+    }
     out.original_intervals.push_back(iv);
     out.compressed_intervals.push_back({cursor, cursor + iv.length() - 1});
     out.anchors.push_back({cursor, iv.lo});
-    cursor += iv.length() + 1;  // +1 = the single compressed dead unit
+    cursor += iv.length();
+    prev_hi = iv.hi;
+    first = false;
   }
 
-  out.instance.jobs.reserve(inst.n());
-  for (const Job& j : inst.jobs) {
-    std::vector<Interval> mapped;
-    mapped.reserve(j.allowed.interval_count());
-    for (const Interval& iv : j.allowed.intervals()) {
-      const Time lo = out.to_compressed(iv.lo);
-      mapped.push_back({lo, lo + iv.length() - 1});
+  out.instance.jobs =
+      map_jobs(inst, [&](Time lo) { return out.to_compressed(lo); });
+  return out;
+}
+
+Instance stretch_dead_time(const Instance& inst, Time k, Time min_run) {
+  assert(k >= 1 && "dilation factor must be at least 1");
+  Instance out;
+  out.processors = inst.processors;
+  if (inst.n() == 0) return out;
+
+  const TimeSet live = live_regions(inst);
+
+  // New lo of each live interval: the origin is preserved, and each
+  // interior dead run of length d >= min_run grows to k * d.
+  std::vector<Time> new_lo;
+  new_lo.reserve(live.intervals().size());
+  Time cursor = live.min();
+  Time prev_hi = 0;
+  bool first = true;
+  for (const Interval& iv : live.intervals()) {
+    if (!first) {
+      const Time dead = iv.lo - prev_hi - 1;
+      cursor += dead >= min_run ? dead * k : dead;
     }
-    out.instance.jobs.push_back(Job{TimeSet(std::move(mapped))});
+    new_lo.push_back(cursor);
+    cursor += iv.length();
+    prev_hi = iv.hi;
+    first = false;
   }
+
+  const auto map_lo = [&](Time lo) {
+    for (std::size_t i = 0; i < live.intervals().size(); ++i) {
+      if (live.intervals()[i].contains(lo)) {
+        return new_lo[i] + (lo - live.intervals()[i].lo);
+      }
+    }
+    assert(false && "time is not in any allowed interval");
+    return lo;
+  };
+  out.jobs = map_jobs(inst, map_lo);
   return out;
 }
 

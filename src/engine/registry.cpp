@@ -53,14 +53,4 @@ std::vector<std::string> SolverRegistry::names() const {
   return out;
 }
 
-SolveResult solve_with(std::string_view solver_name,
-                       const SolveRequest& request) {
-  const Solver* solver = SolverRegistry::instance().find(solver_name);
-  if (solver == nullptr) {
-    return SolveResult::rejected("unknown solver '" + std::string(solver_name) +
-                                 "'");
-  }
-  return solver->solve(request);
-}
-
 }  // namespace gapsched::engine

@@ -69,14 +69,35 @@ Time cut_threshold(const SolveRequest& request) {
   return threshold;
 }
 
-/// Gap-objective pipeline solves run on the dead-time-compressed component
-/// (core/transforms): runs no job can use shrink to one unit, which cuts
-/// the Prop 2.1 candidate axis and makes canonical cache keys independent
-/// of interior dead-run lengths. The power objective is skipped — the
-/// length-aware guard — because idle-bridging costs min(gap, alpha) depend
-/// on real gap lengths, which compression destroys.
-bool wants_compression(const SolveRequest& request) {
-  return request.objective == Objective::kGaps;
+/// Pipeline solves run on dead-time-compressed components
+/// (core/transforms), which cuts the Prop 2.1 candidate axis and makes
+/// canonical cache keys independent of interior dead-run lengths. The cap
+/// is length-aware per objective: gap components shrink every run no job
+/// can use to one unit (busy-time adjacency is all that matters), while
+/// power components keep min(run, ceil(alpha) + 1) units so that every
+/// idle-bridging term min(gap, alpha) is preserved exactly — a truncated
+/// run alone is already longer than alpha, so any gap it shortens sits on
+/// the min's alpha plateau before and after the map. Returns 0 when the
+/// request must not be compressed (throughput's span budget is global, an
+/// unrepresentable ceil(alpha) must disable truncation rather than
+/// overflow, and params.compress opts out).
+Time compression_cap(const SolveRequest& request) {
+  if (!request.params.compress) return 0;
+  switch (request.objective) {
+    case Objective::kGaps:
+      return 1;
+    case Objective::kPower: {
+      const double alpha_ceil = std::ceil(request.params.alpha);
+      if (!(alpha_ceil <
+            static_cast<double>(std::numeric_limits<Time>::max() / 2))) {
+        return 0;
+      }
+      return static_cast<Time>(alpha_ceil) + 1;
+    }
+    case Objective::kThroughput:
+      return 0;
+  }
+  return 0;
 }
 
 /// Maps a schedule produced on a compressed instance back to the
@@ -225,7 +246,8 @@ SolveResult Solver::solve_decomposed(const SolveRequest& request,
                                      const SolveHooks& hooks) const {
   prep::Decomposition dec =
       prep::decompose(request.instance, cut_threshold(request));
-  const bool compress = wants_compression(request);
+  const Time cap = compression_cap(request);
+  const bool compress = cap > 0;
   if (dec.components.size() <= 1 && hooks.cache == nullptr && !compress) {
     SolveResult result = do_solve(request);
     result.stats.components = 1;
@@ -233,24 +255,25 @@ SolveResult Solver::solve_decomposed(const SolveRequest& request,
   }
 
   // Per-component solve form: the decompose() components are already
-  // canonical (sorted jobs, origin 0); gap components are additionally
-  // dead-time compressed, which is also the form their cache key hashes —
-  // two components differing only in interior dead-run lengths share an
-  // entry.
+  // canonical (sorted jobs, origin 0); components are additionally
+  // dead-time compressed at the objective's length-aware cap, which is
+  // also the form their cache key hashes — two components differing only
+  // in interior dead-run lengths (beyond the cap) share an entry.
   const std::size_t m = dec.components.size();
   std::vector<CompressedInstance> compressed(compress ? m : 0);
   std::vector<Instance*> solve_inst(m);
+  SolveStats agg;
   for (std::size_t c = 0; c < m; ++c) {
     if (compress) {
-      compressed[c] = compress_dead_time(dec.components[c].instance);
+      compressed[c] = compress_dead_time_capped(dec.components[c].instance, cap);
       solve_inst[c] = &compressed[c].instance;
+      agg.dead_time_removed += compressed[c].dead_time_removed();
     } else {
       solve_inst[c] = &dec.components[c].instance;
     }
   }
 
   std::vector<SolveResult> parts(m);
-  SolveStats agg;
   agg.components = m;
 
   // With a cache: deduplicate identical components within this request and

@@ -1,22 +1,27 @@
 #pragma once
-// Gap-objective-preserving instance transforms.
+// Objective-preserving instance transforms over dead time (times no job can
+// ever use).
 
 #include "gapsched/core/instance.hpp"
 #include "gapsched/core/schedule.hpp"
 
 namespace gapsched {
 
-/// Result of compress_dead_time: the compressed instance plus the time map.
+/// Result of compress_dead_time[_capped]: the compressed instance plus the
+/// time map.
 struct CompressedInstance {
   Instance instance;
   /// Maps a compressed time back to the original time.
   Time to_original(Time compressed) const;
   /// Maps an original allowed time to its compressed time.
   Time to_compressed(Time original) const;
+  /// Total dead time units removed by the transform (0 when nothing was
+  /// truncated, i.e. the instance was already in compressed form).
+  Time dead_time_removed() const;
 
   /// Sorted pairs (compressed interval start, original interval start) for
   /// each maximal allowed-union interval; dead runs sit between them with
-  /// length exactly 1 in compressed coordinates.
+  /// length min(original run, cap) in compressed coordinates.
   std::vector<std::pair<Time, Time>> anchors;
   std::vector<Interval> compressed_intervals;
   std::vector<Interval> original_intervals;
@@ -25,8 +30,36 @@ struct CompressedInstance {
 /// Shrinks every maximal "dead" run (times no job can use) to a single unit
 /// and rebases the timeline at 0. No job can ever be scheduled in dead time,
 /// so busy-time adjacency — and hence the transition/gap objective — is
-/// preserved exactly. (Power objectives are NOT preserved: idle-bridging
-/// costs depend on real gap lengths.)
+/// preserved exactly. (Power objectives are NOT preserved at cap 1: idle-
+/// bridging costs depend on real gap lengths; use compress_dead_time_capped
+/// with cap >= ceil(alpha) + 1 instead.)
 CompressedInstance compress_dead_time(const Instance& inst);
+
+/// Length-aware variant: every interior dead run of length d shrinks to
+/// min(d, cap) units (cap >= 1), and the timeline is rebased at 0.
+///
+/// With cap = ceil(alpha) + 1 the POWER objective is preserved exactly:
+/// schedules of the original and compressed instances correspond one-to-one
+/// (jobs can only occupy live times, which map bijectively), active time is
+/// unchanged, and every idle run's bridge term min(gap, alpha) survives —
+/// a gap is shortened only when it contains a truncated dead run, and a
+/// truncated run alone already has compressed length cap > alpha, so the
+/// gap sits at the min's alpha-saturated plateau on both sides of the map.
+/// Gaps shorter than alpha are never touched (each of their dead runs is
+/// < cap). cap = 1 degenerates to compress_dead_time and preserves only the
+/// gap objective; cap = ceil(alpha) - 1 is genuinely unsound (a gap of
+/// exactly ceil(alpha) compresses below alpha and its bridge term shrinks —
+/// the fuzz harness pins this).
+CompressedInstance compress_dead_time_capped(const Instance& inst, Time cap);
+
+/// Inverse-direction transform for metamorphic tests and the
+/// `stretched:<k>` scenario wrapper: every interior dead run of length
+/// >= min_run is dilated by the integer factor k (>= 1); shorter runs and
+/// all live times keep their relative layout (the origin is preserved).
+/// The gap objective is always invariant under this map, and the power
+/// objective is invariant whenever min_run > alpha (dilated gaps stay on
+/// the min(gap, alpha) plateau) — the exact inverse statement of the
+/// capped-compression rule above.
+Instance stretch_dead_time(const Instance& inst, Time k, Time min_run);
 
 }  // namespace gapsched

@@ -5,10 +5,13 @@
 // Entries are keyed by the canonical form of a solve — solver name,
 // objective, the parameter fields the solver actually consumes (per
 // SolverInfo::params), and the prep-canonicalized instance (jobs sorted,
-// origin at 0; gap-objective components additionally dead-time compressed).
-// Time-shifted and job-permuted copies of a workload therefore share one
-// entry, and identical components inside one decomposed instance collapse
-// onto the same key. The key carries both a 64-bit FNV-1a digest (the hash
+// origin at 0; decomposed components additionally dead-time compressed at
+// the objective's length-aware cap — one unit for gap solves,
+// ceil(alpha) + 1 for power solves, so power keys normalize across
+// dead-run lengths without disturbing any min(gap, alpha) bridge term).
+// Time-shifted, job-permuted, and dead-run-stretched copies of a workload
+// therefore share one entry, and identical components inside one
+// decomposed instance collapse onto the same key. The key carries both a 64-bit FNV-1a digest (the hash
 // bucket — the "content address") and the full canonical text, compared on
 // lookup so digest collisions can never alias two different solves.
 //
@@ -46,8 +49,10 @@ struct CacheKeyHash {
 /// canonical form — prep::canonicalize output, a prep::decompose component,
 /// or its dead-time-compressed image) with this solver. Only parameter
 /// fields the solver consumes (info.params) enter the key, so e.g. changing
-/// alpha busts power_dp entries but not gap_dp ones. validate, time_limit_s
-/// and decompose are post-processing / routing concerns and never key.
+/// alpha busts power_dp entries but not gap_dp ones. validate, time_limit_s,
+/// decompose and compress are post-processing / routing concerns and never
+/// key directly (compress determines which instance form is hashed, so a
+/// compressed and an uncompressed component naturally key apart).
 CacheKey make_cache_key(const SolverInfo& info, Objective objective,
                         const SolveParams& params, const Instance& canonical);
 

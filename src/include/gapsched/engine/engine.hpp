@@ -38,8 +38,9 @@
 // sensitive, may return a different valid answer than a fresh solve
 // would. Benches that require reproducible output use {.cache = false}.
 //
-// The free functions solve_with() / solve_many() remain as deprecated
-// stateless shims for one release.
+// The deprecated free-function shims solve_with() / solve_many() were
+// removed one release after the Engine landed; every consumer now goes
+// through an Engine.
 
 #include <cstddef>
 #include <functional>

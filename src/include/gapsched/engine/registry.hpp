@@ -17,8 +17,9 @@ namespace gapsched::engine {
 class SolverRegistry {
  public:
   /// The process-wide registry, with all built-in solvers registered.
-  /// Used by the deprecated free-function entry points; new code should
-  /// own a registry through gapsched::engine::Engine.
+  /// Read-only convenience for code that needs solver metadata without an
+  /// engine; solving code should own a registry through
+  /// gapsched::engine::Engine.
   static SolverRegistry& instance();
 
   /// A fresh registry populated with every built-in solver — the form an
@@ -49,12 +50,5 @@ class SolverRegistry {
 
   std::map<std::string, std::unique_ptr<Solver>, std::less<>> solvers_;
 };
-
-/// Deprecated shim (kept for one release): look up `solver_name` in the
-/// process-wide registry and solve statelessly — no cross-request cache, no
-/// shared pool. New code should construct a gapsched::engine::Engine and
-/// call Engine::solve.
-SolveResult solve_with(std::string_view solver_name,
-                       const SolveRequest& request);
 
 }  // namespace gapsched::engine

@@ -13,8 +13,8 @@ namespace gapsched::engine {
 class SolveCache;
 
 /// Cross-request state threaded through one solve by a stateful front end
-/// (gapsched::engine::Engine). The default-constructed form is stateless
-/// and reproduces the plain free-function behavior exactly.
+/// (gapsched::engine::Engine). The default-constructed form shares nothing
+/// across calls (the cache-off Engine configuration).
 struct SolveHooks {
   /// Content-addressed solve cache. When set, the pipeline canonicalizes
   /// the instance before solving, looks whole solves and decomposition
@@ -62,7 +62,7 @@ struct SolverInfo {
 };
 
 /// Abstract solver. Implementations must be stateless across calls (solve()
-/// is invoked concurrently from solve_many()'s worker threads).
+/// is invoked concurrently from Engine::solve_batch's worker threads).
 class Solver {
  public:
   virtual ~Solver() = default;
@@ -92,8 +92,9 @@ class Solver {
 
  private:
   /// The gapsched::prep pipeline: decompose the instance into independent
-  /// far-apart components (gap-objective components are additionally
-  /// dead-time compressed — see core/transforms), solve each through
+  /// far-apart components (components are additionally dead-time
+  /// compressed at the objective's length-aware cap — one unit for gaps,
+  /// ceil(alpha) + 1 for power; see core/transforms), solve each through
   /// do_solve (fanned over a ThreadPool for large instances; with a cache
   /// in `hooks`, identical components are deduplicated and looked up
   /// cross-request), and recombine schedule, cost, and stats. Called

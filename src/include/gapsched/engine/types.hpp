@@ -66,6 +66,16 @@ struct SolveParams {
   /// throughput families ignore this flag. `solver_cli --no-decompose`
   /// clears it.
   bool decompose = true;
+  /// When true (the default), components of a decomposed exact solve are
+  /// dead-time compressed before the solver sees them: interior idle runs
+  /// no job can use shrink to one unit for gap solves and to
+  /// ceil(alpha) + 1 units for power solves — the length-aware cap that
+  /// preserves every min(gap, alpha) bridge term exactly. Compression also
+  /// normalizes cache keys across dead-run lengths. Heuristic and
+  /// throughput families ignore this flag, and it has no effect when
+  /// `decompose` is false (compression lives inside the prep pipeline).
+  /// `solver_cli --no-compress` clears it.
+  bool compress = true;
 };
 
 /// One unit of engine work: an instance, an objective, and parameters.
@@ -77,8 +87,7 @@ struct SolveRequest {
 
 /// One batch entry: a request routed to a named solver, so a single batch
 /// can mix families (the shootout/ladder pattern). Consumed by
-/// Engine::solve_batch / Engine::solve_stream and the deprecated
-/// solve_many() shims.
+/// Engine::solve_batch / Engine::solve_stream.
 struct BatchJob {
   std::string solver;
   SolveRequest request;
@@ -108,10 +117,14 @@ struct SolveStats {
   bool cache_hit = false;
   /// Components of this solve served from the cross-request solve cache.
   std::size_t component_cache_hits = 0;
-  /// Components that were byte-identical (post canonicalization and, for
-  /// gap solves, dead-time compression) to an earlier component of the
-  /// same request and reused its result instead of solving again.
+  /// Components that were byte-identical (post canonicalization and
+  /// dead-time compression) to an earlier component of the same request
+  /// and reused its result instead of solving again.
   std::size_t components_deduped = 0;
+  /// Dead time units removed by the prep pipeline's length-aware
+  /// compression, summed over components (0 when compression did not run
+  /// or found nothing to truncate).
+  std::int64_t dead_time_removed = 0;
 };
 
 /// Uniform outcome of a dispatch.

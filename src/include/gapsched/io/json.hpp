@@ -10,7 +10,7 @@
 //     "objective": "power",
 //     "params": { "alpha": 2.5, "max_spans": 1, "powerdown_threshold": -1,
 //                 "swap_size": 2, "block_size": 2, "time_limit_s": 0,
-//                 "validate": false, "decompose": true },
+//                 "validate": false, "decompose": true, "compress": true },
 //     "instance": { "processors": 1,
 //                   "jobs": [ [[0, 5]], [[2, 3], [8, 9]] ] }
 //   }
@@ -25,7 +25,8 @@
 //     "audited": false, "audit_error": "",
 //     "stats": { "wall_ms": ..., "states": ..., "nodes": ...,
 //                "scheduled": ..., "components": ..., "cache_hit": false,
-//                "component_cache_hits": 0, "components_deduped": 0 },
+//                "component_cache_hits": 0, "components_deduped": 0,
+//                "dead_time_removed": 0 },
 //     "schedule": { "jobs": 5,
 //                   "slots": [ { "job": 0, "time": 10, "processor": -1 } ] }
 //   }

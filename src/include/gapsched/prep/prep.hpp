@@ -34,6 +34,15 @@
 // "bridge term" min(gap, alpha) degenerates to alpha, i.e. to the wake-ups
 // the components price themselves. The engine therefore cuts power solves
 // at separation > max(n, ceil(alpha)).
+//
+// Dead time the cut cannot remove (interior runs of at most the threshold,
+// or runs welded into one component by a straddling multi-interval job) is
+// handled by the pipeline's length-aware compression instead
+// (core/transforms): gap components shrink every interior dead run to one
+// unit, power components to min(run, ceil(alpha) + 1) — the smallest cap
+// that keeps every min(gap, alpha) bridge term exact, because a truncated
+// run is already longer than alpha on both sides of the map. Compression
+// is what normalizes component cache keys across dead-run lengths.
 
 #include <cstddef>
 #include <vector>

@@ -67,8 +67,27 @@ class ScenarioCatalog {
   std::map<std::string, Scenario, std::less<>> scenarios_;
 };
 
+/// Dead runs of at least this length are dilated by the `stretched:<k>`
+/// wrapper (shorter runs are left alone). The floor is chosen one past
+/// ceil(alpha) for every alpha <= 3 — which covers the test suites' and
+/// benches' canonical alpha = 2.5 — so stretching preserves the power
+/// optimum (every dilated gap stays on the min(gap, alpha) plateau) as
+/// well as the gap optimum (always invariant: dead runs are unusable).
+inline constexpr Time kStretchMinRun = 4;
+
+/// Largest accepted `stretched:<k>` dilation — bounding the COMBINED
+/// factor of nested wrappers, not each layer alone, so stacked layers
+/// cannot multiply dilated horizons anywhere near Time overflow for any
+/// catalog family.
+inline constexpr Time kMaxStretchFactor = 1'000'000;
+
 /// Convenience: draw catalog scenario `name` with `seed`; nullopt when the
-/// name is unknown.
+/// name is unknown. Beyond the static catalog, the dynamic wrapper
+/// "stretched:<k>:<base>" (k >= 1) draws `base` and dilates every interior
+/// dead run of length >= kStretchMinRun by k — the time-dilation families
+/// the capped power compression must be invariant against. Wrappers
+/// compose with seeds everywhere a scenario name is accepted, e.g.
+/// `solver_cli power_dp scenario:stretched:8:power_longhaul:7`.
 std::optional<Instance> make_scenario(std::string_view name,
                                       std::uint64_t seed);
 

@@ -252,6 +252,13 @@ class Parser {
       }
       std::string key;
       if (!string(key)) return false;
+      // Duplicate keys make a document ambiguous (which value wins depends
+      // on the reader); the wire format rejects them outright so mutated
+      // or hand-built input can never smuggle a second "cost" past the
+      // first.
+      if (out.find(key) != nullptr) {
+        return fail("duplicate object key '" + key + "'");
+      }
       skip_ws();
       if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
       ++pos_;
@@ -360,7 +367,8 @@ bool parse_params(const JsonValue& obj, engine::SolveParams* params,
                   get_int(*p, "block_size", &block_size) &&
                   get_double(*p, "time_limit_s", &params->time_limit_s) &&
                   get_bool(*p, "validate", &params->validate) &&
-                  get_bool(*p, "decompose", &params->decompose);
+                  get_bool(*p, "decompose", &params->decompose) &&
+                  get_bool(*p, "compress", &params->compress);
   if (!ok || max_spans < 0 || !fits_int(swap_size) || !fits_int(block_size)) {
     *why = "malformed 'params' field";
     return false;
@@ -434,6 +442,8 @@ std::string request_to_json(std::string_view solver,
   append_bool(out, p.validate);
   out += ",\n    \"decompose\": ";
   append_bool(out, p.decompose);
+  out += ",\n    \"compress\": ";
+  append_bool(out, p.compress);
   out += "\n  },\n  \"instance\": {\n    \"processors\": " +
          std::to_string(request.instance.processors);
   out += ",\n    \"jobs\": [";
@@ -522,6 +532,8 @@ std::string result_to_json(const engine::SolveResult& result) {
          std::to_string(s.component_cache_hits);
   out += ",\n    \"components_deduped\": " +
          std::to_string(s.components_deduped);
+  out += ",\n    \"dead_time_removed\": " +
+         std::to_string(s.dead_time_removed);
   out += "\n  },\n  \"schedule\": {\n    \"jobs\": " +
          std::to_string(result.schedule.size());
   out += ",\n    \"slots\": [";
@@ -574,7 +586,8 @@ std::optional<engine::SolveResult> result_from_json(std::string_view text,
         !get_int(*s, "components", &components) ||
         !get_bool(*s, "cache_hit", &result.stats.cache_hit) ||
         !get_int(*s, "component_cache_hits", &comp_hits) ||
-        !get_int(*s, "components_deduped", &deduped)) {
+        !get_int(*s, "components_deduped", &deduped) ||
+        !get_int(*s, "dead_time_removed", &result.stats.dead_time_removed)) {
       if (error != nullptr) *error = "malformed 'stats' field";
       return std::nullopt;
     }

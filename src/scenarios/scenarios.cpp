@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "gapsched/core/transforms.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/util/prng.hpp"
 
@@ -143,6 +144,94 @@ Instance make_overloaded_point(std::uint64_t seed) {
   return Instance::one_interval(windows);
 }
 
+/// Multi-interval power jobs straddling cluster cuts: two far-apart
+/// clusters of one-interval jobs, welded into a single component by jobs
+/// whose allowed set has one interval in each cluster. The prep pipeline
+/// cannot cut through a straddler's span, so the long interior dead run
+/// survives decomposition and only the length-aware compression can remove
+/// it — the adversarial shape for the power objective's capped compression
+/// (exercised by the multi-interval-capable exact families). Feasible by
+/// construction: each cluster has at least as many slots as jobs that must
+/// land in it, and straddlers can go either way.
+Instance make_straddled_clusters(std::uint64_t seed) {
+  Prng rng(mix(seed, 31));
+  Instance inst;
+  const Time left = rng.uniform(0, 3);
+  const Time right = left + 40 + rng.uniform(0, 8);  // dead run >> n and alpha
+  // Three anchored one-interval jobs per cluster (distinct anchors, a bit
+  // of slack), so each cluster is feasible on its own.
+  for (const Time base : {left, right}) {
+    for (Time j = 0; j < 3; ++j) {
+      const Time anchor = base + 2 * j;
+      inst.jobs.push_back(
+          Job{TimeSet::window(anchor, anchor + 1 + rng.uniform(0, 1))});
+    }
+  }
+  // Two straddlers, each allowed a free slot in either cluster (the slot
+  // past the anchored jobs' windows), welding the clusters together.
+  for (int s = 0; s < 2; ++s) {
+    inst.jobs.push_back(Job{TimeSet{{Interval{left + 7, left + 8 + s},
+                                     Interval{right + 7, right + 8 + s}}}});
+  }
+  return inst;
+}
+
+/// Mixed feasible/infeasible mega-batch shape: several far-apart clusters
+/// (a decomposition-friendly "mega" instance), where roughly half the
+/// seeds overload exactly one cluster past Hall capacity. Differential
+/// sweeps over many seeds therefore mix feasible and infeasible draws of
+/// the same family — no per-seed guarantee is advertised — and the
+/// infeasible draws pin that one bad component makes the recombined
+/// verdict infeasible without disturbing its siblings.
+Instance make_mega_mixed(std::uint64_t seed) {
+  Prng rng(mix(seed, 37));
+  constexpr int kClusters = 4;
+  constexpr Time kBlockLen = 3;
+  const bool overload = rng.uniform(0, 1) == 1;
+  const int target = static_cast<int>(rng.uniform(0, kClusters - 1));
+  std::vector<std::pair<Time, Time>> windows;
+  Time base = rng.uniform(0, 3);
+  for (int c = 0; c < kClusters; ++c) {
+    // kBlockLen jobs in a kBlockLen-slot block (Hall equality)...
+    for (Time j = 0; j < kBlockLen; ++j) {
+      windows.emplace_back(base, base + kBlockLen - 1);
+    }
+    // ...plus, in the target cluster, the floater: pinned inside the full
+    // block (one past Hall capacity — infeasible) or given the free slot
+    // right after it (still feasible). Total job count is seed-invariant.
+    if (c == target) {
+      if (overload) {
+        windows.emplace_back(base, base + kBlockLen - 1);
+      } else {
+        windows.emplace_back(base + kBlockLen, base + kBlockLen);
+      }
+    }
+    base += kBlockLen + 40 + rng.uniform(0, 4);  // dead run >> n
+  }
+  rng.shuffle(windows);
+  return Instance::one_interval(windows);
+}
+
+/// Parses one "stretched:<k>:" layer off the front of `name`. Returns true
+/// and fills k/base on a well-formed layer.
+bool parse_stretched(std::string_view name, Time* k, std::string_view* base) {
+  constexpr std::string_view kPrefix = "stretched:";
+  if (name.substr(0, kPrefix.size()) != kPrefix) return false;
+  std::string_view rest = name.substr(kPrefix.size());
+  const std::size_t colon = rest.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  Time factor = 0;
+  for (char c : rest.substr(0, colon)) {
+    if (c < '0' || c > '9') return false;
+    factor = factor * 10 + (c - '0');
+    if (factor > kMaxStretchFactor) return false;
+  }
+  if (factor < 1) return false;
+  *k = factor;
+  *base = rest.substr(colon + 1);
+  return true;
+}
+
 Scenario wrap(std::string name, std::string summary,
               std::function<Instance(std::uint64_t)> make) {
   Scenario s;
@@ -255,6 +344,20 @@ ScenarioCatalog::ScenarioCatalog() {
            make_overloaded_point);
   s.always_infeasible = true;
   add(std::move(s));
+
+  s = wrap("straddled_clusters",
+           "multi-interval jobs straddle two far-apart clusters; only "
+           "compression removes the welded dead run",
+           make_straddled_clusters);
+  s.always_feasible = true;
+  s.one_interval = false;
+  add(std::move(s));
+
+  s = wrap("mega_mixed",
+           "4 far-apart Hall blocks; ~half the seeds overload one block "
+           "(mixed feasible/infeasible mega-batches)",
+           make_mega_mixed);
+  add(std::move(s));
 }
 
 const ScenarioCatalog& ScenarioCatalog::instance() {
@@ -283,6 +386,32 @@ std::vector<std::string> ScenarioCatalog::names() const {
 
 std::optional<Instance> make_scenario(std::string_view name,
                                       std::uint64_t seed) {
+  // The dynamic time-dilation wrapper: "stretched:<k>:<base>" draws the
+  // base scenario and dilates every interior dead run of length at least
+  // kStretchMinRun by k. Wrappers nest ("stretched:2:stretched:3:x" dilates
+  // by 6), though one level is the common use. Layers are folded into one
+  // combined factor, applied once — equivalent to applying them in
+  // sequence (a run either clears the floor, and every layer multiplies
+  // it, or stays below it untouched) — and the COMBINED factor is bounded
+  // by kMaxStretchFactor, so stacked layers cannot multiply past the
+  // per-layer cap into Time overflow, and a pathological
+  // "stretched:2:stretched:2:..." name cannot recurse unboundedly.
+  Time combined = 1;
+  bool wrapped = false;
+  std::string_view spec = name;
+  for (Time k = 0; true;) {
+    std::string_view base;
+    if (!parse_stretched(spec, &k, &base)) break;
+    if (combined > kMaxStretchFactor / k) return std::nullopt;
+    combined *= k;
+    wrapped = true;
+    spec = base;
+  }
+  if (wrapped) {
+    std::optional<Instance> inner = make_scenario(spec, seed);
+    if (!inner.has_value()) return std::nullopt;
+    return stretch_dead_time(*inner, combined, kStretchMinRun);
+  }
   const Scenario* s = ScenarioCatalog::instance().find(name);
   if (s == nullptr) return std::nullopt;
   return s->make(seed);

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "gapsched/exact/brute_force.hpp"
+#include "gapsched/exact/power_brute_force.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "../support/test_seed.hpp"
 
@@ -72,6 +76,122 @@ TEST_P(CompressionPreservesGaps, OptimaMatch) {
 
 INSTANTIATE_TEST_SUITE_P(Random, CompressionPreservesGaps,
                          ::testing::Range(0, 30));
+
+// ------------------------------------------------- length-aware capping --
+
+TEST(CompressDeadTimeCapped, TruncatesRunsAtTheCapOnly) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet::window(0, 1)});    // run of 2 follows
+  inst.jobs.push_back(Job{TimeSet::window(4, 5)});    // run of 10 follows
+  inst.jobs.push_back(Job{TimeSet::window(16, 17)});
+  const CompressedInstance c = compress_dead_time_capped(inst, 4);
+  // Layout: [0,1], dead 2 (under the cap, kept), [4,5], dead min(10,4)=4,
+  // [10,11].
+  EXPECT_EQ(c.instance.jobs[0].allowed, TimeSet::window(0, 1));
+  EXPECT_EQ(c.instance.jobs[1].allowed, TimeSet::window(4, 5));
+  EXPECT_EQ(c.instance.jobs[2].allowed, TimeSet::window(10, 11));
+  EXPECT_EQ(c.dead_time_removed(), 6);
+  for (Time t : {0, 1, 4, 5, 16, 17}) {
+    EXPECT_EQ(c.to_original(c.to_compressed(t)), t);
+  }
+}
+
+TEST(CompressDeadTimeCapped, CapOneIsPlainCompression) {
+  Prng rng(testing::seed_for(815));
+  const Instance inst = gen_uniform_one_interval(rng, 7, 400, 4);
+  const CompressedInstance one = compress_dead_time(inst);
+  const CompressedInstance capped = compress_dead_time_capped(inst, 1);
+  ASSERT_EQ(one.instance.n(), capped.instance.n());
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    EXPECT_EQ(one.instance.jobs[j].allowed, capped.instance.jobs[j].allowed);
+  }
+}
+
+TEST(CompressDeadTimeCapped, AlreadyCompactInstancesAreUntouched) {
+  const Instance inst = Instance::one_interval({{0, 2}, {4, 6}, {9, 10}});
+  const CompressedInstance c = compress_dead_time_capped(inst, 3);
+  EXPECT_EQ(c.dead_time_removed(), 0);
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    EXPECT_EQ(c.instance.jobs[j].allowed, inst.jobs[j].allowed);
+  }
+}
+
+// Property: with cap = ceil(alpha) + 1 the power optimum is exactly
+// preserved; the tier-1 sample here is small — the >=500-instance-per-family
+// sweep with shrinking lives in tests/fuzz.
+class CappedCompressionPreservesPower : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(CappedCompressionPreservesPower, OptimaMatch) {
+  const std::uint64_t prng_seed =
+      testing::seed_for(static_cast<std::uint64_t>(GetParam()) * 223 + 19);
+  GAPSCHED_TRACE_SEED(prng_seed);
+  Prng rng(prng_seed);
+  const double alpha = 0.5 * static_cast<double>(rng.uniform(0, 10));
+  const Time cap = static_cast<Time>(std::ceil(alpha)) + 1;
+  Instance inst;
+  const std::size_t n = 4 + rng.index(3);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Time base = rng.uniform(0, 5) * 9;  // deserts straddling alpha
+    const Time lo = base + rng.uniform(0, 4);
+    inst.jobs.push_back(Job{TimeSet::window(lo, lo + rng.uniform(0, 3))});
+  }
+  const CompressedInstance c = compress_dead_time_capped(inst, cap);
+  const ExactPowerResult a = brute_force_min_power(inst, alpha);
+  const ExactPowerResult b = brute_force_min_power(c.instance, alpha);
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (a.feasible) {
+    EXPECT_NEAR(a.power, b.power, 1e-9 * std::max(1.0, a.power))
+        << "alpha " << alpha << ", cap " << cap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CappedCompressionPreservesPower,
+                         ::testing::Range(0, 30));
+
+// -------------------------------------------------------- dead-run stretch --
+
+TEST(StretchDeadTime, DilatesLongRunsAndKeepsShortOnes) {
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet::window(3, 4)});    // run of 2 follows
+  inst.jobs.push_back(Job{TimeSet::window(7, 8)});    // run of 5 follows
+  inst.jobs.push_back(Job{TimeSet::window(14, 15)});
+  const Instance wide = stretch_dead_time(inst, 3, 4);
+  // Origin kept; run of 2 (< min_run 4) kept; run of 5 -> 15.
+  EXPECT_EQ(wide.jobs[0].allowed, TimeSet::window(3, 4));
+  EXPECT_EQ(wide.jobs[1].allowed, TimeSet::window(7, 8));
+  EXPECT_EQ(wide.jobs[2].allowed, TimeSet::window(24, 25));
+}
+
+TEST(StretchDeadTime, FactorOneIsIdentity) {
+  Prng rng(testing::seed_for(816));
+  const Instance inst = gen_uniform_one_interval(rng, 8, 300, 5);
+  const Instance same = stretch_dead_time(inst, 1, 1);
+  ASSERT_EQ(same.n(), inst.n());
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    EXPECT_EQ(same.jobs[j].allowed, inst.jobs[j].allowed);
+  }
+}
+
+TEST(StretchDeadTime, CappedCompressionNormalizesStretchedCopies) {
+  // The tentpole's cache-normalization property at the transform level:
+  // stretching dead runs at or above the cap and then compressing with
+  // that cap lands on the same instance the unstretched original
+  // compresses to.
+  Instance inst;
+  inst.jobs.push_back(Job{TimeSet::window(0, 2)});
+  inst.jobs.push_back(Job{TimeSet::window(9, 10)});   // run of 6
+  inst.jobs.push_back(Job{TimeSet::window(30, 32)});  // run of 19
+  const Time cap = 4;
+  const Instance wide = stretch_dead_time(inst, 7, cap);
+  const CompressedInstance a = compress_dead_time_capped(inst, cap);
+  const CompressedInstance b = compress_dead_time_capped(wide, cap);
+  ASSERT_EQ(a.instance.n(), b.instance.n());
+  for (std::size_t j = 0; j < inst.n(); ++j) {
+    EXPECT_EQ(a.instance.jobs[j].allowed, b.instance.jobs[j].allowed);
+  }
+  EXPECT_GT(b.dead_time_removed(), a.dead_time_removed());
+}
 
 }  // namespace
 }  // namespace gapsched

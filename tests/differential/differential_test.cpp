@@ -1,5 +1,5 @@
 // Registry-wide differential testing: every catalog scenario is fanned
-// through solve_many() across every registered solver family, and the
+// through Engine::solve_batch across every registered solver family, and the
 // results are pinned against each other and against the independent oracle:
 //
 //   * exact families agree on feasibility and on the objective value,

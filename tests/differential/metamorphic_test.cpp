@@ -8,15 +8,25 @@
 //   * job-order permutation invariance — the optimum is a function of the
 //     multiset of jobs,
 //   * processor-count monotonicity — adding processors never worsens the
-//     optimum (any p-processor schedule is a (p+1)-processor schedule).
+//     optimum (any p-processor schedule is a (p+1)-processor schedule),
+//   * time-stretch invariance — dilating every interior dead run that is
+//     already longer than alpha leaves BOTH optima unchanged: dead runs
+//     are unusable (gap objective) and every dilated idle run stays on the
+//     min(gap, alpha) = alpha plateau (power objective). This is the
+//     pre-compression ground truth for the engine's length-aware capped
+//     compression, exercised both through core/transforms directly and
+//     through the catalog's `stretched:<k>` wrapper.
 //
 // Runs under the `long` ctest label next to the differential suite.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "gapsched/core/transforms.hpp"
 #include "gapsched/engine/engine.hpp"
 #include "gapsched/scenarios/scenarios.hpp"
 #include "gapsched/util/prng.hpp"
@@ -129,6 +139,57 @@ TEST(Metamorphic, JobOrderPermutationInvariance) {
       if (pbase.feasible && pperm.feasible) {
         EXPECT_DOUBLE_EQ(pbase.cost, pperm.cost);
       }
+    }
+  }
+}
+
+TEST(Metamorphic, TimeStretchInvariance) {
+  // Dilating every interior dead run of length >= ceil(alpha) + 1 by k
+  // must leave the gap and power optima unchanged — with no ground truth
+  // needed. Pinned against every one-interval DP-envelope scenario, both
+  // through the transform directly and through the catalog's dynamic
+  // `stretched:<k>` wrapper (whose dilation floor kStretchMinRun covers
+  // this suite's alpha).
+  const Time floor = static_cast<Time>(std::ceil(kAlpha)) + 1;
+  ASSERT_GE(floor, scenarios::kStretchMinRun)
+      << "wrapper floor must stay sound for this suite's alpha";
+  for (const scenarios::Scenario* sc : dp_scenarios()) {
+    SCOPED_TRACE(::testing::Message() << "scenario " << sc->name);
+    for (int draw = 0; draw < 2; ++draw) {
+      const std::uint64_t seed = testing::seed_for(800 + 41 * draw);
+      GAPSCHED_TRACE_SEED(seed);
+      const Instance inst = sc->make(seed);
+      const SolveResult base = solve("gap_dp", inst, Objective::kGaps);
+      const SolveResult pbase = solve("power_dp", inst, Objective::kPower);
+      ASSERT_TRUE(base.ok && pbase.ok) << base.error << pbase.error;
+      for (Time k : {Time{2}, Time{13}}) {
+        const Instance wide = stretch_dead_time(inst, k, floor);
+        const SolveResult moved = solve("gap_dp", wide, Objective::kGaps);
+        ASSERT_TRUE(moved.ok) << moved.error;
+        EXPECT_EQ(base.feasible, moved.feasible) << "k " << k;
+        if (base.feasible) {
+          EXPECT_EQ(base.transitions, moved.transitions) << "k " << k;
+        }
+
+        const SolveResult pmoved = solve("power_dp", wide, Objective::kPower);
+        ASSERT_TRUE(pmoved.ok) << pmoved.error;
+        EXPECT_EQ(pbase.feasible, pmoved.feasible) << "k " << k;
+        if (pbase.feasible) {
+          EXPECT_DOUBLE_EQ(pbase.cost, pmoved.cost) << "k " << k;
+        }
+      }
+
+      // The wrapper draws the same dilated family by name.
+      const auto wrapped =
+          scenarios::make_scenario("stretched:5:" + sc->name, seed);
+      ASSERT_TRUE(wrapped.has_value());
+      const SolveResult wgap = solve("gap_dp", *wrapped, Objective::kGaps);
+      const SolveResult wpow = solve("power_dp", *wrapped, Objective::kPower);
+      ASSERT_TRUE(wgap.ok && wpow.ok) << wgap.error << wpow.error;
+      EXPECT_EQ(base.feasible, wgap.feasible);
+      EXPECT_EQ(pbase.feasible, wpow.feasible);
+      if (base.feasible) EXPECT_EQ(base.transitions, wgap.transitions);
+      if (pbase.feasible) EXPECT_DOUBLE_EQ(pbase.cost, wpow.cost);
     }
   }
 }

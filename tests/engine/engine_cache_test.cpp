@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "gapsched/core/hash.hpp"
+#include "gapsched/core/transforms.hpp"
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/engine/engine.hpp"
 #include "gapsched/gen/generators.hpp"
@@ -243,6 +244,54 @@ TEST(EngineCache, IdenticalComponentDedupOn300Clusters) {
   // matching the cold solve's accounting.
   EXPECT_EQ(warm.stats.states, r.stats.states);
   EXPECT_GT(warm.stats.states, 0u);
+}
+
+// The length-aware power compression normalizes cache keys across dead-run
+// lengths: a time-stretched copy of a power workload (every interior dead
+// run dilated beyond the cap ceil(alpha) + 1) compresses to the same
+// canonical components and is served entirely from the cache.
+TEST(EngineCache, PowerCompressionNormalizesStretchedCopies) {
+  Engine eng;
+  // One sparse chain: runs of 5 between pinned jobs stay under the cut
+  // threshold max(n, ceil(alpha)) = 10 even after doubling, so the dead
+  // runs live INSIDE the single component before and after the stretch and
+  // only compression can normalize them.
+  std::vector<std::pair<Time, Time>> windows;
+  for (int i = 0; i < 10; ++i) {
+    const Time t = static_cast<Time>(i) * 6;
+    windows.emplace_back(t, t);
+  }
+  const Instance inst = Instance::one_interval(windows);
+  SolveRequest req{inst, Objective::kPower, {}};
+  req.params.alpha = 2.5;  // cap = 4 < run length 5: every run truncates
+  req.params.validate = true;
+  const SolveResult cold = eng.solve("power_dp", req);
+  ASSERT_TRUE(cold.ok && cold.feasible) << cold.error;
+  EXPECT_FALSE(cold.stats.cache_hit);
+  EXPECT_GT(cold.stats.dead_time_removed, 0);
+  EXPECT_EQ(cold.audit_error, "");
+
+  // Dilate every dead run 5 -> 10: a different instance on a longer
+  // horizon, but the same canonical compressed form.
+  SolveRequest stretched{stretch_dead_time(inst, 2, 4), Objective::kPower,
+                         {}};
+  stretched.params.alpha = 2.5;
+  stretched.params.validate = true;
+  ASSERT_NE(stretched.instance.latest_deadline(), inst.latest_deadline());
+  const SolveResult warm = eng.solve("power_dp", stretched);
+  ASSERT_TRUE(warm.ok && warm.feasible) << warm.error;
+  EXPECT_TRUE(warm.stats.cache_hit);
+  EXPECT_DOUBLE_EQ(warm.cost, cold.cost);
+  EXPECT_EQ(warm.audit_error, "");
+  EXPECT_EQ(warm.schedule.validate(stretched.instance), "");
+
+  // Without compression the stretched copy keys apart and must re-solve.
+  SolveRequest raw = stretched;
+  raw.params.compress = false;
+  const SolveResult fresh = eng.solve("power_dp", raw);
+  ASSERT_TRUE(fresh.ok) << fresh.error;
+  EXPECT_FALSE(fresh.stats.cache_hit);
+  EXPECT_DOUBLE_EQ(fresh.cost, cold.cost);
 }
 
 // Dead-time compression makes gap-objective components that differ only in

@@ -1,6 +1,9 @@
 // Engine layer: registry completeness, dispatch parity with the direct
 // solver entry points, request validation, and deterministic batched
-// solving across thread counts.
+// solving across thread counts. Everything dispatches through
+// engine::Engine — the deprecated solve_with/solve_many shims are gone —
+// with the solve cache off, so each call here is an independent stateless
+// solve.
 
 #include <gtest/gtest.h>
 
@@ -10,7 +13,7 @@
 #include "gapsched/baptiste/baptiste.hpp"
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/dp/power_dp.hpp"
-#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/exact/brute_force.hpp"
 #include "gapsched/exact/power_brute_force.hpp"
 #include "gapsched/exact/span_search.hpp"
@@ -31,6 +34,21 @@ Instance small_instance(std::uint64_t site) {
   // the whole engine suite onto fresh draws.
   Prng rng(testing::seed_for(site));
   return gen_feasible_one_interval(rng, 8, 16, 3, 1);
+}
+
+/// One shared cache-off engine: each solve is stateless and independent,
+/// the configuration the parity and validation pins below assume.
+SolveResult engine_solve(std::string_view solver, const SolveRequest& req) {
+  static Engine eng({.cache = false});
+  return eng.solve(solver, req);
+}
+
+/// A fresh cache-off engine with its own pool of `threads` workers (the
+/// determinism sweeps compare batches across pool sizes).
+std::vector<SolveResult> batch_solve(const std::vector<BatchJob>& jobs,
+                                     std::size_t threads) {
+  Engine eng({.threads = threads, .cache = false});
+  return eng.solve_batch(jobs);
 }
 
 // ---------------------------------------------------------------- registry --
@@ -108,7 +126,7 @@ TEST(Registry, RejectsDuplicateNames) {
 
 TEST(Registry, UnknownNameIsRejected) {
   EXPECT_EQ(SolverRegistry::instance().find("nonexistent"), nullptr);
-  const SolveResult r = solve_with("nonexistent", SolveRequest{});
+  const SolveResult r = engine_solve("nonexistent", SolveRequest{});
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("unknown solver"), std::string::npos);
 }
@@ -127,7 +145,7 @@ TEST(Dispatch, GapSolversMatchDirectCalls) {
     req.params.decompose = false;
 
     const GapDpResult dp = solve_gap_dp(inst);
-    const SolveResult via_dp = solve_with("gap_dp", req);
+    const SolveResult via_dp = engine_solve("gap_dp", req);
     ASSERT_TRUE(via_dp.ok) << via_dp.error;
     EXPECT_EQ(via_dp.feasible, dp.feasible);
     EXPECT_EQ(via_dp.transitions, dp.transitions);
@@ -135,28 +153,28 @@ TEST(Dispatch, GapSolversMatchDirectCalls) {
     EXPECT_EQ(via_dp.schedule, dp.schedule);
 
     const BaptisteResult bp = solve_baptiste(inst);
-    const SolveResult via_bp = solve_with("baptiste", req);
+    const SolveResult via_bp = engine_solve("baptiste", req);
     EXPECT_EQ(via_bp.transitions, bp.spans);
 
     const ExactGapResult bf = brute_force_min_transitions(inst);
-    const SolveResult via_bf = solve_with("brute_force", req);
+    const SolveResult via_bf = engine_solve("brute_force", req);
     EXPECT_EQ(via_bf.transitions, bf.transitions);
 
     const SpanSearchResult ss = span_search_min_transitions(inst);
-    const SolveResult via_ss = solve_with("span_search", req);
+    const SolveResult via_ss = engine_solve("span_search", req);
     EXPECT_EQ(via_ss.transitions, ss.transitions);
     EXPECT_EQ(via_ss.stats.nodes, ss.nodes);
 
     const FhknResult greedy = fhkn_greedy(inst);
-    const SolveResult via_greedy = solve_with("fhkn_greedy", req);
+    const SolveResult via_greedy = engine_solve("fhkn_greedy", req);
     EXPECT_EQ(via_greedy.transitions, greedy.transitions);
 
     const LazyResult lz = lazy_schedule(inst);
-    const SolveResult via_lazy = solve_with("lazy", req);
+    const SolveResult via_lazy = engine_solve("lazy", req);
     EXPECT_EQ(via_lazy.transitions, lz.transitions);
 
     const OnlineResult oe = online_edf(inst);
-    const SolveResult via_online = solve_with("online_edf", req);
+    const SolveResult via_online = engine_solve("online_edf", req);
     EXPECT_EQ(via_online.transitions, oe.transitions);
   }
 }
@@ -170,23 +188,23 @@ TEST(Dispatch, PowerSolversMatchDirectCalls) {
     req.params.decompose = false;
 
     const PowerDpResult dp = solve_power_dp(inst, alpha);
-    const SolveResult via_dp = solve_with("power_dp", req);
+    const SolveResult via_dp = engine_solve("power_dp", req);
     ASSERT_TRUE(via_dp.ok) << via_dp.error;
     EXPECT_EQ(via_dp.feasible, dp.feasible);
     EXPECT_DOUBLE_EQ(via_dp.cost, dp.power);
     EXPECT_EQ(via_dp.schedule, dp.schedule);
 
     const ExactPowerResult bf = brute_force_min_power(inst, alpha);
-    const SolveResult via_bf = solve_with("power_brute_force", req);
+    const SolveResult via_bf = engine_solve("power_brute_force", req);
     EXPECT_DOUBLE_EQ(via_bf.cost, bf.power);
 
     const PowerMinApproxResult apx = powermin_approx(inst, alpha);
-    const SolveResult via_apx = solve_with("powermin_approx", req);
+    const SolveResult via_apx = engine_solve("powermin_approx", req);
     EXPECT_DOUBLE_EQ(via_apx.cost, apx.power);
     EXPECT_EQ(via_apx.transitions, apx.transitions);
 
     const OnlinePowerdownResult pd = online_powerdown(inst, alpha);
-    const SolveResult via_pd = solve_with("online_powerdown", req);
+    const SolveResult via_pd = engine_solve("online_powerdown", req);
     EXPECT_DOUBLE_EQ(via_pd.cost, pd.power);
   }
 }
@@ -198,7 +216,7 @@ TEST(Dispatch, ThroughputSolverMatchesDirectCall) {
     SolveRequest req{inst, Objective::kThroughput, {}};
     req.params.max_spans = k;
     const RestartResult direct = restart_greedy(inst, k);
-    const SolveResult via = solve_with("restart_greedy", req);
+    const SolveResult via = engine_solve("restart_greedy", req);
     ASSERT_TRUE(via.ok) << via.error;
     EXPECT_EQ(via.stats.scheduled, direct.scheduled);
     EXPECT_EQ(via.cost, static_cast<double>(direct.scheduled));
@@ -210,7 +228,7 @@ TEST(Dispatch, ThroughputSolverMatchesDirectCall) {
 
 TEST(Validation, WrongObjectiveIsRejected) {
   SolveRequest req{small_instance(7), Objective::kPower, {}};
-  const SolveResult r = solve_with("gap_dp", req);
+  const SolveResult r = engine_solve("gap_dp", req);
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("objective"), std::string::npos);
 }
@@ -219,38 +237,38 @@ TEST(Validation, OneIntervalRequirementIsEnforced) {
   Prng rng(11);
   SolveRequest req{gen_multi_interval(rng, 6, 18, 2, 2), Objective::kGaps, {}};
   ASSERT_FALSE(req.instance.is_one_interval());
-  EXPECT_FALSE(solve_with("gap_dp", req).ok);
-  EXPECT_FALSE(solve_with("baptiste", req).ok);
-  EXPECT_FALSE(solve_with("lazy", req).ok);
+  EXPECT_FALSE(engine_solve("gap_dp", req).ok);
+  EXPECT_FALSE(engine_solve("baptiste", req).ok);
+  EXPECT_FALSE(engine_solve("lazy", req).ok);
   // The multi-interval-capable families accept the same request.
-  EXPECT_TRUE(solve_with("brute_force", req).ok);
-  EXPECT_TRUE(solve_with("span_search", req).ok);
+  EXPECT_TRUE(engine_solve("brute_force", req).ok);
+  EXPECT_TRUE(engine_solve("span_search", req).ok);
 }
 
 TEST(Validation, SizeAndProcessorCapsAreEnforced) {
   Prng rng(13);
   SolveRequest big{gen_feasible_one_interval(rng, 24, 48, 2, 1),
                    Objective::kGaps, {}};
-  const SolveResult r = solve_with("brute_force", big);
+  const SolveResult r = engine_solve("brute_force", big);
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("capped"), std::string::npos);
 
   SolveRequest multi{gen_feasible_one_interval(rng, 6, 8, 2, 2),
                      Objective::kGaps, {}};
   ASSERT_EQ(multi.instance.processors, 2);
-  EXPECT_FALSE(solve_with("fhkn_greedy", multi).ok);
-  EXPECT_FALSE(solve_with("span_search", multi).ok);
-  EXPECT_TRUE(solve_with("gap_dp", multi).ok);
+  EXPECT_FALSE(engine_solve("fhkn_greedy", multi).ok);
+  EXPECT_FALSE(engine_solve("span_search", multi).ok);
+  EXPECT_TRUE(engine_solve("gap_dp", multi).ok);
 }
 
 TEST(Validation, BadParametersAreRejected) {
   SolveRequest req{small_instance(17), Objective::kPower, {}};
   req.params.alpha = -1.0;
-  EXPECT_FALSE(solve_with("power_dp", req).ok);
+  EXPECT_FALSE(engine_solve("power_dp", req).ok);
 
   SolveRequest tp{small_instance(18), Objective::kThroughput, {}};
   tp.params.max_spans = 0;
-  EXPECT_FALSE(solve_with("restart_greedy", tp).ok);
+  EXPECT_FALSE(engine_solve("restart_greedy", tp).ok);
 }
 
 TEST(Validation, MalformedInstanceIsRejected) {
@@ -258,7 +276,7 @@ TEST(Validation, MalformedInstanceIsRejected) {
   req.objective = Objective::kGaps;
   req.instance.processors = 0;
   req.instance.jobs.push_back(Job{TimeSet::window(0, 3)});
-  const SolveResult r = solve_with("gap_dp", req);
+  const SolveResult r = engine_solve("gap_dp", req);
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("invalid instance"), std::string::npos);
 }
@@ -266,15 +284,15 @@ TEST(Validation, MalformedInstanceIsRejected) {
 TEST(Validation, TimeLimitFlagsLongSolves) {
   SolveRequest req{small_instance(19), Objective::kGaps, {}};
   req.params.time_limit_s = 1e-12;  // everything exceeds this
-  const SolveResult r = solve_with("gap_dp", req);
+  const SolveResult r = engine_solve("gap_dp", req);
   ASSERT_TRUE(r.ok);
   EXPECT_TRUE(r.timed_out);
 
   req.params.time_limit_s = 1e6;  // nothing exceeds this
-  EXPECT_FALSE(solve_with("gap_dp", req).timed_out);
+  EXPECT_FALSE(engine_solve("gap_dp", req).timed_out);
 }
 
-// -------------------------------------------------------------- solve_many --
+// ------------------------------------------------------------- solve_batch --
 
 /// Strips wall-clock noise so batches can be compared bitwise.
 struct Essence {
@@ -296,7 +314,7 @@ std::vector<Essence> essence(const std::vector<SolveResult>& results) {
   return out;
 }
 
-TEST(SolveMany, DeterministicAcrossThreadCounts) {
+TEST(EngineBatch, DeterministicAcrossThreadCounts) {
   std::vector<BatchJob> jobs;
   const char* solvers[] = {"gap_dp", "baptiste", "fhkn_greedy", "power_dp",
                            "restart_greedy"};
@@ -313,27 +331,26 @@ TEST(SolveMany, DeterministicAcrossThreadCounts) {
     }
   }
 
-  const std::vector<Essence> one = essence(solve_many(jobs, 1));
-  const std::vector<Essence> two = essence(solve_many(jobs, 2));
-  const std::vector<Essence> eight = essence(solve_many(jobs, 8));
+  const std::vector<Essence> one = essence(batch_solve(jobs, 1));
+  const std::vector<Essence> two = essence(batch_solve(jobs, 2));
+  const std::vector<Essence> eight = essence(batch_solve(jobs, 8));
   EXPECT_EQ(one, two);
   EXPECT_EQ(one, eight);
 
   // And each slot answers its own request: spot-check against direct calls.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     ASSERT_TRUE(one[i].ok) << i;
-    const SolveResult direct = solve_with(jobs[i].solver, jobs[i].request);
+    const SolveResult direct = engine_solve(jobs[i].solver, jobs[i].request);
     EXPECT_EQ(one[i].cost, direct.cost) << i;
   }
 }
 
-TEST(SolveMany, UnknownSolverYieldsPerEntryRejection) {
+TEST(EngineBatch, UnknownSolverYieldsPerEntryRejection) {
   std::vector<BatchJob> jobs(3);
   jobs[0] = {"gap_dp", {small_instance(1), Objective::kGaps, {}}};
   jobs[1] = {"no_such_solver", {small_instance(2), Objective::kGaps, {}}};
   jobs[2] = {"baptiste", {small_instance(3), Objective::kGaps, {}}};
-  ThreadPool pool(2);
-  const std::vector<SolveResult> results = solve_many(jobs, pool);
+  const std::vector<SolveResult> results = batch_solve(jobs, 2);
   ASSERT_EQ(results.size(), 3u);
   EXPECT_TRUE(results[0].ok);
   EXPECT_FALSE(results[1].ok);
@@ -341,20 +358,18 @@ TEST(SolveMany, UnknownSolverYieldsPerEntryRejection) {
   EXPECT_TRUE(results[2].ok);
 }
 
-TEST(SolveMany, SingleSolverOverloadKeepsRequestOrder) {
-  const Solver* solver = SolverRegistry::instance().find("gap_dp");
-  ASSERT_NE(solver, nullptr);
-  std::vector<SolveRequest> requests;
+TEST(EngineBatch, SingleSolverBatchKeepsRequestOrder) {
+  std::vector<BatchJob> jobs;
   for (int seed = 0; seed < 6; ++seed) {
-    requests.push_back({small_instance(400 + seed), Objective::kGaps, {}});
+    BatchJob job{"gap_dp", {small_instance(400 + seed), Objective::kGaps, {}}};
     // Raw-path parity against the direct DP call (see the Dispatch note).
-    requests.back().params.decompose = false;
+    job.request.params.decompose = false;
+    jobs.push_back(std::move(job));
   }
-  ThreadPool pool(3);
-  const std::vector<SolveResult> results = solve_many(*solver, requests, pool);
-  ASSERT_EQ(results.size(), requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const GapDpResult direct = solve_gap_dp(requests[i].instance);
+  const std::vector<SolveResult> results = batch_solve(jobs, 3);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const GapDpResult direct = solve_gap_dp(jobs[i].request.instance);
     ASSERT_TRUE(results[i].ok);
     EXPECT_EQ(results[i].transitions, direct.transitions) << i;
     EXPECT_EQ(results[i].schedule, direct.schedule) << i;

@@ -1,0 +1,125 @@
+#pragma once
+// Shared plumbing of the randomized fuzz suites (ctest label `fuzz`):
+//
+//   * iteration budgeting — GAPSCHED_FUZZ_ITERS scales every sweep (the CI
+//     PR lane runs the fixed default block, the nightly lane raises it and
+//     randomizes GAPSCHED_TEST_SEED),
+//   * shrink-on-failure — ddmin-style job bisection that reduces a failing
+//     instance to a locally minimal repro before it is reported,
+//   * a byte mutator — the adversarial input generator the JSON codec is
+//     fuzzed with under ASan.
+//
+// Every stream derives from tests/support/test_seed.hpp, so a failure
+// always names the GAPSCHED_TEST_SEED that replays it.
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gapsched/core/instance.hpp"
+#include "gapsched/util/prng.hpp"
+#include "../support/test_seed.hpp"
+
+namespace gapsched::fuzz {
+
+/// Instances drawn per family and sweep. The default (500) is the PR-lane
+/// fixed block the acceptance bar asks for; the nightly CI lane raises it.
+inline std::size_t iterations() {
+  static const std::size_t iters = [] {
+    const char* env = std::getenv("GAPSCHED_FUZZ_ITERS");
+    if (env != nullptr && *env != '\0') {
+      const unsigned long long v = std::strtoull(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{500};
+  }();
+  return iters;
+}
+
+/// A property checker: returns "" when `inst` satisfies the invariant,
+/// else a one-line diagnostic of the violation.
+using Checker = std::function<std::string(const Instance&)>;
+
+/// Removes jobs from a failing instance while `check` keeps failing:
+/// first greedy half-drops (front/back), then single-job elimination to a
+/// local minimum (1-minimal in the delta-debugging sense). Returns the
+/// shrunk instance; `check(result)` is guaranteed non-empty.
+inline Instance shrink_by_bisecting_jobs(Instance inst, const Checker& check) {
+  const auto without = [](const Instance& in, std::size_t lo, std::size_t hi) {
+    // Drops jobs [lo, hi).
+    Instance out;
+    out.processors = in.processors;
+    for (std::size_t j = 0; j < in.n(); ++j) {
+      if (j < lo || j >= hi) out.jobs.push_back(in.jobs[j]);
+    }
+    return out;
+  };
+  // Halving pass: repeatedly drop whichever half keeps the failure alive.
+  for (bool shrunk = true; shrunk && inst.n() > 1;) {
+    shrunk = false;
+    const std::size_t mid = inst.n() / 2;
+    for (const auto& [lo, hi] :
+         {std::pair<std::size_t, std::size_t>{0, mid},
+          std::pair<std::size_t, std::size_t>{mid, inst.n()}}) {
+      Instance candidate = without(inst, lo, hi);
+      if (candidate.n() > 0 && !check(candidate).empty()) {
+        inst = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  // 1-minimal pass: no single job can be removed any more.
+  for (bool shrunk = true; shrunk && inst.n() > 1;) {
+    shrunk = false;
+    for (std::size_t j = 0; j < inst.n(); ++j) {
+      Instance candidate = without(inst, j, j + 1);
+      if (!check(candidate).empty()) {
+        inst = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return inst;
+}
+
+/// Mutates `doc` in place: byte flips, truncations, duplications, and
+/// digit/structural-character splices — the adversarial wire inputs the
+/// JSON codec must reject cleanly rather than crash on.
+inline void mutate_bytes(std::string& doc, Prng& rng) {
+  const std::size_t rounds = 1 + rng.index(8);
+  for (std::size_t r = 0; r < rounds && !doc.empty(); ++r) {
+    switch (rng.index(5)) {
+      case 0:  // flip one byte to an arbitrary value
+        doc[rng.index(doc.size())] =
+            static_cast<char>(rng.uniform(0, 255));
+        break;
+      case 1:  // truncate
+        doc.resize(rng.index(doc.size() + 1));
+        break;
+      case 2:  // duplicate a slice (nests structures, repeats keys)
+        if (doc.size() >= 2) {
+          const std::size_t lo = rng.index(doc.size() - 1);
+          const std::size_t len = 1 + rng.index(doc.size() - lo - 1);
+          doc.insert(rng.index(doc.size()), doc.substr(lo, len));
+        }
+        break;
+      case 3: {  // splice a structural character
+        static constexpr char kStructural[] = "{}[],:\"-0123456789eE.";
+        doc[rng.index(doc.size())] =
+            kStructural[rng.index(sizeof kStructural - 1)];
+        break;
+      }
+      case 4:  // delete a slice
+        if (doc.size() >= 2) {
+          const std::size_t lo = rng.index(doc.size() - 1);
+          doc.erase(lo, 1 + rng.index(doc.size() - lo - 1));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace gapsched::fuzz

@@ -1,0 +1,313 @@
+// The tentpole invariant of the length-aware power compression, made a
+// machine-checked property instead of a code comment:
+//
+//   for every instance I and wake-up cost alpha, solving the
+//   cap-compressed image of I (interior dead runs truncated to
+//   ceil(alpha) + 1) yields exactly the power optimum of I, and the
+//   schedule mapped back to I's time axis survives the independent oracle
+//   with min_power equal to that optimum.
+//
+// Generator-driven: >= 500 random instances per family (GAPSCHED_FUZZ_ITERS
+// scales it; the nightly CI lane raises it on randomized seeds), spanning
+// every power-relevant shape — sparse one-interval, feasible anchored,
+// bursty, alpha-straddling dead runs, multi-interval, k-unit points, and
+// multiprocessor. A failing draw is first shrunk to a locally minimal
+// instance by bisecting jobs, then reported with the serialized repro and
+// the seed that replays it.
+//
+// The harness itself is pinned by a negative test: the deliberately-broken
+// cap ceil(alpha) - 1 (one unit short of sound) must be caught, both on a
+// crafted boundary instance and within the fixed seed block.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "gapsched/core/transforms.hpp"
+#include "gapsched/dp/power_dp.hpp"
+#include "gapsched/engine/engine.hpp"
+#include "gapsched/exact/power_brute_force.hpp"
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/io/serialize.hpp"
+#include "gapsched/oracle/oracle.hpp"
+#include "fuzz_support.hpp"
+
+namespace gapsched {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+double tol(double a, double b) {
+  return kTol * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+Time sound_cap(double alpha) {
+  return static_cast<Time>(std::ceil(alpha)) + 1;
+}
+
+/// One exact uncompressed power solve: the Theorem 2 DP where it applies,
+/// the independent subset-DP reference for multi-interval shapes. `error`
+/// non-empty means the instance is outside both envelopes (never expected
+/// at fuzz sizes).
+struct ExactPower {
+  bool feasible = false;
+  double power = 0.0;
+  Schedule schedule;
+  std::string error;
+};
+
+ExactPower solve_exact_power(const Instance& inst, double alpha) {
+  ExactPower out;
+  if (inst.is_one_interval()) {
+    PowerDpResult r = solve_power_dp(inst, alpha);
+    out.feasible = r.feasible;
+    out.power = r.power;
+    out.schedule = std::move(r.schedule);
+    out.error = std::move(r.error);
+    return out;
+  }
+  if (inst.n() <= 20) {
+    ExactPowerResult r = brute_force_min_power(inst, alpha);
+    out.feasible = r.feasible;
+    out.power = r.power;
+    out.schedule = std::move(r.schedule);
+    return out;
+  }
+  out.error = "no exact power reference for this shape";
+  return out;
+}
+
+/// Maps a schedule of the compressed instance back to the original axis.
+Schedule decompress(const Schedule& in, const CompressedInstance& ci) {
+  Schedule out(in.size());
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    const std::optional<Placement>& slot = in.at(j);
+    if (slot.has_value()) {
+      out.place(j, ci.to_original(slot->time), slot->processor);
+    }
+  }
+  return out;
+}
+
+/// The property under fuzz. Returns "" when compressing `inst` at `cap`
+/// provably changes nothing about the power optimum; else a diagnostic.
+/// Exposed with the cap as a parameter so the negative tests can aim the
+/// same checker at a deliberately-broken cap. `*skipped` (when non-null)
+/// reports that no reference solver accepted the instance, so a clean
+/// return proved nothing — the sweep must not count it toward the
+/// acceptance bar.
+std::string check_power_compression(const Instance& inst, double alpha,
+                                    Time cap, bool* skipped = nullptr) {
+  if (skipped != nullptr) *skipped = false;
+  const ExactPower reference = solve_exact_power(inst, alpha);
+  if (!reference.error.empty()) {
+    if (skipped != nullptr) *skipped = true;
+    return "";  // outside every envelope
+  }
+  const CompressedInstance ci = compress_dead_time_capped(inst, cap);
+  const ExactPower squeezed = solve_exact_power(ci.instance, alpha);
+  if (!squeezed.error.empty()) {
+    return "compressed image left the solver envelope: " + squeezed.error;
+  }
+  if (reference.feasible != squeezed.feasible) {
+    return "feasibility flipped under compression (reference " +
+           std::string(reference.feasible ? "feasible" : "infeasible") + ")";
+  }
+  if (!reference.feasible) return "";
+  if (std::fabs(reference.power - squeezed.power) >
+      tol(reference.power, squeezed.power)) {
+    return "power optimum changed: uncompressed " +
+           std::to_string(reference.power) + " vs compressed " +
+           std::to_string(squeezed.power);
+  }
+  // Oracle floor: the decompressed schedule must be valid on the ORIGINAL
+  // instance and its independently re-derived minimum power must equal the
+  // claimed optimum (the solver is exact on both sides of the map).
+  const Schedule mapped = decompress(squeezed.schedule, ci);
+  const oracle::ScheduleAudit audit = oracle::audit_schedule(inst, mapped);
+  if (!audit.valid) {
+    return "decompressed schedule failed the oracle: " +
+           audit.violation_summary();
+  }
+  const double floor = oracle::min_power(audit, alpha);
+  if (std::fabs(floor - squeezed.power) > tol(floor, squeezed.power)) {
+    return "oracle floor " + std::to_string(floor) +
+           " disagrees with the compressed optimum " +
+           std::to_string(squeezed.power);
+  }
+  return "";
+}
+
+// ----------------------------------------------------- the family sweep --
+
+struct Family {
+  const char* name;
+  Instance (*draw)(Prng&);
+};
+
+/// Dead runs drawn tightly around the cap boundary for the sweep's alphas:
+/// the family most likely to expose an off-by-one in the cap.
+Instance draw_alpha_straddle(Prng& rng) {
+  Instance inst;
+  Time t = rng.uniform(0, 3);
+  const std::size_t n = 5 + rng.index(3);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Time width = rng.uniform(0, 2);
+    inst.jobs.push_back(Job{TimeSet::window(t, t + width)});
+    t += width + 1 + rng.uniform(1, 9);  // dead runs of 1..9 straddle caps
+  }
+  return inst;
+}
+
+const Family kFamilies[] = {
+    {"uniform_sparse",
+     [](Prng& rng) { return gen_uniform_one_interval(rng, 7, 60, 5); }},
+    {"feasible_anchored",
+     [](Prng& rng) { return gen_feasible_one_interval(rng, 8, 30, 2); }},
+    {"bursty",
+     [](Prng& rng) { return gen_bursty(rng, 3, 2, 16, 4); }},
+    {"alpha_straddle", [](Prng& rng) { return draw_alpha_straddle(rng); }},
+    {"multi_interval",
+     [](Prng& rng) { return gen_multi_interval(rng, 6, 40, 2, 2); }},
+    {"unit_points",
+     [](Prng& rng) { return gen_unit_points(rng, 6, 30, 3); }},
+    {"multiproc_spread",
+     [](Prng& rng) { return gen_feasible_one_interval(rng, 7, 16, 2, 2); }},
+};
+
+/// The alphas each family cycles through (integer, fractional, zero, and
+/// values far above every dead run).
+constexpr double kAlphas[] = {0.0, 0.5, 1.0, 2.0, 2.5, 3.0, 4.5, 7.0};
+
+TEST(PowerCompressionFuzz, CappedCompressionNeverChangesTheOptimum) {
+  // Engine-level spot checks ride along on a slice of the sweep: the full
+  // prep pipeline (decompose + compress + recombine) must agree with its
+  // compression-off self, not just the bare transform.
+  engine::Engine eng({.cache = false});
+  std::size_t checked = 0;
+  for (std::size_t f = 0; f < std::size(kFamilies); ++f) {
+    const Family& family = kFamilies[f];
+    SCOPED_TRACE(::testing::Message() << "family " << family.name);
+    for (std::size_t i = 0; i < fuzz::iterations(); ++i) {
+      const std::uint64_t seed = testing::seed_for(3000 + f * 1009 + i);
+      GAPSCHED_TRACE_SEED(seed);
+      Prng rng(seed);
+      const Instance inst = family.draw(rng);
+      const double alpha = kAlphas[i % std::size(kAlphas)];
+      const Time cap = sound_cap(alpha);
+      bool skipped = false;
+      const std::string diag =
+          check_power_compression(inst, alpha, cap, &skipped);
+      if (!diag.empty()) {
+        const Instance shrunk = fuzz::shrink_by_bisecting_jobs(
+            inst, [&](const Instance& candidate) {
+              return check_power_compression(candidate, alpha, cap);
+            });
+        ADD_FAILURE() << family.name << " iteration " << i << " (alpha "
+                      << alpha << ", cap " << cap << "): " << diag
+                      << "\nshrunk repro ("
+                      << check_power_compression(shrunk, alpha, cap)
+                      << "):\n"
+                      << instance_to_string(shrunk);
+        return;  // one shrunk repro is worth more than a failure storm
+      }
+      if (!skipped) ++checked;
+
+      if (i % 16 == 0) {
+        engine::SolveRequest req;
+        req.instance = inst;
+        req.objective = engine::Objective::kPower;
+        req.params.alpha = alpha;
+        req.params.validate = true;
+        const char* solver =
+            inst.is_one_interval() ? "power_dp" : "power_brute_force";
+        const engine::SolveResult on = eng.solve(solver, req);
+        req.params.compress = false;
+        const engine::SolveResult off = eng.solve(solver, req);
+        ASSERT_EQ(on.ok, off.ok) << on.error << off.error;
+        if (!on.ok) continue;  // e.g. n over the brute-force cap
+        EXPECT_EQ(on.audit_error, "") << solver << ": " << on.audit_error;
+        EXPECT_EQ(off.audit_error, "") << solver << ": " << off.audit_error;
+        ASSERT_EQ(on.feasible, off.feasible);
+        if (on.feasible) {
+          EXPECT_NEAR(on.cost, off.cost, tol(on.cost, off.cost)) << solver;
+        }
+      }
+    }
+  }
+  // >= 500 instances per family with zero mismatches (the acceptance bar;
+  // instances outside every solver envelope do not count as checked).
+  EXPECT_GE(checked, std::size(kFamilies) * std::min<std::size_t>(
+                                                fuzz::iterations(), 500));
+}
+
+// ------------------------------------------------- the harness is armed --
+
+TEST(PowerCompressionFuzz, BrokenCapIsCaughtOnTheBoundaryInstance) {
+  // alpha = 2.5: a dead run of exactly ceil(alpha) = 3 saturates the
+  // bridge term min(3, 2.5) = 2.5. The broken cap ceil(alpha) - 1 = 2
+  // shrinks that run below alpha, the bridge term drops to 2, and the
+  // compressed "optimum" undercuts the true one — the checker must say so.
+  const double alpha = 2.5;
+  const Instance boundary = Instance::one_interval({{0, 0}, {4, 4}});
+  ASSERT_EQ(check_power_compression(boundary, alpha, sound_cap(alpha)), "");
+  const std::string diag =
+      check_power_compression(boundary, alpha, sound_cap(alpha) - 2);
+  ASSERT_NE(diag, "");
+  EXPECT_NE(diag.find("power optimum changed"), std::string::npos) << diag;
+}
+
+TEST(PowerCompressionFuzz, BrokenCapIsCaughtInsideTheFixedSeedBlock) {
+  // The same broken cap aimed at the boundary-hugging family over a pinned
+  // seed block: the sweep itself (not just a crafted instance) must flag
+  // it, and the sound cap must stay silent on the identical draws.
+  const double alpha = 2.5;
+  std::size_t caught = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const std::uint64_t seed = testing::seed_for(4000 + i);
+    GAPSCHED_TRACE_SEED(seed);
+    Prng rng(seed);
+    const Instance inst = draw_alpha_straddle(rng);
+    ASSERT_EQ(check_power_compression(inst, alpha, sound_cap(alpha)), "");
+    if (!check_power_compression(inst, alpha, sound_cap(alpha) - 2)
+             .empty()) {
+      ++caught;
+    }
+  }
+  EXPECT_GT(caught, 0u) << "a cap one unit short of sound must not survive "
+                           "a 100-draw boundary sweep";
+}
+
+TEST(PowerCompressionFuzz, ShrinkerProducesAMinimalFailingRepro) {
+  // Arm the shrinker against the broken cap: burying the two boundary jobs
+  // under feasible noise must still shrink to a failing instance that no
+  // single job removal can reduce further.
+  const double alpha = 2.5;
+  const Time bad_cap = sound_cap(alpha) - 2;
+  Instance noisy = Instance::one_interval(
+      {{0, 0}, {4, 4}, {20, 25}, {21, 26}, {40, 45}, {60, 66}});
+  const auto check = [&](const Instance& candidate) {
+    return check_power_compression(candidate, alpha, bad_cap);
+  };
+  ASSERT_NE(check(noisy), "");
+  const Instance shrunk = fuzz::shrink_by_bisecting_jobs(noisy, check);
+  EXPECT_NE(check(shrunk), "");
+  EXPECT_LE(shrunk.n(), 2u);
+  for (std::size_t j = 0; j < shrunk.n(); ++j) {
+    Instance less;
+    less.processors = shrunk.processors;
+    for (std::size_t k = 0; k < shrunk.n(); ++k) {
+      if (k != j) less.jobs.push_back(shrunk.jobs[k]);
+    }
+    if (less.n() > 0) {
+      EXPECT_EQ(check(less), "") << "shrunk repro is not 1-minimal";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gapsched

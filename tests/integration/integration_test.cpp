@@ -8,7 +8,7 @@
 
 #include "gapsched/core/transforms.hpp"
 #include "gapsched/dp/gap_dp.hpp"
-#include "gapsched/engine/solve_many.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/io/serialize.hpp"
 #include "gapsched/matching/feasibility.hpp"
@@ -20,6 +20,12 @@
 
 namespace gapsched {
 namespace {
+
+/// Shared cache-off engine: these pins assume independent stateless solves.
+engine::Engine& shared_engine() {
+  static engine::Engine eng({.cache = false});
+  return eng;
+}
 
 // Four exact solvers and two approximations on the same one-interval
 // single-processor instances: full consistency matrix, solved as one
@@ -41,7 +47,7 @@ TEST_P(SolverMatrix, AllSolversConsistent) {
       {"span_search", gaps}, {"fhkn_greedy", gaps}, {"online_edf", gaps},
   };
   const std::vector<engine::SolveResult> results =
-      engine::solve_many(batch, /*threads=*/2);
+      shared_engine().solve_batch(batch);
   const engine::SolveResult& bf = results[0];
 
   // Every request was inside its solver's envelope, and feasibility is
@@ -74,7 +80,7 @@ TEST_P(SolverMatrix, AllSolversConsistent) {
   const double alpha = 1e6;
   engine::SolveRequest power{inst, engine::Objective::kPower, {}};
   power.params.alpha = alpha;
-  const engine::SolveResult pw = engine::solve_with("power_dp", power);
+  const engine::SolveResult pw = shared_engine().solve("power_dp", power);
   ASSERT_TRUE(pw.ok) << pw.error;
   ASSERT_TRUE(pw.feasible);
   const double implied = (pw.cost - static_cast<double>(inst.n())) / alpha;
@@ -95,9 +101,9 @@ TEST_P(SerializeSolve, SameOptimumAfterRoundTrip) {
                                      1 + static_cast<int>(rng.index(2)));
   auto parsed = instance_from_string(instance_to_string(inst));
   ASSERT_TRUE(parsed.has_value());
-  const engine::SolveResult a = engine::solve_with(
+  const engine::SolveResult a = shared_engine().solve(
       "brute_force", {inst, engine::Objective::kGaps, {}});
-  const engine::SolveResult b = engine::solve_with(
+  const engine::SolveResult b = shared_engine().solve(
       "brute_force", {*parsed, engine::Objective::kGaps, {}});
   ASSERT_TRUE(a.ok && b.ok);
   EXPECT_EQ(a.feasible, b.feasible);
@@ -168,8 +174,9 @@ TEST_P(ApproxVsExactPower, ApproxAboveExact) {
   const double alpha = 0.5 + static_cast<double>(rng.index(8));
   engine::SolveRequest req{inst, engine::Objective::kPower, {}};
   req.params.alpha = alpha;
-  const engine::SolveResult opt = engine::solve_with("power_dp", req);
-  const engine::SolveResult apx = engine::solve_with("powermin_approx", req);
+  const engine::SolveResult opt = shared_engine().solve("power_dp", req);
+  const engine::SolveResult apx =
+      shared_engine().solve("powermin_approx", req);
   ASSERT_TRUE(opt.ok && apx.ok) << opt.error << apx.error;
   ASSERT_TRUE(opt.feasible);
   ASSERT_TRUE(apx.feasible);

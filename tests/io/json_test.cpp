@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gapsched/engine/engine.hpp"
 #include "gapsched/io/json.hpp"
 
@@ -149,6 +151,90 @@ TEST(JsonCodec, MalformedDocumentsAreRejectedWithDiagnostics) {
                                       "processor": -1}]}})",
                        &error)
           .has_value());  // slot out of range
+}
+
+TEST(JsonCodec, DuplicateKeysAreRejected) {
+  // A duplicated key is ambiguous (first-wins vs last-wins depends on the
+  // reader), so the codec refuses the document with a diagnostic naming
+  // the key — at the top level, inside params, and inside nested objects.
+  std::string solver, error;
+  EXPECT_FALSE(request_from_json(
+                   R"({"solver": "gap_dp", "solver": "power_dp",
+                       "instance": {"jobs": [[[0, 4]]]}})",
+                   &solver, &error)
+                   .has_value());
+  EXPECT_NE(error.find("duplicate object key"), std::string::npos) << error;
+  EXPECT_NE(error.find("solver"), std::string::npos) << error;
+
+  EXPECT_FALSE(request_from_json(
+                   R"({"solver": "power_dp",
+                       "params": {"alpha": 1, "alpha": 9},
+                       "instance": {"jobs": [[[0, 4]]]}})",
+                   &solver, &error)
+                   .has_value());
+  EXPECT_NE(error.find("duplicate object key 'alpha'"), std::string::npos)
+      << error;
+
+  EXPECT_FALSE(
+      result_from_json(R"({"ok": true, "cost": 1, "cost": 2})", &error)
+          .has_value());
+  EXPECT_NE(error.find("duplicate object key 'cost'"), std::string::npos)
+      << error;
+
+  // Identical keys in DIFFERENT objects are fine (two slots both have
+  // "job" fields).
+  const auto ok = result_from_json(
+      R"({"ok": true, "schedule": {"jobs": 2, "slots": [
+            {"job": 0, "time": 1, "processor": -1},
+            {"job": 1, "time": 2, "processor": -1}]}})",
+      &error);
+  EXPECT_TRUE(ok.has_value()) << error;
+}
+
+TEST(JsonCodec, EveryTruncationOfAValidDocumentIsACleanError) {
+  // Truncated wire input at every byte boundary: never a crash, never a
+  // silent success, always a diagnostic.
+  SolveRequest request;
+  request.instance = Instance::one_interval({{0, 5}, {2, 3}});
+  request.params.alpha = 2.5;
+  const std::string full = request_to_json("power_dp", request);
+  std::string solver, error;
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    error.clear();
+    const auto parsed =
+        request_from_json(full.substr(0, len), &solver, &error);
+    EXPECT_FALSE(parsed.has_value()) << "prefix length " << len;
+    EXPECT_FALSE(error.empty()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(request_from_json(full, &solver, &error).has_value()) << error;
+}
+
+TEST(JsonCodec, NumericOverflowIsACleanErrorNotATruncation) {
+  std::string error;
+  // An integer field fed a value past int64 must be a parse error (the
+  // strtoll overflow path), not a wrapped or clamped plausible value.
+  EXPECT_FALSE(
+      result_from_json(
+          R"({"ok": true, "transitions": 123456789012345678901234567890})",
+          &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
+  // Same for a stats counter.
+  EXPECT_FALSE(result_from_json(
+                   R"({"ok": true,
+                       "stats": {"states": 99999999999999999999999999}})",
+                   &error)
+                   .has_value());
+  // A double field with an overflowing exponent parses to infinity rather
+  // than crashing; the request stays well-formed and downstream range
+  // checks own the verdict.
+  std::string solver;
+  const auto inf_alpha = request_from_json(
+      R"({"solver": "power_dp", "params": {"alpha": 1e99999},
+          "instance": {"jobs": [[[0, 4]]]}})",
+      &solver, &error);
+  ASSERT_TRUE(inf_alpha.has_value()) << error;
+  EXPECT_TRUE(std::isinf(inf_alpha->params.alpha));
 }
 
 TEST(JsonCodec, StringEscapesSurvive) {

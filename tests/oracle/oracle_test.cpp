@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "gapsched/engine/registry.hpp"
+#include "gapsched/engine/engine.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/util/prng.hpp"
 #include "../support/test_seed.hpp"
@@ -266,6 +266,12 @@ TEST(OracleCheck, RejectionsAndInfeasiblePassTrivially) {
 
 // --------------------------------------------------------- engine wiring --
 
+/// Cache-off engine for the validate-flag pins (fresh solves, fresh audits).
+engine::Engine& oracle_engine() {
+  static engine::Engine eng({.cache = false});
+  return eng;
+}
+
 TEST(OracleEngine, ValidateFlagAuditsRealSolves) {
   for (std::uint64_t site = 0; site < 6; ++site) {
     const std::uint64_t seed = testing::seed_for(1000 + site);
@@ -275,14 +281,14 @@ TEST(OracleEngine, ValidateFlagAuditsRealSolves) {
     req.instance = gen_feasible_one_interval(rng, 8, 14, 3, 1);
     req.objective = Objective::kGaps;
     req.params.validate = true;
-    const SolveResult r = engine::solve_with("gap_dp", req);
+    const SolveResult r = oracle_engine().solve("gap_dp", req);
     ASSERT_TRUE(r.ok) << r.error;
     EXPECT_TRUE(r.audited);
     EXPECT_EQ(r.audit_error, "") << r.audit_error;
 
     req.objective = Objective::kPower;
     req.params.alpha = 2.5;
-    const SolveResult p = engine::solve_with("power_dp", req);
+    const SolveResult p = oracle_engine().solve("power_dp", req);
     ASSERT_TRUE(p.ok) << p.error;
     EXPECT_TRUE(p.audited);
     EXPECT_EQ(p.audit_error, "") << p.audit_error;
@@ -293,7 +299,7 @@ TEST(OracleEngine, ValidateOffMeansNoAudit) {
   SolveRequest req;
   req.instance = Instance::one_interval({{0, 1}});
   req.objective = Objective::kGaps;
-  const SolveResult r = engine::solve_with("gap_dp", req);
+  const SolveResult r = oracle_engine().solve("gap_dp", req);
   ASSERT_TRUE(r.ok);
   EXPECT_FALSE(r.audited);
   EXPECT_EQ(r.audit_error, "");

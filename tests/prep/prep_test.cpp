@@ -400,11 +400,48 @@ TEST(Compression, WeldedClustersCompressAcrossTheDeadSpan) {
   }
 }
 
-TEST(Compression, PowerSolvesSkipCompressionByDesign) {
+TEST(Compression, PowerPipelineCapsRunsAtCeilAlphaPlusOne) {
+  // Ten pinned jobs spaced 8 dead units apart: every run is under the cut
+  // threshold max(n, ceil(alpha)) = 10, so decomposition cannot remove any
+  // of it — only the length-aware compression can, by truncating each run
+  // of 8 to ceil(2.5) + 1 = 4 units. The power optimum must be exactly
+  // preserved (each gap sits on the min(gap, alpha) = alpha plateau on
+  // both sides of the map), and the dead-time saving must be reported.
+  std::vector<std::pair<Time, Time>> windows;
+  for (int i = 0; i < 10; ++i) {
+    const Time t = static_cast<Time>(i) * 9;
+    windows.emplace_back(t, t);
+  }
+  const Instance inst = Instance::one_interval(windows);
+  const double alpha = 2.5;
+  const SolveResult on = engine_solve(
+      "power_dp", request(inst, Objective::kPower, alpha));
+  const SolveResult off = engine_solve(
+      "power_dp", request(inst, Objective::kPower, alpha, false));
+  ASSERT_TRUE(on.ok && off.ok) << on.error << off.error;
+  ASSERT_TRUE(on.feasible && off.feasible);
+  EXPECT_EQ(on.stats.components, 1u);
+  EXPECT_NEAR(on.cost, off.cost, 1e-9);
+  // Closed form: 10 active units, one wake-up, 9 saturated bridge terms.
+  EXPECT_NEAR(on.cost, 10.0 + alpha + 9 * alpha, 1e-9);
+  EXPECT_EQ(on.audit_error, "");
+  EXPECT_EQ(off.audit_error, "");
+  // Each of the 9 runs shrank 8 -> 4. (Pinned jobs keep the Prop 2.1
+  // candidate axis anchored at the pins, so the state count need not
+  // shrink here — the axis-blowup savings are measured on wide-window
+  // sparse scenarios in the T9 compression study.)
+  EXPECT_EQ(on.stats.dead_time_removed, 9 * 4);
+  EXPECT_EQ(off.stats.dead_time_removed, 0);
+  EXPECT_LE(on.stats.states, off.stats.states);
+  EXPECT_EQ(on.schedule.validate(inst), "");
+}
+
+TEST(Compression, PowerBridgesUnderAlphaAreNeverTruncated) {
   // Two pinned jobs separated by a 6-unit gap, alpha = 10: the power
-  // optimum bridges the real gap (6 < alpha). Had the pipeline compressed
-  // the gap to one unit, the bridge term would shrink and the reported
-  // optimum would be wrong — this pins the length-aware guard.
+  // optimum bridges the real gap (6 < alpha), so its exact length is
+  // load-bearing. The cap ceil(alpha) + 1 = 11 exceeds the run, so the
+  // pipeline must leave it alone — this pins the length-aware side of the
+  // cap, where plain cap-1 compression would corrupt the optimum.
   const Instance inst = Instance::one_interval({{0, 0}, {7, 7}});
   const double alpha = 10.0;
   const SolveResult on = engine_solve(
@@ -414,14 +451,49 @@ TEST(Compression, PowerSolvesSkipCompressionByDesign) {
   ASSERT_TRUE(on.ok && off.ok) << on.error << off.error;
   ASSERT_TRUE(on.feasible && off.feasible);
   EXPECT_NEAR(on.cost, off.cost, 1e-9);
+  EXPECT_EQ(on.stats.dead_time_removed, 0);
   EXPECT_EQ(on.audit_error, "");
 
-  // Sanity: on the compressed image the optimum genuinely differs, so the
-  // equality above is evidence the guard held, not a vacuous check.
+  // Sanity: at cap 1 (the gap objective's compression) the optimum
+  // genuinely differs, so the equality above is evidence the cap is
+  // length-aware, not a vacuous check.
   const CompressedInstance ci = compress_dead_time(inst);
-  const PowerDpResult compressed = solve_power_dp(ci.instance, alpha);
-  ASSERT_TRUE(compressed.feasible);
-  EXPECT_NE(compressed.power, on.cost);
+  const PowerDpResult cap_one = solve_power_dp(ci.instance, alpha);
+  ASSERT_TRUE(cap_one.feasible);
+  EXPECT_NE(cap_one.power, on.cost);
+
+  // And the deliberately-broken cap ceil(alpha) - 1 shrinks a saturated
+  // bridge below alpha and corrupts the optimum — the mistake the fuzz
+  // harness's pinned negative test catches at scale.
+  const Instance tight = Instance::one_interval({{0, 0}, {11, 11}});
+  const CompressedInstance bad = compress_dead_time_capped(
+      tight, static_cast<Time>(std::ceil(alpha)) - 1);
+  const PowerDpResult broken = solve_power_dp(bad.instance, alpha);
+  const PowerDpResult truth = solve_power_dp(tight, alpha);
+  ASSERT_TRUE(broken.feasible && truth.feasible);
+  EXPECT_LT(broken.power, truth.power);
+}
+
+TEST(Compression, PowerCompressionOffIsHonoured) {
+  // params.compress = false keeps dead runs at full length for both
+  // objectives (cost must of course be unchanged — only the solved form
+  // and the stats differ).
+  std::vector<std::pair<Time, Time>> windows;
+  for (int i = 0; i < 8; ++i) {
+    const Time t = static_cast<Time>(i) * 8;
+    windows.emplace_back(t, t);
+  }
+  const Instance inst = Instance::one_interval(windows);
+  SolveRequest req = request(inst, Objective::kPower, 2.5);
+  req.params.compress = false;
+  const SolveResult plain = engine_solve("power_dp", req);
+  ASSERT_TRUE(plain.ok && plain.feasible) << plain.error;
+  EXPECT_EQ(plain.stats.dead_time_removed, 0);
+  req.params.compress = true;
+  const SolveResult squeezed = engine_solve("power_dp", req);
+  ASSERT_TRUE(squeezed.ok && squeezed.feasible) << squeezed.error;
+  EXPECT_GT(squeezed.stats.dead_time_removed, 0);
+  EXPECT_NEAR(plain.cost, squeezed.cost, 1e-9);
 }
 
 TEST(Decompose, GuardFiresOnlyForOversizedSingleComponents) {

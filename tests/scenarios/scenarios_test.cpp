@@ -26,7 +26,8 @@ TEST(ScenarioCatalog, HasTheExpectedFamilies) {
        {"uniform_loose", "feasible_spread", "bursty_clusters",
         "multi_interval_decoys", "unit_points", "online_adversarial",
         "nested_windows", "sparse_spread", "power_longhaul", "hall_critical",
-        "staircase_multiproc", "infeasible_by_one", "overloaded_point"}) {
+        "staircase_multiproc", "infeasible_by_one", "overloaded_point",
+        "straddled_clusters", "mega_mixed"}) {
     EXPECT_TRUE(got.count(required)) << required;
   }
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
@@ -75,6 +76,69 @@ TEST(ScenarioCatalog, DescriptorsMatchDraws) {
       }
     }
   }
+}
+
+TEST(ScenarioCatalog, MegaMixedMixesVerdictsAcrossSeeds) {
+  // The mega-batch family advertises no per-seed guarantee; what it does
+  // promise is that a modest seed sweep contains both verdicts.
+  const Scenario* s = ScenarioCatalog::instance().find("mega_mixed");
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->always_feasible);
+  EXPECT_FALSE(s->always_infeasible);
+  int feasible = 0, infeasible = 0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    (is_feasible(s->make(seed)) ? feasible : infeasible) += 1;
+  }
+  EXPECT_GT(feasible, 0);
+  EXPECT_GT(infeasible, 0);
+}
+
+TEST(ScenarioCatalog, StretchedWrapperDilatesDeadRunsOnly) {
+  // The wrapper is a dynamic name: not in the static catalog, but
+  // make_scenario resolves it against any base family, composing with
+  // seeds. Dead runs of at least kStretchMinRun dilate by k; live spans
+  // and the origin are untouched.
+  EXPECT_EQ(ScenarioCatalog::instance().find("stretched:3:sparse_spread"),
+            nullptr);
+  const auto base = make_scenario("sparse_spread", 7);
+  const auto wide = make_scenario("stretched:3:sparse_spread", 7);
+  ASSERT_TRUE(base.has_value());
+  ASSERT_TRUE(wide.has_value());
+  ASSERT_EQ(wide->n(), base->n());
+  EXPECT_EQ(wide->earliest_release(), base->earliest_release());
+  EXPECT_GT(wide->latest_deadline() - wide->earliest_release(),
+            base->latest_deadline() - base->earliest_release());
+  for (std::size_t j = 0; j < base->n(); ++j) {
+    EXPECT_EQ(wide->jobs[j].allowed.size(), base->jobs[j].allowed.size());
+  }
+
+  // Malformed wrapper specs are unknown names, not crashes or zero-dilation
+  // draws.
+  EXPECT_FALSE(make_scenario("stretched:sparse_spread", 7).has_value());
+  EXPECT_FALSE(make_scenario("stretched:0:sparse_spread", 7).has_value());
+  EXPECT_FALSE(make_scenario("stretched:3:", 7).has_value());
+  EXPECT_FALSE(make_scenario("stretched:x:sparse_spread", 7).has_value());
+  EXPECT_FALSE(make_scenario("stretched:3:no_such", 7).has_value());
+
+  // Wrappers nest: stretching by 2 then 3 equals stretching by 6 on a
+  // family whose dead runs are all at (or above) the dilation floor.
+  const auto nested = make_scenario("stretched:2:stretched:3:sparse_spread", 7);
+  const auto six = make_scenario("stretched:6:sparse_spread", 7);
+  ASSERT_TRUE(nested.has_value() && six.has_value());
+  EXPECT_EQ(instance_to_string(*nested), instance_to_string(*six));
+
+  // The factor bound applies to the COMBINED dilation of nested layers, so
+  // stacking per-layer-legal factors cannot multiply into Time overflow.
+  EXPECT_TRUE(make_scenario("stretched:1000000:sparse_spread", 7).has_value());
+  EXPECT_FALSE(
+      make_scenario("stretched:1000000:stretched:1000000:sparse_spread", 7)
+          .has_value());
+  EXPECT_FALSE(make_scenario("stretched:1000001:sparse_spread", 7)
+                   .has_value());
+  // Factor 1 is the identity wrapper, not an unknown name.
+  const auto one = make_scenario("stretched:1:sparse_spread", 7);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(instance_to_string(*one), instance_to_string(*base));
 }
 
 }  // namespace
