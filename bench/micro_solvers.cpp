@@ -1,139 +1,320 @@
-// Google-benchmark microbenchmarks of the library's hot paths: the Theorem
-// 1/2 dynamic programs (and their packed-key memo table), the matching
-// feasibility oracle, the Theorem 3 pipeline, and the engine layer's
-// dispatch/batching overhead. Complements the table-emitting experiment
-// binaries with statistically robust per-call timings.
+// Microbenchmarks of the library's hot paths, emitting the machine-readable
+// bench/baselines/BENCH_micro.json (schema gapsched-bench-micro/v1) via
+// json_report.hpp so CI can diff per-solver ns/op and memo statistics
+// between commits.
+//
+// The DP section A/Bs the Theorem 1/2 execution layer on fixed-seed dense
+// scenarios:
+//   baseline  hash memo + pruning off  (the pre-arena inner loop)
+//   tuned     auto layout + pruning    (the engine's production config)
+//   parallel  tuned + dp_pool()        (intra-component candidate scan)
+// Every tuned answer is audited by the independent oracle and cross-checked
+// against the baseline and the parallel run; any refutation makes the
+// binary exit non-zero so the CI micro-bench lane fails loudly instead of
+// archiving corrupt numbers.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "gapsched/dp/dp_common.hpp"
+#include "gapsched/baptiste/baptiste.hpp"
+#include "gapsched/core/candidate_times.hpp"
+#include "gapsched/dp/dp_stats.hpp"
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/dp/power_dp.hpp"
 #include "gapsched/engine/engine.hpp"
 #include "gapsched/gen/generators.hpp"
 #include "gapsched/greedy/fhkn_greedy.hpp"
 #include "gapsched/matching/feasibility.hpp"
+#include "gapsched/oracle/oracle.hpp"
+#include "gapsched/parallel/thread_pool.hpp"
 #include "gapsched/powermin/powermin_approx.hpp"
+#include "json_report.hpp"
 
 namespace {
 
 using namespace gapsched;
 
-Instance make_instance(std::int64_t n, int p) {
+double g_target_ms = 60.0;  // per-sample budget; --min-time-ms overrides
+int g_refutations = 0;
+
+void refute(const std::string& what) {
+  std::fprintf(stderr, "[REFUTED] %s\n", what.c_str());
+  ++g_refutations;
+}
+
+/// Median-of-3-samples ns per call of `fn`; each sample repeats `fn` often
+/// enough to fill the per-sample budget.
+template <class Fn>
+double time_ns(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup / first-touch
+  auto once = clock::now();
+  fn();
+  double est_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - once)
+          .count());
+  if (est_ns < 1.0) est_ns = 1.0;
+  const double budget_ns = g_target_ms * 1e6;
+  std::size_t reps = static_cast<std::size_t>(budget_ns / est_ns);
+  if (reps < 1) reps = 1;
+  if (reps > 1000000) reps = 1000000;
+  double best = 0.0;
+  for (int sample = 0; sample < 3; ++sample) {
+    const auto t0 = clock::now();
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+    const double per_op = ns / static_cast<double>(reps);
+    if (sample == 0 || per_op < best) best = per_op;
+  }
+  return best;
+}
+
+Instance make_dense(std::size_t n, int p) {
   Prng rng(12345 + static_cast<std::uint64_t>(n) * 31 +
            static_cast<std::uint64_t>(p));
-  return gen_feasible_one_interval(rng, static_cast<std::size_t>(n),
-                                   2 * static_cast<Time>(n), 3, p);
+  return gen_feasible_one_interval(rng, n, 2 * static_cast<Time>(n), 3, p);
 }
 
-void BM_GapDp(benchmark::State& state) {
-  Instance inst = make_instance(state.range(0), static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_gap_dp(inst));
+/// A pinned chain [j, j] x n: instances past the old n <= 255 packed-key
+/// limit that the PR-5 engine rejected outright; the optimum is one
+/// unbroken span.
+Instance make_pinned_chain(std::size_t n) {
+  std::vector<std::pair<Time, Time>> windows;
+  windows.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    windows.emplace_back(static_cast<Time>(j), static_cast<Time>(j));
+  }
+  return Instance::one_interval(windows);
+}
+
+const char* layout_name(dp::MemoLayout layout) {
+  switch (layout) {
+    case dp::MemoLayout::kHash: return "hash";
+    case dp::MemoLayout::kArena: return "arena";
+    default: return "auto";
   }
 }
-BENCHMARK(BM_GapDp)
-    ->Args({6, 1})
-    ->Args({10, 1})
-    ->Args({14, 1})
-    ->Args({6, 2})
-    ->Args({10, 2})
-    ->Args({6, 4})
-    ->Unit(benchmark::kMillisecond);
 
-void BM_PowerDp(benchmark::State& state) {
-  Instance inst = make_instance(state.range(0), static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_power_dp(inst, 2.0));
-  }
+bench::Json memo_json(const dp::MemoStats& m) {
+  bench::Json j = bench::Json::object();
+  j.set("layout", layout_name(m.layout));
+  j.set("entries", m.entries);
+  j.set("box_volume", static_cast<std::int64_t>(m.box_volume));
+  j.set("find_calls", static_cast<std::int64_t>(m.find_calls));
+  j.set("probe_steps", static_cast<std::int64_t>(m.probe_steps));
+  j.set("pruned", static_cast<std::int64_t>(m.pruned));
+  j.set("parallel", m.parallel);
+  return j;
 }
-BENCHMARK(BM_PowerDp)
-    ->Args({6, 1})
-    ->Args({10, 1})
-    ->Args({6, 2})
-    ->Unit(benchmark::kMillisecond);
 
-void BM_FeasibilityOracle(benchmark::State& state) {
-  Prng rng(777);
-  Instance inst = gen_uniform_one_interval(
-      rng, static_cast<std::size_t>(state.range(0)), 3 * state.range(0), 6, 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(is_feasible(inst));
-  }
+struct DpScenario {
+  std::string name;
+  bool power = false;
+  double alpha = 2.0;
+  Instance inst;
+};
+
+/// True when the seed (PR-5) engine's 64-bit packed keys rejected this
+/// instance (n > 255 or |Theta| >= 2^16 or p > 255).
+bool pr5_rejected(const Instance& inst) {
+  if (inst.n() > 255 || inst.processors > 255) return true;
+  return candidate_times(inst, /*plus_one_closure=*/true).size() >=
+         (std::size_t{1} << 16);
 }
-BENCHMARK(BM_FeasibilityOracle)->Arg(16)->Arg(64)->Arg(256);
 
-void BM_FhknGreedy(benchmark::State& state) {
-  Instance inst = make_instance(state.range(0), 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fhkn_greedy(inst));
-  }
-}
-BENCHMARK(BM_FhknGreedy)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+bench::Json run_dp_scenario(const DpScenario& sc) {
+  const dp::DpOptions baseline_opts{.layout = dp::MemoLayout::kHash,
+                                    .prune = false};
+  const dp::DpOptions tuned_opts{};  // auto layout + pruning (production)
+  dp::DpOptions parallel_opts;
+  parallel_opts.pool = &dp::dp_pool();
+  parallel_opts.parallel_min_box = 0;
 
-void BM_PowerMinApprox(benchmark::State& state) {
-  Prng rng(999);
-  Instance inst = gen_multi_interval(
-      rng, static_cast<std::size_t>(state.range(0)), 3 * state.range(0), 2, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(powermin_approx(inst, 2.0));
-  }
-}
-BENCHMARK(BM_PowerMinApprox)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+  bench::Json row = bench::Json::object();
+  row.set("name", sc.name);
+  row.set("objective", sc.power ? "power" : "gap");
+  row.set("n", sc.inst.n());
+  row.set("p", sc.inst.processors);
+  if (sc.power) row.set("alpha", sc.alpha);
+  const bool legacy_reject = pr5_rejected(sc.inst);
+  row.set("pr5_rejected", legacy_reject);
 
-// The DP memo table in isolation: insert + re-find of pack_state-shaped
-// keys (the per-state cost the packed-key layout optimizes).
-void BM_DpMemoTable(benchmark::State& state) {
-  Prng key_rng(31337);
-  std::vector<std::uint64_t> keys;
-  for (int i = 0; i < state.range(0); ++i) {
-    keys.push_back(dp::pack_state(key_rng.index(200), key_rng.index(200),
-                                  key_rng.index(30),
-                                  static_cast<int>(key_rng.index(3)),
-                                  static_cast<int>(key_rng.index(4)),
-                                  static_cast<int>(key_rng.index(4))));
-  }
-  for (auto _ : state) {
-    dp::MemoTable<std::int64_t> table;
-    for (std::uint64_t key : keys) {
-      if (table.find(key) == nullptr) table.insert(key, 1, {});
+  double base_ns = 0.0, tuned_ns = 0.0, par_ns = 0.0;
+  if (sc.power) {
+    const PowerDpResult base = solve_power_dp(sc.inst, sc.alpha, baseline_opts);
+    const PowerDpResult tuned = solve_power_dp(sc.inst, sc.alpha, tuned_opts);
+    const PowerDpResult par = solve_power_dp(sc.inst, sc.alpha, parallel_opts);
+    if (!tuned.error.empty()) refute(sc.name + ": tuned solve rejected");
+    if (base.feasible != tuned.feasible ||
+        (tuned.feasible &&
+         std::abs(base.power - tuned.power) >
+             1e-9 * (1.0 + std::abs(tuned.power)))) {
+      refute(sc.name + ": baseline/tuned power mismatch");
     }
-    std::int64_t sum = 0;
-    for (std::uint64_t key : keys) sum += table.find(key)->value;
-    benchmark::DoNotOptimize(sum);
+    if (par.feasible != tuned.feasible ||
+        (tuned.feasible && par.power != tuned.power)) {
+      refute(sc.name + ": parallel power not bit-identical");
+    }
+    if (tuned.feasible) {
+      const oracle::ScheduleAudit audit =
+          oracle::audit_schedule(sc.inst, tuned.schedule);
+      if (!audit.valid || !audit.complete) {
+        refute(sc.name + ": oracle rejected tuned schedule: " +
+               audit.violation_summary());
+      } else {
+        const double floor = oracle::min_power(audit, sc.alpha);
+        if (std::abs(tuned.power - floor) > 1e-6 * (1.0 + std::abs(floor))) {
+          refute(sc.name + ": tuned power != oracle min_power");
+        }
+      }
+    }
+    base_ns = time_ns([&] { solve_power_dp(sc.inst, sc.alpha, baseline_opts); });
+    tuned_ns = time_ns([&] { solve_power_dp(sc.inst, sc.alpha, tuned_opts); });
+    par_ns = time_ns([&] { solve_power_dp(sc.inst, sc.alpha, parallel_opts); });
+    bench::Json base_j = bench::Json::object();
+    base_j.set("ns_op", base_ns).set("memo", memo_json(base.memo));
+    bench::Json tuned_j = bench::Json::object();
+    tuned_j.set("ns_op", tuned_ns).set("memo", memo_json(tuned.memo));
+    bench::Json par_j = bench::Json::object();
+    par_j.set("ns_op", par_ns)
+        .set("threads", dp::dp_pool().thread_count())
+        .set("memo", memo_json(par.memo));
+    row.set("baseline", std::move(base_j));
+    row.set("tuned", std::move(tuned_j));
+    row.set("parallel", std::move(par_j));
+    row.set("feasible", tuned.feasible);
+    row.set("states", tuned.states);
+  } else {
+    const GapDpResult base = solve_gap_dp(sc.inst, baseline_opts);
+    const GapDpResult tuned = solve_gap_dp(sc.inst, tuned_opts);
+    const GapDpResult par = solve_gap_dp(sc.inst, parallel_opts);
+    if (!tuned.error.empty()) refute(sc.name + ": tuned solve rejected");
+    if (base.feasible != tuned.feasible ||
+        (tuned.feasible && base.transitions != tuned.transitions)) {
+      refute(sc.name + ": baseline/tuned transitions mismatch");
+    }
+    if (par.feasible != tuned.feasible ||
+        (tuned.feasible && par.transitions != tuned.transitions)) {
+      refute(sc.name + ": parallel transitions not bit-identical");
+    }
+    if (tuned.feasible) {
+      const oracle::ScheduleAudit audit =
+          oracle::audit_schedule(sc.inst, tuned.schedule);
+      if (!audit.valid || !audit.complete) {
+        refute(sc.name + ": oracle rejected tuned schedule: " +
+               audit.violation_summary());
+      } else if (audit.transitions != tuned.transitions) {
+        refute(sc.name + ": tuned transitions != oracle rederivation");
+      }
+    }
+    base_ns = time_ns([&] { solve_gap_dp(sc.inst, baseline_opts); });
+    tuned_ns = time_ns([&] { solve_gap_dp(sc.inst, tuned_opts); });
+    par_ns = time_ns([&] { solve_gap_dp(sc.inst, parallel_opts); });
+    bench::Json base_j = bench::Json::object();
+    base_j.set("ns_op", base_ns).set("memo", memo_json(base.memo));
+    bench::Json tuned_j = bench::Json::object();
+    tuned_j.set("ns_op", tuned_ns).set("memo", memo_json(tuned.memo));
+    bench::Json par_j = bench::Json::object();
+    par_j.set("ns_op", par_ns)
+        .set("threads", dp::dp_pool().thread_count())
+        .set("memo", memo_json(par.memo));
+    row.set("baseline", std::move(base_j));
+    row.set("tuned", std::move(tuned_j));
+    row.set("parallel", std::move(par_j));
+    row.set("feasible", tuned.feasible);
+    row.set("states", tuned.states);
   }
+  row.set("speedup_tuned_vs_baseline",
+          tuned_ns > 0.0 ? base_ns / tuned_ns : 0.0);
+  row.set("speedup_parallel_vs_baseline",
+          par_ns > 0.0 ? base_ns / par_ns : 0.0);
+  std::printf("%-28s baseline %12.0f ns  tuned %12.0f ns  (%.2fx)  parallel "
+              "%12.0f ns  (%.2fx)\n",
+              sc.name.c_str(), base_ns, tuned_ns,
+              tuned_ns > 0.0 ? base_ns / tuned_ns : 0.0, par_ns,
+              par_ns > 0.0 ? base_ns / par_ns : 0.0);
+  return row;
 }
-BENCHMARK(BM_DpMemoTable)->Arg(1000)->Arg(10000);
 
-// Engine dispatch overhead: the same gap DP solve through the registry
-// (request validation + virtual hop + stats plumbing) vs BM_GapDp above.
-void BM_EngineDispatch(benchmark::State& state) {
-  engine::Engine eng({.cache = false});
-  engine::SolveRequest request;
-  request.instance = make_instance(state.range(0), 1);
-  request.objective = engine::Objective::kGaps;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eng.solve("gap_dp", request));
-  }
+bench::Json solver_row(const std::string& name, double ns) {
+  bench::Json row = bench::Json::object();
+  row.set("name", name);
+  row.set("ns_op", ns);
+  std::printf("%-28s %12.0f ns\n", name.c_str(), ns);
+  return row;
 }
-BENCHMARK(BM_EngineDispatch)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
-
-// Batched driver throughput: a mixed shootout batch fanned over the
-// engine's persistent worker pool (cache off: every rep re-solves).
-void BM_SolveBatch(benchmark::State& state) {
-  std::vector<engine::BatchJob> jobs;
-  for (int i = 0; i < state.range(0); ++i) {
-    engine::BatchJob job;
-    job.solver = (i % 2 == 0) ? "gap_dp" : "baptiste";
-    job.request.instance = make_instance(10, 1);
-    job.request.objective = engine::Objective::kGaps;
-    jobs.push_back(std::move(job));
-  }
-  engine::Engine eng({.cache = false});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eng.solve_batch(jobs));
-  }
-}
-BENCHMARK(BM_SolveBatch)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--min-time-ms=", 14) == 0) {
+      g_target_ms = std::atof(argv[a] + 14);
+      if (g_target_ms <= 0.0) g_target_ms = 60.0;
+    }
+  }
+
+  // Dense one-cluster DP scenarios: tight horizons keep every window
+  // overlapping, so prep could not decompose these — they exercise exactly
+  // the monolithic inner loop the arena + pruning target.
+  std::vector<DpScenario> scenarios;
+  scenarios.push_back({"gap_dense_n12_p1", false, 0.0, make_dense(12, 1)});
+  scenarios.push_back({"gap_dense_n14_p1", false, 0.0, make_dense(14, 1)});
+  scenarios.push_back({"gap_dense_n12_p2", false, 0.0, make_dense(12, 2)});
+  scenarios.push_back({"gap_dense_n10_p4", false, 0.0, make_dense(10, 4)});
+  scenarios.push_back({"power_dense_n10_p1", true, 2.0, make_dense(10, 1)});
+  scenarios.push_back({"power_dense_n12_p1", true, 2.0, make_dense(12, 1)});
+  scenarios.push_back({"power_dense_n8_p2", true, 2.0, make_dense(8, 2)});
+  scenarios.push_back({"power_dense_n10_p2", true, 2.0, make_dense(10, 2)});
+  scenarios.push_back({"power_dense_n8_p4", true, 2.0, make_dense(8, 4)});
+  // Past the seed engine's n <= 255 limit: PR-5 rejected this outright.
+  scenarios.push_back({"gap_chain_n300", false, 0.0, make_pinned_chain(300)});
+
+  bench::Json dp_rows = bench::Json::array();
+  for (const DpScenario& sc : scenarios) dp_rows.push(run_dp_scenario(sc));
+
+  // Per-solver single-config timings (continuity with the older harness).
+  bench::Json solver_rows = bench::Json::array();
+  {
+    Prng rng(777);
+    Instance feas = gen_uniform_one_interval(rng, 64, 192, 6, 1);
+    solver_rows.push(
+        solver_row("feasibility_oracle_n64", time_ns([&] { is_feasible(feas); })));
+    Instance greedy_inst = make_dense(20, 1);
+    solver_rows.push(solver_row("fhkn_greedy_n20",
+                                time_ns([&] { fhkn_greedy(greedy_inst); })));
+    solver_rows.push(solver_row(
+        "baptiste_n12", time_ns([&] { solve_baptiste(make_dense(12, 1)); })));
+    Prng mrng(999);
+    Instance multi = gen_multi_interval(mrng, 16, 48, 2, 2);
+    solver_rows.push(solver_row(
+        "powermin_approx_n16", time_ns([&] { powermin_approx(multi, 2.0); })));
+    engine::Engine eng({.cache = false});
+    engine::SolveRequest req;
+    req.instance = make_dense(10, 1);
+    req.objective = engine::Objective::kGaps;
+    solver_rows.push(solver_row("engine_dispatch_gap_dp_n10",
+                                time_ns([&] { eng.solve("gap_dp", req); })));
+  }
+
+  bench::Json root = bench::Json::object();
+  root.set("schema", "gapsched-bench-micro/v1");
+  root.set("target_ms_per_sample", g_target_ms);
+  root.set("dp", std::move(dp_rows));
+  root.set("solvers", std::move(solver_rows));
+  root.set("refutations", g_refutations);
+  bench::emit_json("micro", root);
+
+  if (g_refutations > 0) {
+    std::fprintf(stderr, "%d refutation(s); failing.\n", g_refutations);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Lazily-created process-wide worker pool for the intra-component parallel
+// DP candidate scan (dp_engine.hpp). Separate from the engine's batch and
+// component-fanout pools: those wait_idle() globally, so a DP running *on*
+// one of their workers must fan out to a different pool or it would wait
+// on its own in-flight task. A DP task never submits back into dp_pool()
+// (the recursion below the root scan is plain function calls), so nesting
+// is deadlock-free by construction.
+
+#include "gapsched/dp/dp_stats.hpp"
+#include "gapsched/parallel/thread_pool.hpp"
+
+namespace gapsched::dp {
+
+ThreadPool& dp_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gapsched::dp

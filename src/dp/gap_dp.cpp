@@ -1,186 +1,45 @@
 #include "gapsched/dp/gap_dp.hpp"
 
+#include <string>
 #include <utility>
 
-#include "gapsched/dp/dp_common.hpp"
+#include "gapsched/dp/dp_engine.hpp"
 
 namespace gapsched {
 
-namespace {
-
-constexpr std::int64_t kInf = dp::kInfCost;
-
-class Solver {
- public:
-  explicit Solver(const Instance& inst)
-      : ctx_(inst), p_(inst.processors) {}
-
-  std::string limit_violation() const { return ctx_.limit_violation(); }
-
-  GapDpResult run() {
-    const std::size_t n = ctx_.inst->n();
-    if (n == 0) return GapDpResult{true, 0, Schedule(0), 0, {}};
-
-    const std::size_t i_min = ctx_.index_of(ctx_.inst->earliest_release());
-    const std::size_t i_max = ctx_.index_of(ctx_.inst->latest_deadline());
-
-    std::int64_t best = kInf;
-    int best_l1 = -1, best_l2 = -1;
-    for (int l1 = 0; l1 <= p_; ++l1) {
-      for (int l2 = 0; l2 <= p_; ++l2) {
-        const std::int64_t w = solve(i_min, i_max, n, 0, l1, l2);
-        const std::int64_t total = dp::add_sat(l1, w);
-        if (total < best) {
-          best = total;
-          best_l1 = l1;
-          best_l2 = l2;
-        }
-      }
-    }
-    if (best_l1 < 0) {
-      return GapDpResult{false, 0, Schedule(n), memo_.size(), {}};
-    }
-
-    Schedule sched(n);
-    reconstruct(i_min, i_max, n, 0, best_l1, best_l2, sched);
-    sched.assign_processors_staircase();
-    return GapDpResult{true, best, std::move(sched), memo_.size(), {}};
+GapDpResult solve_gap_dp(const Instance& inst, const dp::DpOptions& opts) {
+  if (inst.n() == 0) {
+    GapDpResult out;
+    out.feasible = true;
+    out.schedule = Schedule(0);
+    return out;
   }
-
- private:
-  // W(t1, t2, k, q, l1, l2): min sum of Delta(t) over t in (t1, t2] for
-  // schedules of the k-job set in [t1, t2] with occupancy l1 at t1 and l2 at
-  // t2, q of the t2 occupants being ancestor commitments.
-  std::int64_t solve(std::size_t i1, std::size_t i2, std::size_t k, int q,
-                     int l1, int l2) {
-    const std::uint64_t key = dp::pack_state(i1, i2, k, q, l1, l2);
-    if (const auto* hit = memo_.find(key)) return hit->value;
-
-    const Time t1 = ctx_.theta[i1];
-    const Time t2 = ctx_.theta[i2];
-    std::int64_t best = kInf;
-    dp::Choice choice;
-
-    if (i1 == i2) {
-      // Point window: all k jobs (plus q ancestors) sit at t1.
-      if (l1 == l2 && l1 == q + static_cast<int>(k) && l1 <= p_) {
-        best = 0;
-        choice.kind = dp::Choice::Kind::kBasePoint;
-      }
-    } else if (k == 0) {
-      // Empty window: occupancy 0 strictly inside; the q ancestor jobs at t2
-      // wake from a fully idle previous unit.
-      if (l1 == 0 && l2 == q) {
-        best = l2;
-        choice.kind = dp::Choice::Kind::kBaseEmpty;
-      }
-    } else {
-      const std::vector<std::size_t> jobs = ctx_.job_set(t1, t2, k);
-      if (jobs.size() == k) {
-        const std::size_t jk = jobs.back();
-        const Time lo = std::max(t1, ctx_.inst->jobs[jk].release());
-        const Time hi = std::min(t2, ctx_.inst->jobs[jk].deadline());
-        auto first = std::lower_bound(ctx_.theta.begin(), ctx_.theta.end(), lo);
-        for (auto it = first; it != ctx_.theta.end() && *it <= hi; ++it) {
-          const std::size_t idx =
-              static_cast<std::size_t>(it - ctx_.theta.begin());
-          if (!ctx_.is_core[idx]) continue;
-          const Time tp = *it;
-          if (tp == t2) {
-            // jk takes one of the t2 slots; same window, one fewer job.
-            if (l2 >= q + 1) {
-              const std::int64_t w = solve(i1, i2, k - 1, q + 1, l1, l2);
-              if (w < best) {
-                best = w;
-                choice = {dp::Choice::Kind::kAtRightEdge, idx, 0, 0, 0};
-              }
-            }
-            continue;
-          }
-          // Split: jobs released after tp go right; the rest (minus jk,
-          // which sits at tp) go left with q' = 1 encoding jk's slot.
-          std::size_t right_jobs = 0;
-          for (std::size_t x = 0; x + 1 < k; ++x) {
-            if (ctx_.inst->jobs[jobs[x]].release() > tp) ++right_jobs;
-          }
-          const std::size_t left_jobs = k - 1 - right_jobs;
-          const std::size_t ridx = idx + 1;
-          // The +1 closure guarantees tp+1 is the next candidate time.
-          if (ridx >= ctx_.theta.size() || ctx_.theta[ridx] != tp + 1) {
-            continue;
-          }
-          for (int lp = 1; lp <= p_; ++lp) {
-            const std::int64_t left = solve(i1, idx, left_jobs, 1, l1, lp);
-            if (left >= kInf) continue;
-            for (int ldp = 0; ldp <= p_; ++ldp) {
-              const std::int64_t right = solve(ridx, i2, right_jobs, q, ldp, l2);
-              if (right >= kInf) continue;
-              const std::int64_t total = dp::add_sat(
-                  dp::add_sat(left, std::max(0, ldp - lp)), right);
-              if (total < best) {
-                best = total;
-                choice = {dp::Choice::Kind::kSplit, idx, right_jobs, lp, ldp};
-              }
-            }
-          }
-        }
-      }
-    }
-
-    memo_.insert(key, best, choice);
-    return best;
-  }
-
-  void reconstruct(std::size_t i1, std::size_t i2, std::size_t k, int q,
-                   int l1, int l2, Schedule& out) {
-    const std::uint64_t key = dp::pack_state(i1, i2, k, q, l1, l2);
-    const dp::Choice& c = memo_.find(key)->choice;
-    const Time t1 = ctx_.theta[i1];
-    const Time t2 = ctx_.theta[i2];
-    switch (c.kind) {
-      case dp::Choice::Kind::kBasePoint: {
-        for (std::size_t j : ctx_.job_set(t1, t2, k)) out.place(j, t1);
-        return;
-      }
-      case dp::Choice::Kind::kBaseEmpty:
-        return;
-      case dp::Choice::Kind::kAtRightEdge: {
-        const std::vector<std::size_t> jobs = ctx_.job_set(t1, t2, k);
-        out.place(jobs.back(), t2);
-        reconstruct(i1, i2, k - 1, q + 1, l1, l2, out);
-        return;
-      }
-      case dp::Choice::Kind::kSplit: {
-        const std::vector<std::size_t> jobs = ctx_.job_set(t1, t2, k);
-        const Time tp = ctx_.theta[c.tprime_idx];
-        out.place(jobs.back(), tp);
-        reconstruct(i1, c.tprime_idx, k - 1 - c.right_jobs, 1, l1, c.lprime,
-                    out);
-        reconstruct(c.tprime_idx + 1, i2, c.right_jobs, q, c.ldprime, l2, out);
-        return;
-      }
-    }
-  }
-
-  dp::DpContext ctx_;
-  int p_;
-  dp::MemoTable<std::int64_t> memo_;
-};
-
-}  // namespace
-
-GapDpResult solve_gap_dp(const Instance& inst) {
-  Solver solver(inst);
+  dp::DpContext ctx(inst);
   // Reject before the first pack_state call: oversized instances would
   // alias memo keys and return wrong optima (the engine's prep pipeline
   // decomposes first, so this fires only for a genuinely oversized
   // component).
-  if (std::string diag = solver.limit_violation(); !diag.empty()) {
+  if (std::string diag = ctx.limit_violation(); !diag.empty()) {
     GapDpResult rejected;
     rejected.error = std::move(diag);
     return rejected;
   }
-  return solver.run();
+  dp::DpRun<dp::GapPolicy> run = dp::run_dp(ctx, dp::GapPolicy{}, opts);
+  GapDpResult out;
+  out.feasible = run.feasible;
+  if (run.feasible) {
+    out.transitions = run.value;
+    out.schedule = std::move(run.schedule);
+  } else {
+    out.schedule = Schedule(inst.n());
+  }
+  out.states = run.states;
+  out.memo = run.memo;
+  return out;
+}
+
+GapDpResult solve_gap_dp(const Instance& inst) {
+  return solve_gap_dp(inst, dp::DpOptions{});
 }
 
 }  // namespace gapsched

@@ -1,197 +1,47 @@
 #include "gapsched/dp/power_dp.hpp"
 
 #include <cassert>
-#include <limits>
+#include <string>
 #include <utility>
 
-#include "gapsched/dp/dp_common.hpp"
+#include "gapsched/dp/dp_engine.hpp"
 
 namespace gapsched {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-class Solver {
- public:
-  Solver(const Instance& inst, double alpha)
-      : ctx_(inst), p_(inst.processors), alpha_(alpha) {
-    assert(alpha >= 0.0);
+PowerDpResult solve_power_dp(const Instance& inst, double alpha,
+                             const dp::DpOptions& opts) {
+  assert(alpha >= 0.0);
+  if (inst.n() == 0) {
+    PowerDpResult out;
+    out.feasible = true;
+    out.schedule = Schedule(0);
+    return out;
   }
-
-  std::string limit_violation() const { return ctx_.limit_violation(); }
-
-  PowerDpResult run() {
-    const std::size_t n = ctx_.inst->n();
-    if (n == 0) return PowerDpResult{true, 0.0, Schedule(0), 0, {}};
-
-    const std::size_t i_min = ctx_.index_of(ctx_.inst->earliest_release());
-    const std::size_t i_max = ctx_.index_of(ctx_.inst->latest_deadline());
-
-    double best = kInf;
-    int best_l1 = -1, best_l2 = -1;
-    for (int l1 = 0; l1 <= p_; ++l1) {
-      for (int l2 = 0; l2 <= p_; ++l2) {
-        const double w = solve(i_min, i_max, n, 0, l1, l2);
-        // Top level owns t_min: l1 processors wake and run one unit there.
-        const double total = l1 * (1.0 + alpha_) + w;
-        if (total < best) {
-          best = total;
-          best_l1 = l1;
-          best_l2 = l2;
-        }
-      }
-    }
-    if (best_l1 < 0) {
-      return PowerDpResult{false, 0.0, Schedule(n), memo_.size(), {}};
-    }
-
-    Schedule sched(n);
-    reconstruct(i_min, i_max, n, 0, best_l1, best_l2, sched);
-    sched.assign_processors_staircase();
-    return PowerDpResult{true, best, std::move(sched), memo_.size(), {}};
-  }
-
- private:
-  // Power cost of moving from m_prev active processors to m_new active ones
-  // across `idle` fully idle time units, including m_new's active unit:
-  // carried processors pay the idle time, fresh ones pay alpha.
-  double step_cost(int m_prev, int m_new, std::int64_t idle) const {
-    if (m_new == 0) return 0.0;
-    double cost = static_cast<double>(m_new);
-    if (idle == 0) return cost + alpha_ * std::max(0, m_new - m_prev);
-    const int carried = std::min(m_prev, m_new);
-    const double carry_unit = std::min(static_cast<double>(idle), alpha_);
-    return cost + carried * carry_unit + alpha_ * (m_new - carried);
-  }
-
-  // W(t1, t2, k, q, l1, l2): min over schedules and active profiles of
-  // sum over t in (t1, t2] of m(t) + alpha * Delta(t), with m(t1) = l1,
-  // m(t2) = l2, q ancestor jobs at t2.
-  double solve(std::size_t i1, std::size_t i2, std::size_t k, int q, int l1,
-               int l2) {
-    const std::uint64_t key = dp::pack_state(i1, i2, k, q, l1, l2);
-    if (const auto* hit = memo_.find(key)) return hit->value;
-
-    const Time t1 = ctx_.theta[i1];
-    const Time t2 = ctx_.theta[i2];
-    double best = kInf;
-    dp::Choice choice;
-
-    if (i1 == i2) {
-      // Point window: q ancestors + k own jobs at t1 need l1 active slots.
-      if (l1 == l2 && q + static_cast<int>(k) <= l1 && l1 <= p_) {
-        best = 0.0;
-        choice.kind = dp::Choice::Kind::kBasePoint;
-      }
-    } else if (k == 0) {
-      // Empty window: optimal bridging between l1 active at t1 and l2
-      // active at t2 (the q <= l2 ancestor jobs at t2 fit inside l2).
-      if (q <= l2) {
-        best = step_cost(l1, l2, t2 - t1 - 1);
-        choice.kind = dp::Choice::Kind::kBaseEmpty;
-      }
-    } else {
-      const std::vector<std::size_t> jobs = ctx_.job_set(t1, t2, k);
-      if (jobs.size() == k) {
-        const std::size_t jk = jobs.back();
-        const Time lo = std::max(t1, ctx_.inst->jobs[jk].release());
-        const Time hi = std::min(t2, ctx_.inst->jobs[jk].deadline());
-        auto first = std::lower_bound(ctx_.theta.begin(), ctx_.theta.end(), lo);
-        for (auto it = first; it != ctx_.theta.end() && *it <= hi; ++it) {
-          const std::size_t idx =
-              static_cast<std::size_t>(it - ctx_.theta.begin());
-          if (!ctx_.is_core[idx]) continue;
-          const Time tp = *it;
-          if (tp == t2) {
-            if (l2 >= q + 1) {
-              const double w = solve(i1, i2, k - 1, q + 1, l1, l2);
-              if (w < best) {
-                best = w;
-                choice = {dp::Choice::Kind::kAtRightEdge, idx, 0, 0, 0};
-              }
-            }
-            continue;
-          }
-          std::size_t right_jobs = 0;
-          for (std::size_t x = 0; x + 1 < k; ++x) {
-            if (ctx_.inst->jobs[jobs[x]].release() > tp) ++right_jobs;
-          }
-          const std::size_t left_jobs = k - 1 - right_jobs;
-          const std::size_t ridx = idx + 1;
-          if (ridx >= ctx_.theta.size() || ctx_.theta[ridx] != tp + 1) {
-            continue;
-          }
-          for (int lp = 1; lp <= p_; ++lp) {
-            const double left = solve(i1, idx, left_jobs, 1, l1, lp);
-            if (left == kInf) continue;
-            for (int ldp = 0; ldp <= p_; ++ldp) {
-              const double right = solve(ridx, i2, right_jobs, q, ldp, l2);
-              if (right == kInf) continue;
-              // Glue owns time tp+1: its active units plus its wake-ups.
-              const double glue = ldp + alpha_ * std::max(0, ldp - lp);
-              const double total = left + glue + right;
-              if (total < best) {
-                best = total;
-                choice = {dp::Choice::Kind::kSplit, idx, right_jobs, lp, ldp};
-              }
-            }
-          }
-        }
-      }
-    }
-
-    memo_.insert(key, best, choice);
-    return best;
-  }
-
-  void reconstruct(std::size_t i1, std::size_t i2, std::size_t k, int q,
-                   int l1, int l2, Schedule& out) {
-    const std::uint64_t key = dp::pack_state(i1, i2, k, q, l1, l2);
-    const dp::Choice& c = memo_.find(key)->choice;
-    const Time t1 = ctx_.theta[i1];
-    const Time t2 = ctx_.theta[i2];
-    switch (c.kind) {
-      case dp::Choice::Kind::kBasePoint: {
-        for (std::size_t j : ctx_.job_set(t1, t2, k)) out.place(j, t1);
-        return;
-      }
-      case dp::Choice::Kind::kBaseEmpty:
-        return;
-      case dp::Choice::Kind::kAtRightEdge: {
-        const std::vector<std::size_t> jobs = ctx_.job_set(t1, t2, k);
-        out.place(jobs.back(), t2);
-        reconstruct(i1, i2, k - 1, q + 1, l1, l2, out);
-        return;
-      }
-      case dp::Choice::Kind::kSplit: {
-        const std::vector<std::size_t> jobs = ctx_.job_set(t1, t2, k);
-        out.place(jobs.back(), ctx_.theta[c.tprime_idx]);
-        reconstruct(i1, c.tprime_idx, k - 1 - c.right_jobs, 1, l1, c.lprime,
-                    out);
-        reconstruct(c.tprime_idx + 1, i2, c.right_jobs, q, c.ldprime, l2, out);
-        return;
-      }
-    }
-  }
-
-  dp::DpContext ctx_;
-  int p_;
-  double alpha_;
-  dp::MemoTable<double> memo_;
-};
-
-}  // namespace
-
-PowerDpResult solve_power_dp(const Instance& inst, double alpha) {
-  Solver solver(inst, alpha);
+  dp::DpContext ctx(inst);
   // Reject before the first pack_state call (see solve_gap_dp).
-  if (std::string diag = solver.limit_violation(); !diag.empty()) {
+  if (std::string diag = ctx.limit_violation(); !diag.empty()) {
     PowerDpResult rejected;
     rejected.error = std::move(diag);
     return rejected;
   }
-  return solver.run();
+  dp::PowerPolicy policy;
+  policy.alpha = alpha;
+  dp::DpRun<dp::PowerPolicy> run = dp::run_dp(ctx, policy, opts);
+  PowerDpResult out;
+  out.feasible = run.feasible;
+  if (run.feasible) {
+    out.power = run.value;
+    out.schedule = std::move(run.schedule);
+  } else {
+    out.schedule = Schedule(inst.n());
+  }
+  out.states = run.states;
+  out.memo = run.memo;
+  return out;
+}
+
+PowerDpResult solve_power_dp(const Instance& inst, double alpha) {
+  return solve_power_dp(inst, alpha, dp::DpOptions{});
 }
 
 }  // namespace gapsched

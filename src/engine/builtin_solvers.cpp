@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "gapsched/baptiste/baptiste.hpp"
+#include "gapsched/dp/dp_common.hpp"
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/dp/power_dp.hpp"
 #include "gapsched/engine/registry.hpp"
@@ -34,6 +35,30 @@ class BuiltinSolver : public Solver {
  private:
   SolverInfo info_;
 };
+
+/// Execution options for the Theorem 1/2 DP solvers: default layout/pruning
+/// plus the dedicated DP worker pool, so dense components parallelize their
+/// top-level candidate scan even when dispatched from the engine's own
+/// fanout workers (dp_pool() is a separate pool precisely to make that
+/// nesting safe).
+dp::DpOptions dp_options() {
+  dp::DpOptions opts;
+  opts.pool = &dp::dp_pool();
+  return opts;
+}
+
+/// Folds a component solve's memo diagnostics into the request's stats.
+void fold_memo_stats(SolveStats& stats, const dp::MemoStats& memo) {
+  if (memo.layout == dp::MemoLayout::kArena) {
+    ++stats.memo_arena_solves;
+  } else {
+    ++stats.memo_hash_solves;
+  }
+  if (memo.parallel) ++stats.memo_parallel_solves;
+  stats.memo_find_calls += memo.find_calls;
+  stats.memo_probe_steps += memo.probe_steps;
+  stats.memo_pruned += memo.pruned;
+}
 
 SolveResult gap_result(bool feasible, std::int64_t transitions,
                        Schedule schedule) {
@@ -76,18 +101,21 @@ class GapDpSolver final : public BuiltinSolver {
                        .requires_one_interval = true,
                        // No max_n: the prep decomposition can shrink far
                        // larger sparse instances under the DP's per-
-                       // component packed-key limits (n <= 255,
-                       // |Theta| < 2^16), which solve_gap_dp enforces.
-                       .max_processors = 255}) {}
+                       // component packed-key limits (n <= dp::kMaxDpJobs,
+                       // |Theta| < dp::kMaxThetaSize), which solve_gap_dp
+                       // enforces.
+                       .max_processors =
+                           static_cast<int>(dp::kMaxDpProcessors)}) {}
 
   SolveResult do_solve(const SolveRequest& req) const override {
-    GapDpResult r = solve_gap_dp(req.instance);
+    GapDpResult r = solve_gap_dp(req.instance, dp_options());
     // Packed-state limit rejection (post-decomposition: a single component
-    // is genuinely too big for the DP's 64-bit memo keys).
+    // is genuinely too big for the DP's packed memo keys).
     if (!r.error.empty()) return SolveResult::rejected(std::move(r.error));
     SolveResult out = gap_result(r.feasible, r.transitions,
                                  std::move(r.schedule));
     out.stats.states = r.states;
+    fold_memo_stats(out.stats, r.memo);
     return out;
   }
 };
@@ -214,14 +242,17 @@ class PowerDpSolver final : public BuiltinSolver {
                        .complexity = "O(n^7 p^5)",
                        .exact = true,
                        .requires_one_interval = true,
-                       .max_processors = 255,
+                       .max_processors =
+                           static_cast<int>(dp::kMaxDpProcessors),
                        .params = kUsesAlpha}) {}
 
   SolveResult do_solve(const SolveRequest& req) const override {
-    PowerDpResult r = solve_power_dp(req.instance, req.params.alpha);
+    PowerDpResult r =
+        solve_power_dp(req.instance, req.params.alpha, dp_options());
     if (!r.error.empty()) return SolveResult::rejected(std::move(r.error));
     SolveResult out = power_result(r.feasible, r.power, std::move(r.schedule));
     out.stats.states = r.states;
+    fold_memo_stats(out.stats, r.memo);
     return out;
   }
 };

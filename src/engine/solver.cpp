@@ -372,6 +372,12 @@ SolveResult Solver::solve_decomposed(const SolveRequest& request,
     for (std::size_t c : *group) {
       out.stats.states += parts[c].stats.states;
       out.stats.nodes += parts[c].stats.nodes;
+      out.stats.memo_arena_solves += parts[c].stats.memo_arena_solves;
+      out.stats.memo_hash_solves += parts[c].stats.memo_hash_solves;
+      out.stats.memo_parallel_solves += parts[c].stats.memo_parallel_solves;
+      out.stats.memo_find_calls += parts[c].stats.memo_find_calls;
+      out.stats.memo_probe_steps += parts[c].stats.memo_probe_steps;
+      out.stats.memo_pruned += parts[c].stats.memo_pruned;
     }
   }
   if (!out.feasible) return out;

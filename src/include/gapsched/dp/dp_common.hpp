@@ -12,16 +12,23 @@
 //
 // Scheduling times t' for the split job jk range over *core* candidate times
 // (Prop 2.1 neighbourhoods); window seams t'+1 live in the +1 closure.
+//
+// Two memo layouts back the recursion (selected per solve, see
+// dp_engine.hpp): the open-addressing MemoTable keyed on the 128-bit packed
+// StateKey, and a dense direct-indexed ArenaMemo over the state box.
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gapsched/core/candidate_times.hpp"
 #include "gapsched/core/instance.hpp"
+#include "gapsched/dp/dp_stats.hpp"
 
 namespace gapsched::dp {
 
@@ -43,11 +50,46 @@ constexpr std::int64_t add_sat(std::int64_t a, std::int64_t b) {
                                                               : a + b;
 }
 
-/// Capacity limits of the packed 64-bit state key (pack_state): window
-/// indices i1/i2 get 16 bits each, and k/q/l1/l2 get 8 bits each.
-constexpr std::size_t kMaxThetaSize = std::size_t{1} << 16;
-constexpr std::size_t kMaxDpJobs = 255;
-constexpr int kMaxDpProcessors = 255;
+/// Bit widths of the packed 128-bit state key (StateKey): the two window
+/// indices i1/i2 get kThetaIndexBits each, and k/q/l1/l2 get kCountBits
+/// each. Every capacity limit below derives from these widths, so the
+/// limit text in limit_violation() cannot drift from the real key layout.
+constexpr unsigned kThetaIndexBits = 20;
+constexpr unsigned kCountBits = 12;
+
+constexpr std::size_t kMaxThetaSize = std::size_t{1} << kThetaIndexBits;
+constexpr std::size_t kMaxDpJobs = (std::size_t{1} << kCountBits) - 1;
+constexpr int kMaxDpProcessors = (1 << kCountBits) - 1;
+
+/// Packed 2x64-bit state key: i1 | i2 | k in the high word (20+20+12 bits)
+/// and q | l1 | l2 in the low word (12+12+12 bits). Limits
+/// (|theta| < 2^20, n <= 4095, p <= 4095) are enforced by
+/// DpContext::limit_violation(), which every Theorem 1/2 solver checks
+/// before its first pack_state call — an oversized instance would alias
+/// keys and silently return wrong optima.
+struct StateKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const StateKey& a, const StateKey& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const StateKey& a, const StateKey& b) {
+    return !(a == b);
+  }
+};
+
+inline StateKey pack_state(std::size_t i1, std::size_t i2, std::size_t k,
+                           int q, int l1, int l2) {
+  StateKey key;
+  key.hi = (static_cast<std::uint64_t>(i1) << (kThetaIndexBits + kCountBits)) |
+           (static_cast<std::uint64_t>(i2) << kCountBits) |
+           static_cast<std::uint64_t>(k);
+  key.lo = (static_cast<std::uint64_t>(q) << (2 * kCountBits)) |
+           (static_cast<std::uint64_t>(l1) << kCountBits) |
+           static_cast<std::uint64_t>(l2);
+  return key;
+}
 
 /// Immutable per-solve context: deadline-sorted jobs and the candidate-time
 /// axis with core flags.
@@ -59,6 +101,10 @@ struct DpContext {
   std::vector<Time> theta;
   /// is_core[i]: theta[i] is a legal scheduling time (Prop 2.1 core).
   std::vector<char> is_core;
+  /// release/deadline of by_deadline[x], flattened so the hot job-set scan
+  /// reads two contiguous arrays instead of chasing Job objects.
+  std::vector<Time> release_bd;
+  std::vector<Time> deadline_bd;
 
   explicit DpContext(const Instance& instance) : inst(&instance) {
     assert(instance.is_one_interval() &&
@@ -71,6 +117,12 @@ struct DpContext {
                 const Time db = instance.jobs[b].deadline();
                 return da != db ? da < db : a < b;
               });
+    release_bd.reserve(instance.n());
+    deadline_bd.reserve(instance.n());
+    for (std::size_t j : by_deadline) {
+      release_bd.push_back(instance.jobs[j].release());
+      deadline_bd.push_back(instance.jobs[j].deadline());
+    }
     theta = candidate_times(instance, /*plus_one_closure=*/true);
     const std::vector<Time> core = candidate_times(instance, false);
     is_core.assign(theta.size(), 0);
@@ -81,12 +133,13 @@ struct DpContext {
     }
   }
 
-  /// Non-empty diagnostic when the instance exceeds the pack_state key
-  /// capacity (|theta| < 2^16, n <= 255, p <= 255). Solving past these
-  /// limits silently aliases memo keys and returns wrong optima, so the
-  /// Theorem 1/2 solvers reject instead. The engine's prep decomposition
-  /// usually shrinks components far below the limits before they bind, so
-  /// a rejection means a single cluster is genuinely too big.
+  /// Non-empty diagnostic when the instance exceeds the StateKey bit-field
+  /// capacity (|theta| < 2^20, n <= 4095, p <= 4095 — all derived from
+  /// kThetaIndexBits / kCountBits). Solving past these limits silently
+  /// aliases memo keys and returns wrong optima, so the Theorem 1/2
+  /// solvers reject instead. The engine's prep decomposition usually
+  /// shrinks components far below the limits before they bind, so a
+  /// rejection means a single cluster is genuinely too big.
   std::string limit_violation() const {
     if (theta.size() >= kMaxThetaSize) {
       return "candidate-time axis has " + std::to_string(theta.size()) +
@@ -117,57 +170,66 @@ struct DpContext {
   std::vector<std::size_t> job_set(Time t1, Time t2, std::size_t k) const {
     std::vector<std::size_t> out;
     out.reserve(k);
-    for (std::size_t j : by_deadline) {
-      if (out.size() == k) break;
-      const Time a = inst->jobs[j].release();
-      if (t1 <= a && a <= t2) out.push_back(j);
-    }
+    fill_job_set(t1, t2, k, out);
     return out;
+  }
+
+  /// Allocation-free job_set: fills `out` with positions into by_deadline
+  /// (not original job ids) so callers can read release_bd/deadline_bd
+  /// directly. The recursion reuses per-depth scratch vectors through this.
+  void fill_job_positions(Time t1, Time t2, std::size_t k,
+                          std::vector<std::size_t>& out) const {
+    out.clear();
+    for (std::size_t x = 0; x < release_bd.size(); ++x) {
+      if (out.size() == k) break;
+      const Time a = release_bd[x];
+      if (t1 <= a && a <= t2) out.push_back(x);
+    }
+  }
+
+ private:
+  void fill_job_set(Time t1, Time t2, std::size_t k,
+                    std::vector<std::size_t>& out) const {
+    for (std::size_t x = 0; x < release_bd.size(); ++x) {
+      if (out.size() == k) break;
+      const Time a = release_bd[x];
+      if (t1 <= a && a <= t2) out.push_back(by_deadline[x]);
+    }
   }
 };
 
-/// Packed 64-bit state key. Limits: |theta| < 2^16, n <= 255, p <= 255 —
-/// enforced by DpContext::limit_violation(), which every Theorem 1/2 solver
-/// checks before its first pack_state call (an oversized instance would
-/// otherwise alias keys and silently return wrong optima).
-inline std::uint64_t pack_state(std::size_t i1, std::size_t i2, std::size_t k,
-                                int q, int l1, int l2) {
-  return (static_cast<std::uint64_t>(i1) << 48) |
-         (static_cast<std::uint64_t>(i2) << 32) |
-         (static_cast<std::uint64_t>(k) << 24) |
-         (static_cast<std::uint64_t>(q) << 16) |
-         (static_cast<std::uint64_t>(l1) << 8) |
-         static_cast<std::uint64_t>(l2);
-}
-
 /// How the optimum of a state was achieved, for schedule reconstruction.
+/// Kept trivial (no default member initializers) and 12 bytes wide so the
+/// arena can leave its choice plane uninitialized; always value-initialize
+/// (`Choice c{};`) at construction sites.
 struct Choice {
   enum class Kind : std::uint8_t {
+    kBaseEmpty,   // k == 0 (the all-zero default, matching value-init)
     kBasePoint,   // t1 == t2, all k jobs there
-    kBaseEmpty,   // k == 0
     kAtRightEdge, // jk at t' == t2, recurse (k-1, q+1)
     kSplit,       // jk at t' < t2, left/right children
   };
-  Kind kind = Kind::kBaseEmpty;
-  std::size_t tprime_idx = 0;  // index into theta (kAtRightEdge/kSplit)
-  std::size_t right_jobs = 0;  // i = jobs released after t' (kSplit)
-  int lprime = 0;              // occupancy/active at t' (kSplit)
-  int ldprime = 0;             // occupancy/active at t'+1 (kSplit)
+  std::uint32_t tprime_idx; // index into theta (kAtRightEdge/kSplit)
+  std::uint16_t right_jobs; // jobs released after t' (kSplit); < n <= 4095
+  std::int16_t lprime;      // occupancy/active at t' (kSplit)
+  std::int16_t ldprime;     // occupancy/active at t'+1 (kSplit)
+  Kind kind;
 };
+static_assert(sizeof(Choice) <= 12, "Choice packing regressed");
 
 /// Memoization table shared by the Theorem 1/2 solvers: an insert-only
 /// open-addressing hash map from packed state keys to (value, Choice), i.e.
-/// one probe serves both the memo hit and the later reconstruction walk
-/// (the previous layout paid two std::unordered_map node lookups per state).
+/// one probe serves both the memo hit and the later reconstruction walk.
 /// Linear probing over a power-of-two slot array of plain structs keeps the
-/// hot path allocation-free and cache-friendly.
+/// hot path allocation-free and cache-friendly. Serial only — the parallel
+/// candidate scan requires the (lock-free) ArenaMemo below.
 template <class Value>
 class MemoTable {
  public:
   struct Entry {
-    std::uint64_t key = 0;
+    StateKey key;
     Value value{};
-    Choice choice;
+    Choice choice{};
   };
 
   explicit MemoTable(std::size_t expected = 0) {
@@ -189,34 +251,40 @@ class MemoTable {
 
   std::size_t size() const { return size_; }
 
+  /// Linear-probe steps beyond the home slot, summed over all find()s —
+  /// the collision cost the dense arena layout eliminates.
+  std::uint64_t probe_steps() const { return probe_steps_; }
+
   /// Entry for `key`, or nullptr. The pointer is invalidated by insert().
-  const Entry* find(std::uint64_t key) const {
+  const Entry* find(const StateKey& key) const {
     const std::size_t mask = slots_.size() - 1;
     for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
       if (!used_[i]) return nullptr;
       if (slots_[i].key == key) return &slots_[i];
+      ++probe_steps_;
     }
   }
 
   /// Inserts a new entry; `key` must not be present.
-  void insert(std::uint64_t key, const Value& value, const Choice& choice) {
+  void insert(const StateKey& key, const Value& value, const Choice& choice) {
     if ((size_ + 1) * 10 > slots_.size() * 7) grow();
     place(key, value, choice);
     ++size_;
   }
 
  private:
-  /// splitmix64 finalizer. pack_state keys share long runs of equal high
-  /// bits within one solve; full-avalanche mixing spreads them across the
-  /// table so probe chains stay short.
-  static std::uint64_t mix(std::uint64_t x) {
+  /// splitmix64 finalizer over a fold of both words. pack_state keys share
+  /// long runs of equal bits within one solve; full-avalanche mixing
+  /// spreads them across the table so probe chains stay short.
+  static std::uint64_t mix(const StateKey& key) {
+    std::uint64_t x = key.lo ^ (key.hi * 0x9e3779b97f4a7c15ull);
     x += 0x9e3779b97f4a7c15ull;
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
     return x ^ (x >> 31);
   }
 
-  void place(std::uint64_t key, const Value& value, const Choice& choice) {
+  void place(const StateKey& key, const Value& value, const Choice& choice) {
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = mix(key) & mask;
     while (used_[i]) i = (i + 1) & mask;
@@ -239,6 +307,96 @@ class MemoTable {
   std::vector<Entry> slots_;
   std::vector<char> used_;
   std::size_t size_ = 0;
+  mutable std::uint64_t probe_steps_ = 0;
+};
+
+/// Dense direct-indexed memo over the state box
+///   [i_base, i_base + extent) ^ 2  x  [0, k_max]  x  [0, q_max]
+///   x  [0, l_max] ^ 2
+/// chosen when the box volume fits DpOptions::arena_max_entries. A lookup
+/// is one mixed-radix index computation and one byte load — no hashing, no
+/// probing, no growth.
+///
+/// Concurrency: safe for the parallel candidate scan. A per-entry byte
+/// flag moves 0 (absent) -> 1 (claimed, via CAS) -> 2 (published, release
+/// store); readers acquire-load the flag and treat anything below 2 as
+/// absent, recomputing instead of waiting. Both DPs compute a pure
+/// function of the state, so a lost claim race only duplicates work and
+/// every published value is identical — answers stay deterministic.
+template <class Value>
+class ArenaMemo {
+ public:
+  ArenaMemo(std::size_t i_base, std::size_t extent, std::size_t k_max,
+            int q_max, int l_max)
+      : i_base_(i_base),
+        d_q_(static_cast<std::uint64_t>(q_max) + 1),
+        d_l_(static_cast<std::uint64_t>(l_max) + 1),
+        stride_k_(d_q_ * d_l_ * d_l_),
+        stride_i2_(stride_k_ * (static_cast<std::uint64_t>(k_max) + 1)),
+        stride_i1_(stride_i2_ * extent),
+        volume_(stride_i1_ * extent),
+        flags_(new std::atomic<std::uint8_t>[volume_]()),
+        values_(new Value[volume_]),
+        choices_(new Choice[volume_]) {}
+
+  std::uint64_t volume() const { return volume_; }
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  bool find(std::size_t i1, std::size_t i2, std::size_t k, int q, int l1,
+            int l2, Value* value) const {
+    const std::uint64_t at = index(i1, i2, k, q, l1, l2);
+    if (flags_[at].load(std::memory_order_acquire) != 2) return false;
+    *value = values_[at];
+    return true;
+  }
+
+  void insert(std::size_t i1, std::size_t i2, std::size_t k, int q, int l1,
+              int l2, const Value& value, const Choice& choice) {
+    const std::uint64_t at = index(i1, i2, k, q, l1, l2);
+    std::uint8_t expected = 0;
+    if (!flags_[at].compare_exchange_strong(expected, 1,
+                                            std::memory_order_acq_rel)) {
+      // Another worker claimed this state; its (identical) value wins.
+      return;
+    }
+    values_[at] = value;
+    choices_[at] = choice;
+    flags_[at].store(2, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Choice of a published state (reconstruction walk; serial, after the
+  /// solve has completed).
+  const Choice& choice_at(std::size_t i1, std::size_t i2, std::size_t k,
+                          int q, int l1, int l2) const {
+    const std::uint64_t at = index(i1, i2, k, q, l1, l2);
+    assert(flags_[at].load(std::memory_order_acquire) == 2);
+    return choices_[at];
+  }
+
+ private:
+  std::uint64_t index(std::size_t i1, std::size_t i2, std::size_t k, int q,
+                      int l1, int l2) const {
+    assert(i1 >= i_base_ && i2 >= i_base_);
+    const std::uint64_t at =
+        (i1 - i_base_) * stride_i1_ + (i2 - i_base_) * stride_i2_ +
+        k * stride_k_ +
+        (static_cast<std::uint64_t>(q) * d_l_ +
+         static_cast<std::uint64_t>(l1)) *
+            d_l_ +
+        static_cast<std::uint64_t>(l2);
+    assert(at < volume_);
+    return at;
+  }
+
+  std::size_t i_base_;
+  std::uint64_t d_q_, d_l_;
+  std::uint64_t stride_k_, stride_i2_, stride_i1_;
+  std::uint64_t volume_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> flags_;
+  std::unique_ptr<Value[]> values_;
+  std::unique_ptr<Choice[]> choices_;
+  std::atomic<std::size_t> size_{0};
 };
 
 }  // namespace gapsched::dp

@@ -9,7 +9,9 @@
 // reachable states are materialized; the paper's bound is O(n^5 p^3) states
 // and O(n^7 p^5) time, and the exactness experiment (T1) checks the solver
 // against brute force while the scaling experiment (F1) measures the actual
-// reachable-state counts.
+// reachable-state counts. The execution layer (dp_engine.hpp) selects a
+// dense arena or hash memo per solve, prunes dominated candidate branches,
+// and can parallelize the top-level candidate scan — all answer-preserving.
 //
 // p = 1 reproduces Baptiste's algorithm [Bap06] (see baptiste/baptiste.hpp).
 
@@ -17,6 +19,7 @@
 #include <string>
 
 #include "gapsched/core/schedule.hpp"
+#include "gapsched/dp/dp_stats.hpp"
 
 namespace gapsched {
 
@@ -28,16 +31,24 @@ struct GapDpResult {
   Schedule schedule;
   /// Number of memoized DP states (for the F1 scaling experiment).
   std::size_t states = 0;
+  /// Memo layout/pruning diagnostics of this solve.
+  dp::MemoStats memo;
   /// Non-empty when the instance exceeds the DP's packed-state key limits
-  /// (|Theta| < 2^16, n <= 255, p <= 255): no solve was attempted and
-  /// `feasible` is meaningless. Solving anyway would silently alias memo
-  /// keys and return wrong optima.
+  /// (|Theta| < 2^20, n <= 4095, p <= 4095 — dp::kMaxThetaSize /
+  /// kMaxDpJobs / kMaxDpProcessors): no solve was attempted and `feasible`
+  /// is meaningless. Solving anyway would silently alias memo keys and
+  /// return wrong optima.
   std::string error;
 };
 
 /// Solves multiprocessor gap scheduling exactly. Requires a one-interval
 /// instance; rejects (GapDpResult::error) instances over the packed-state
-/// limits n <= 255, p <= 255, |Theta| < 2^16.
+/// limits dp::kMaxDpJobs / kMaxDpProcessors / kMaxThetaSize.
 GapDpResult solve_gap_dp(const Instance& inst);
+
+/// As above with explicit execution options (memo layout, pruning,
+/// parallel candidate-scan pool). Every option combination returns
+/// bit-identical answers; only speed and diagnostics differ.
+GapDpResult solve_gap_dp(const Instance& inst, const dp::DpOptions& opts);
 
 }  // namespace gapsched

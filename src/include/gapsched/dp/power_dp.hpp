@@ -8,11 +8,14 @@
 // counts (>= the job counts, which the q mechanism bounds at window edges),
 // the value adds 1 per active processor-time unit and alpha per wake-up, and
 // the empty-window base case uses the closed-form optimal bridging
-// min_x [ x * idle + (l2 - x) * alpha ].
+// min_x [ x * idle + (l2 - x) * alpha ]. Shares the execution layer
+// (dp_engine.hpp) with Theorem 1: arena/hash memo selection, dominance
+// pruning, optional parallel top-level scan.
 
 #include <string>
 
 #include "gapsched/core/schedule.hpp"
+#include "gapsched/dp/dp_stats.hpp"
 
 namespace gapsched {
 
@@ -25,15 +28,25 @@ struct PowerDpResult {
   Schedule schedule;
   /// Number of memoized DP states.
   std::size_t states = 0;
+  /// Memo layout/pruning diagnostics of this solve.
+  dp::MemoStats memo;
   /// Non-empty when the instance exceeds the DP's packed-state key limits
-  /// (|Theta| < 2^16, n <= 255, p <= 255): no solve was attempted and
-  /// `feasible` is meaningless.
+  /// (|Theta| < 2^20, n <= 4095, p <= 4095 — dp::kMaxThetaSize /
+  /// kMaxDpJobs / kMaxDpProcessors): no solve was attempted and `feasible`
+  /// is meaningless.
   std::string error;
 };
 
-/// Solves multiprocessor power minimization exactly. Requires a one-interval
-/// instance and alpha >= 0; rejects (PowerDpResult::error) instances over
-/// the packed-state limits n <= 255, p <= 255, |Theta| < 2^16.
+/// Solves multiprocessor power minimization exactly. Requires a
+/// one-interval instance and alpha >= 0; rejects (PowerDpResult::error)
+/// instances over the packed-state limits dp::kMaxDpJobs /
+/// kMaxDpProcessors / kMaxThetaSize.
 PowerDpResult solve_power_dp(const Instance& inst, double alpha);
+
+/// As above with explicit execution options (memo layout, pruning,
+/// parallel candidate-scan pool). Every option combination returns
+/// bit-identical answers; only speed and diagnostics differ.
+PowerDpResult solve_power_dp(const Instance& inst, double alpha,
+                             const dp::DpOptions& opts);
 
 }  // namespace gapsched

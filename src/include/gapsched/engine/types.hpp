@@ -125,6 +125,22 @@ struct SolveStats {
   /// compression, summed over components (0 when compression did not run
   /// or found nothing to truncate).
   std::int64_t dead_time_removed = 0;
+
+  // DP memo-layer diagnostics (Theorem 1/2 execution layer), summed over
+  // components. Process-local only: deliberately NOT serialized on the
+  // io/json wire — they describe how this process computed the answer,
+  // not the answer itself.
+  /// Component solves whose state box was dense enough for the flat arena
+  /// memo / that fell back to the packed-key hash table.
+  std::size_t memo_arena_solves = 0;
+  std::size_t memo_hash_solves = 0;
+  /// Component solves whose top-level candidate scan ran on a thread pool.
+  std::size_t memo_parallel_solves = 0;
+  /// Memo lookups, hash probe-chain steps (0 for arena solves), and
+  /// candidate branches cut by the dominance prunes.
+  std::uint64_t memo_find_calls = 0;
+  std::uint64_t memo_probe_steps = 0;
+  std::uint64_t memo_pruned = 0;
 };
 
 /// Uniform outcome of a dispatch.

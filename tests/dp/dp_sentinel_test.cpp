@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
-#include <unordered_map>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -15,6 +15,7 @@
 #include "gapsched/dp/power_dp.hpp"
 #include "gapsched/exact/brute_force.hpp"
 #include "gapsched/gen/generators.hpp"
+#include "gapsched/oracle/oracle.hpp"
 #include "gapsched/util/prng.hpp"
 #include "../support/test_seed.hpp"
 
@@ -118,33 +119,35 @@ TEST(NearInfeasible, TightCombsMatchBruteForce) {
 
 TEST(MemoTable, MatchesUnorderedMapReference) {
   dp::MemoTable<std::int64_t> table;
-  std::unordered_map<std::uint64_t, std::int64_t> reference;
+  // pack_state now yields a 128-bit StateKey; mirror it as an ordered map
+  // over the (hi, lo) pair.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t> reference;
   const std::uint64_t seed = testing::seed_for(400);
   GAPSCHED_TRACE_SEED(seed);
   Prng rng(seed);
   // Enough inserts to force many growth rehashes past the small initial
   // capacity, with structured keys like the DP produces.
   for (int i = 0; i < 20000; ++i) {
-    const std::uint64_t key =
+    const dp::StateKey key =
         dp::pack_state(rng.index(300), rng.index(300), rng.index(40),
                        static_cast<int>(rng.index(4)),
                        static_cast<int>(rng.index(5)),
                        static_cast<int>(rng.index(5)));
     const std::int64_t value = static_cast<std::int64_t>(rng.index(1 << 20));
-    if (reference.emplace(key, value).second) {
-      dp::Choice choice;
-      choice.tprime_idx = static_cast<std::size_t>(value);
+    if (reference.emplace(std::make_pair(key.hi, key.lo), value).second) {
+      dp::Choice choice{};
+      choice.tprime_idx = static_cast<std::uint32_t>(value);
       table.insert(key, value, choice);
     }
   }
   EXPECT_EQ(table.size(), reference.size());
   for (const auto& [key, value] : reference) {
-    const auto* entry = table.find(key);
+    const auto* entry = table.find(dp::StateKey{key.first, key.second});
     ASSERT_NE(entry, nullptr);
     EXPECT_EQ(entry->value, value);
-    EXPECT_EQ(entry->choice.tprime_idx, static_cast<std::size_t>(value));
+    EXPECT_EQ(entry->choice.tprime_idx, static_cast<std::uint32_t>(value));
   }
-  EXPECT_EQ(table.find(~0ull), nullptr);
+  EXPECT_EQ(table.find(dp::StateKey{~0ull, ~0ull}), nullptr);
   EXPECT_EQ(table.find(dp::pack_state(301, 0, 0, 0, 0, 0)), nullptr);
 }
 
@@ -177,30 +180,35 @@ TEST(MemoTable, ModestHintsStillPreallocate) {
   // test above).
   dp::MemoTable<std::int64_t> table(5000);
   for (std::uint64_t k = 0; k < 5000; ++k) {
-    table.insert(k, static_cast<std::int64_t>(k), dp::Choice{});
+    table.insert(dp::StateKey{k, ~k}, static_cast<std::int64_t>(k),
+                 dp::Choice{});
   }
   EXPECT_EQ(table.size(), 5000u);
-  EXPECT_EQ(table.find(4999)->value, 4999);
+  EXPECT_EQ(table.find(dp::StateKey{4999, ~std::uint64_t{4999}})->value, 4999);
 }
 
 // ------------------------------------------------- packed-key limit guard --
 
-// |Theta| past 2^16 used to alias pack_state keys silently (i1/i2 get 16
-// bits each): distinct DP states collided in the memo and the solver
-// returned whatever the first-inserted state computed — wrong optima with
-// no diagnostic. The guard must reject before the first pack_state call.
+// |Theta| past 2^20 would alias pack_state keys silently (i1/i2 get
+// dp::kThetaIndexBits bits each in the 128-bit key): distinct DP states
+// would collide in the memo and the solver would return whatever the
+// first-inserted state computed — wrong optima with no diagnostic. The
+// guard must reject before the first pack_state call.
 TEST(PackedKeyGuard, OversizedThetaIsRejectedNotCorrupted) {
-  // 255 jobs with wide, chained-overlap windows: every consecutive pair
-  // overlaps (one cluster, nothing for prep to cut) and the Prop 2.1
-  // candidate axis exceeds 2^16 entries.
+  // 2100 jobs with wide, chained-overlap windows: every consecutive pair
+  // overlaps (one cluster, nothing for prep to cut), the merged Prop 2.1
+  // candidate axis covers the whole ~2100*520 span and exceeds 2^20
+  // entries, while n stays under the 4095 job limit so the Theta
+  // diagnostic is the one that fires.
   std::vector<std::pair<Time, Time>> windows;
-  for (int j = 0; j < 255; ++j) {
+  for (int j = 0; j < 2100; ++j) {
     const Time lo = static_cast<Time>(j) * 520;
     windows.emplace_back(lo, lo + 600);
   }
   const Instance inst = Instance::one_interval(windows);
   dp::DpContext ctx(inst);
   ASSERT_GE(ctx.theta.size(), dp::kMaxThetaSize);
+  ASSERT_LE(inst.n(), dp::kMaxDpJobs);
 
   const GapDpResult gap = solve_gap_dp(inst);
   EXPECT_FALSE(gap.error.empty());
@@ -215,30 +223,93 @@ TEST(PackedKeyGuard, OversizedThetaIsRejectedNotCorrupted) {
 }
 
 TEST(PackedKeyGuard, JobAndProcessorLimitsAreEnforced) {
-  // n over 255 (windows overlap so prep cannot help a direct call).
+  // n over 4095 (windows overlap so prep cannot help a direct call; the
+  // chained windows keep |Theta| ~ n, far under the Theta limit, so the
+  // job-limit diagnostic is the one that fires).
   Instance many;
   many.processors = 1;
-  for (int j = 0; j < 256; ++j) {
+  for (int j = 0; j < 4096; ++j) {
     many.jobs.push_back(Job{TimeSet::window(j, j + 1)});
   }
   const GapDpResult over_n = solve_gap_dp(many);
   EXPECT_FALSE(over_n.error.empty());
   EXPECT_NE(over_n.error.find("job limit"), std::string::npos) << over_n.error;
 
-  // p over 255.
+  // p over 4095.
   Instance wide = Instance::one_interval({{0, 3}, {1, 4}});
-  wide.processors = 256;
+  wide.processors = 4096;
   const GapDpResult over_p = solve_gap_dp(wide);
   EXPECT_FALSE(over_p.error.empty());
   EXPECT_NE(over_p.error.find("processor limit"), std::string::npos)
       << over_p.error;
 
   // At the limits the DP still runs (sanity: the guard is strict, not
-  // off-by-one): p = 255 with two loose jobs is trivially feasible.
-  wide.processors = 255;
+  // off-by-one): p = 4095 with two loose jobs is trivially feasible.
+  wide.processors = 4095;
   const GapDpResult at_p = solve_gap_dp(wide);
   EXPECT_TRUE(at_p.error.empty());
   EXPECT_TRUE(at_p.feasible);
+}
+
+// The widened packed key must be honest at its corners: an instance at
+// exactly n = kMaxDpJobs solves and audits clean, one past is rejected.
+// The seed engine's 8-bit job axis rejected everything past n = 255.
+TEST(PackedKeyGuard, ExactJobMaximumSolvesAndAuditsOnePastRejected) {
+  std::vector<std::pair<Time, Time>> windows;
+  windows.reserve(dp::kMaxDpJobs);
+  for (std::size_t j = 0; j < dp::kMaxDpJobs; ++j) {
+    windows.emplace_back(static_cast<Time>(j), static_cast<Time>(j));
+  }
+  const Instance inst = Instance::one_interval(windows);
+
+  const GapDpResult gap = solve_gap_dp(inst);
+  ASSERT_TRUE(gap.error.empty()) << gap.error;
+  ASSERT_TRUE(gap.feasible);
+  EXPECT_EQ(gap.transitions, 1);  // one unbroken busy span
+  const oracle::ScheduleAudit gap_audit = oracle::audit_schedule(inst, gap.schedule);
+  EXPECT_TRUE(gap_audit.valid) << gap_audit.violation_summary();
+  EXPECT_TRUE(gap_audit.complete);
+  EXPECT_EQ(gap_audit.transitions, gap.transitions);
+
+  const double alpha = 2.0;
+  const PowerDpResult power = solve_power_dp(inst, alpha);
+  ASSERT_TRUE(power.error.empty()) << power.error;
+  ASSERT_TRUE(power.feasible);
+  // n active units plus one wake-up.
+  EXPECT_DOUBLE_EQ(power.power, static_cast<double>(dp::kMaxDpJobs) + alpha);
+  const oracle::ScheduleAudit power_audit =
+      oracle::audit_schedule(inst, power.schedule);
+  ASSERT_TRUE(power_audit.valid) << power_audit.violation_summary();
+  EXPECT_DOUBLE_EQ(power.power, oracle::min_power(power_audit, alpha));
+
+  // One past: rejected with the job-limit diagnostic, no solve attempted.
+  windows.emplace_back(static_cast<Time>(dp::kMaxDpJobs),
+                       static_cast<Time>(dp::kMaxDpJobs));
+  const GapDpResult over = solve_gap_dp(Instance::one_interval(windows));
+  EXPECT_FALSE(over.error.empty());
+  EXPECT_NE(over.error.find("job limit"), std::string::npos) << over.error;
+  EXPECT_EQ(over.states, 0u);
+}
+
+// An n > 255 one-cluster instance the seed engine rejected outright now
+// solves exactly and survives the independent oracle audit.
+TEST(PackedKeyGuard, FormerlyRejectedMidsizeInstanceSolvesExactly) {
+  std::vector<std::pair<Time, Time>> windows;
+  for (std::size_t j = 0; j < 300; ++j) {
+    // Slack-2 chain: feasible, optimum still one busy span.
+    windows.emplace_back(static_cast<Time>(j), static_cast<Time>(j) + 2);
+  }
+  const Instance inst = Instance::one_interval(windows);
+  ASSERT_GT(inst.n(), 255u);  // the seed's packed-key ceiling
+
+  const GapDpResult gap = solve_gap_dp(inst);
+  ASSERT_TRUE(gap.error.empty()) << gap.error;
+  ASSERT_TRUE(gap.feasible);
+  EXPECT_EQ(gap.transitions, 1);
+  const oracle::ScheduleAudit audit = oracle::audit_schedule(inst, gap.schedule);
+  EXPECT_TRUE(audit.valid) << audit.violation_summary();
+  EXPECT_TRUE(audit.complete);
+  EXPECT_EQ(audit.transitions, gap.transitions);
 }
 
 }  // namespace

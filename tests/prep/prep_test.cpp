@@ -327,12 +327,13 @@ TEST(Decompose, ThreadPoolFanoutMatchesClosedFormForLargeComponents) {
 }
 
 TEST(Decompose, UnlocksInstancesOverThePackedKeyJobLimit) {
-  // 300 pinned far-apart jobs: over the monolithic DP's n <= 255 packed-key
-  // limit, but trivially solvable once decomposed. With the pipeline off,
-  // the guard must reject cleanly instead of aliasing memo keys.
+  // 4200 pinned far-apart jobs: over the monolithic DP's n <= 4095
+  // packed-key limit, but trivially solvable once decomposed. With the
+  // pipeline off, the guard must reject cleanly instead of aliasing memo
+  // keys.
   std::vector<std::pair<Time, Time>> windows;
-  for (int i = 0; i < 300; ++i) {
-    const Time t = static_cast<Time>(i) * 400;
+  for (int i = 0; i < 4200; ++i) {
+    const Time t = static_cast<Time>(i) * 5000;  // spacing > n so prep cuts
     windows.emplace_back(t, t);
   }
   const Instance inst = Instance::one_interval(windows);
@@ -341,8 +342,8 @@ TEST(Decompose, UnlocksInstancesOverThePackedKeyJobLimit) {
       engine_solve("gap_dp", request(inst, Objective::kGaps));
   ASSERT_TRUE(on.ok) << on.error;
   ASSERT_TRUE(on.feasible);
-  EXPECT_EQ(on.stats.components, 300u);
-  EXPECT_EQ(on.transitions, 300);
+  EXPECT_EQ(on.stats.components, 4200u);
+  EXPECT_EQ(on.transitions, 4200);
   EXPECT_EQ(on.audit_error, "");
 
   const SolveResult off = engine_solve(
@@ -498,19 +499,21 @@ TEST(Compression, PowerCompressionOffIsHonoured) {
 
 TEST(Decompose, GuardFiresOnlyForOversizedSingleComponents) {
   // Three wide-window clusters whose joint candidate axis overflows the
-  // 16-bit theta index, while each cluster alone stays within every
-  // packed-key limit: decomposition is exactly what makes the instance
-  // solvable, and the guard checks components, not the whole.
+  // dp::kThetaIndexBits (2^20) theta index, while each cluster alone stays
+  // within every packed-key limit: decomposition is exactly what makes the
+  // instance solvable, and the guard checks components, not the whole.
+  // Each cluster spans ~700 * 520 candidate times, so the joint axis is
+  // ~1.09M >= 2^20 but each cluster's ~365k is comfortably under.
   std::vector<std::pair<Time, Time>> windows;
   for (int cluster = 0; cluster < 3; ++cluster) {
-    const Time base = static_cast<Time>(cluster) * 60000;
-    for (int j = 0; j < 85; ++j) {
+    const Time base = static_cast<Time>(cluster) * 400000;
+    for (int j = 0; j < 700; ++j) {
       const Time lo = base + static_cast<Time>(j) * 520;
       windows.emplace_back(lo, lo + 600);  // overlaps the next job's window
     }
   }
   const Instance inst = Instance::one_interval(windows);
-  ASSERT_EQ(inst.n(), 255u);
+  ASSERT_EQ(inst.n(), 2100u);
 
   // The monolithic axis is over the limit...
   dp::DpContext whole(inst);
@@ -522,7 +525,7 @@ TEST(Decompose, GuardFiresOnlyForOversizedSingleComponents) {
   EXPECT_FALSE(direct.feasible);
 
   // But every component the engine would cut is individually inside the
-  // limits (we do not run the component DPs here — 85 wide windows are
+  // limits (we do not run the component DPs here — 700 wide windows are
   // within capacity but far too slow for a unit test).
   const prep::Decomposition dec =
       prep::decompose(inst, static_cast<Time>(inst.n()));
