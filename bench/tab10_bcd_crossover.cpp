@@ -1,0 +1,271 @@
+// T10 — polynomial bcd solvers vs the exponential window DPs: the
+// crossover study backing the [BCD07] solver family.
+//
+// Section 1 (crossover, in-range): the poly_wide:<n> wide-window chains at
+// n = 8..20 are inside every solver's envelope, so both families answer and
+// must agree exactly (transitions equal, power within fp tolerance) — the
+// differential gate — while the wall-time ratio shows the window DPs'
+// per-slot candidate axis blowing up hundreds of times faster than the bcd
+// segment frontiers. The crossover is not a distant asymptote: it sits
+// below n = 8 on this shape.
+//
+// Section 2 (beyond the envelope): poly_scale / poly_wide at n = 100, 500,
+// 2000, bcd-only with full oracle audits (the engine holds the power family
+// to cost == oracle::min_power of its own schedule) plus the
+// cross-objective sandwich n + a <= power <= n + a*B_gap. The window DPs
+// are probed once, on poly_wide:2000, where they must REJECT: that draw is
+// one connected usable run of ~1.2M slots, past the 2^20 packed-key
+// candidate-time axis, with no dead run for the prep pipeline to cut. The
+// recorded rejection plus bcd's millisecond answer on the very same
+// instance is the acceptance pin of the polynomial-solver milestone.
+//
+// Everything lands in BENCH_tab10.json. Exit is non-zero when any
+// differential pair disagrees, any oracle audit refutes an answer, or the
+// expected envelope rejection fails to happen — the benchmark lane doubles
+// as a correctness gate, as with T9.
+
+#include "bench_common.hpp"
+#include "json_report.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "gapsched/engine/engine.hpp"
+#include "gapsched/scenarios/scenarios.hpp"
+
+using namespace gapsched;
+
+namespace {
+
+constexpr double kAlpha = 2.5;
+constexpr int kTrials = 3;
+
+bool power_close(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * (1.0 + std::abs(a) + std::abs(b));
+}
+
+}  // namespace
+
+int main(int, char** argv) {
+  bench::banner("T10 (bcd crossover)",
+                "polynomial [BCD07] solvers match the window DPs in range, "
+                "then keep answering where those reject (n = 2000 wide)");
+
+  engine::Engine eng({.cache = false});  // every solve timed for real
+  int failures = 0;
+
+  const auto solve = [&](const char* solver, const Instance& inst,
+                         engine::Objective objective) {
+    engine::SolveRequest req;
+    req.instance = inst;
+    req.objective = objective;
+    req.params.alpha = kAlpha;
+    req.params.validate = true;
+    return eng.solve(solver, req);
+  };
+
+  bench::Json report = bench::Json::object();
+  report.set("bench", "tab10_bcd_crossover")
+      .set("seed", bench::kSeed)
+      .set("alpha", kAlpha)
+      .set("trials", kTrials);
+
+  // ------------------------------------------- 1: in-range crossover --
+  std::cout << "=== crossover: window DPs vs bcd on poly_wide, in range "
+               "===\n\n";
+  Table xtable({"n", "gap_dp_ms", "bcd_gap_ms", "gap_x", "power_dp_ms",
+                "bcd_power_ms", "power_x", "agree"});
+  bench::Json xrows = bench::Json::array();
+  for (const std::size_t n :
+       {std::size_t{8}, std::size_t{12}, std::size_t{16}, std::size_t{20}}) {
+    const std::string name = "poly_wide:" + std::to_string(n);
+    double dp_gap_ms = 0, bcd_gap_ms = 0, dp_pow_ms = 0, bcd_pow_ms = 0;
+    bool agree = true;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const auto inst = scenarios::make_scenario(name, bench::kSeed + trial);
+      if (!inst) {
+        std::cerr << "T10: " << name << " failed to draw\n";
+        ++failures;
+        break;
+      }
+      const engine::SolveResult dg =
+          solve("gap_dp", *inst, engine::Objective::kGaps);
+      const engine::SolveResult bg =
+          solve("bcd_poly_gap", *inst, engine::Objective::kGaps);
+      const engine::SolveResult dp =
+          solve("power_dp", *inst, engine::Objective::kPower);
+      const engine::SolveResult bp =
+          solve("bcd_poly_power", *inst, engine::Objective::kPower);
+      for (const engine::SolveResult* r : {&dg, &bg, &dp, &bp}) {
+        if (!r->ok || !r->feasible || !r->audit_error.empty()) {
+          std::cerr << "T10: in-range solve failed on " << name << ": "
+                    << (r->ok ? (r->feasible ? r->audit_error : "infeasible")
+                              : r->error)
+                    << "\n";
+          ++failures;
+          agree = false;
+        }
+      }
+      if (!agree) continue;
+      if (bg.transitions != dg.transitions ||
+          !power_close(bp.cost, dp.cost)) {
+        std::cerr << "T10: bcd disagrees with the window DPs on " << name
+                  << " trial " << trial << "\n";
+        ++failures;
+        agree = false;
+      }
+      dp_gap_ms += dg.stats.wall_ms;
+      bcd_gap_ms += bg.stats.wall_ms;
+      dp_pow_ms += dp.stats.wall_ms;
+      bcd_pow_ms += bp.stats.wall_ms;
+    }
+    const double gap_x = bcd_gap_ms > 0 ? dp_gap_ms / bcd_gap_ms : 0;
+    const double power_x = bcd_pow_ms > 0 ? dp_pow_ms / bcd_pow_ms : 0;
+    xtable.row()
+        .add(n)
+        .add(dp_gap_ms, 2)
+        .add(bcd_gap_ms, 2)
+        .add(gap_x, 1)
+        .add(dp_pow_ms, 2)
+        .add(bcd_pow_ms, 2)
+        .add(power_x, 1)
+        .add(agree ? "yes" : "NO");
+    xrows.push(bench::Json::object()
+                   .set("scenario", name)
+                   .set("n", n)
+                   .set("gap_dp_ms", dp_gap_ms)
+                   .set("bcd_gap_ms", bcd_gap_ms)
+                   .set("gap_speedup", gap_x)
+                   .set("power_dp_ms", dp_pow_ms)
+                   .set("bcd_power_ms", bcd_pow_ms)
+                   .set("power_speedup", power_x)
+                   .set("agree", agree));
+  }
+  bench::emit(argv[0], xtable);
+
+  // ------------------------------------- 2: past the envelope, bcd only --
+  std::cout << "=== scale: bcd past the window DPs' envelope ===\n\n";
+  Table stable({"scenario", "n", "gap_ms", "gap_opt", "power_ms", "power_opt",
+                "states", "segments", "oracle"});
+  bench::Json srows = bench::Json::array();
+  for (const char* family : {"poly_scale", "poly_wide"}) {
+    for (const std::size_t n :
+         {std::size_t{100}, std::size_t{500}, std::size_t{2000}}) {
+      const std::string name =
+          std::string(family) + ":" + std::to_string(n);
+      double gap_ms = 0, pow_ms = 0, gap_opt = 0, pow_opt = 0;
+      std::size_t states = 0, segments = 0;
+      int audits = 0, audit_passes = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        const auto inst =
+            scenarios::make_scenario(name, bench::kSeed + trial);
+        if (!inst) {
+          std::cerr << "T10: " << name << " failed to draw\n";
+          ++failures;
+          break;
+        }
+        const engine::SolveResult g =
+            solve("bcd_poly_gap", *inst, engine::Objective::kGaps);
+        const engine::SolveResult p =
+            solve("bcd_poly_power", *inst, engine::Objective::kPower);
+        for (const engine::SolveResult* r : {&g, &p}) {
+          if (!r->ok || !r->feasible) {
+            std::cerr << "T10: bcd refused " << name << ": "
+                      << (r->ok ? "infeasible" : r->error) << "\n";
+            ++failures;
+            continue;
+          }
+          ++audits;
+          if (r->audit_error.empty()) {
+            ++audit_passes;
+          } else {
+            std::cerr << "T10: oracle refuted bcd on " << name << ": "
+                      << r->audit_error << "\n";
+            ++failures;
+          }
+        }
+        if (!g.ok || !p.ok || !g.feasible || !p.feasible) continue;
+        // Cross-objective sandwich: the only exact bound available up here.
+        const double dn = static_cast<double>(n);
+        const double ceiling =
+            dn + kAlpha * static_cast<double>(g.transitions) + 1e-9;
+        if (p.cost < dn + kAlpha - 1e-9 || p.cost > ceiling ||
+            p.transitions < g.transitions) {
+          std::cerr << "T10: cross-objective bounds broken on " << name
+                    << "\n";
+          ++failures;
+        }
+        gap_ms += g.stats.wall_ms;
+        pow_ms += p.stats.wall_ms;
+        gap_opt += static_cast<double>(g.transitions);
+        pow_opt += p.cost;
+        states += g.stats.states + p.stats.states;
+        segments += g.stats.nodes + p.stats.nodes;
+      }
+      stable.row()
+          .add(name)
+          .add(n)
+          .add(gap_ms, 2)
+          .add(gap_opt / kTrials, 2)
+          .add(pow_ms, 2)
+          .add(pow_opt / kTrials, 2)
+          .add(states / kTrials)
+          .add(segments / kTrials)
+          .add(std::to_string(audit_passes) + "/" + std::to_string(audits));
+      srows.push(bench::Json::object()
+                     .set("scenario", name)
+                     .set("n", n)
+                     .set("bcd_gap_ms", gap_ms)
+                     .set("gap_opt_mean", gap_opt / kTrials)
+                     .set("bcd_power_ms", pow_ms)
+                     .set("power_opt_mean", pow_opt / kTrials)
+                     .set("states_mean", states / kTrials)
+                     .set("segments_mean", segments / kTrials)
+                     .set("audits", audits)
+                     .set("audit_passes", audit_passes));
+    }
+  }
+  stable.print(std::cout);
+  std::cout << "\n";
+
+  // The envelope rejection pin: the window DPs must refuse poly_wide:2000
+  // (one connected ~1.2M-slot usable run, candidate axis past 2^20) while
+  // bcd answers the same instance through the same engine. The refusal is a
+  // cheap precheck — this probe costs microseconds, not a giant DP.
+  std::cout << "=== envelope: window DPs on poly_wide:2000 ===\n\n";
+  const auto wide = scenarios::make_scenario("poly_wide:2000", bench::kSeed);
+  bench::Json envelope = bench::Json::object();
+  if (!wide) {
+    std::cerr << "T10: poly_wide:2000 failed to draw\n";
+    ++failures;
+  } else {
+    const engine::SolveResult dg =
+        solve("gap_dp", *wide, engine::Objective::kGaps);
+    const engine::SolveResult dp =
+        solve("power_dp", *wide, engine::Objective::kPower);
+    for (const auto& [label, r] :
+         {std::pair<const char*, const engine::SolveResult*>{"gap_dp", &dg},
+          {"power_dp", &dp}}) {
+      if (r->ok) {
+        std::cerr << "T10: " << label
+                  << " unexpectedly accepted poly_wide:2000 — the envelope "
+                     "pin is stale\n";
+        ++failures;
+      }
+      std::cout << label << ": "
+                << (r->ok ? "ACCEPTED (pin stale)" : r->error) << "\n";
+      envelope.set(label, bench::Json::object()
+                              .set("rejected", !r->ok)
+                              .set("error", r->error));
+    }
+    std::cout << "\n";
+  }
+
+  report.set("crossover", std::move(xrows))
+      .set("scale", std::move(srows))
+      .set("envelope", std::move(envelope))
+      .set("failures", failures);
+  bench::emit_json("tab10", report);
+
+  return failures == 0 ? 0 : 1;
+}

@@ -2,14 +2,12 @@
 
 #include <utility>
 
-#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/bcd/bcd.hpp"
 
 namespace gapsched {
 
 BaptisteResult solve_baptiste(const Instance& inst) {
-  Instance single = inst;
-  single.processors = 1;
-  GapDpResult r = solve_gap_dp(single);
+  BcdGapResult r = solve_bcd_gap(inst);
   BaptisteResult out;
   out.error = std::move(r.error);
   out.feasible = r.feasible;

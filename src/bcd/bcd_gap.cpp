@@ -1,0 +1,39 @@
+#include "gapsched/bcd/bcd.hpp"
+
+#include <utility>
+
+namespace gapsched {
+
+BcdGapResult solve_bcd_gap(const Instance& inst,
+                           const bcd::BcdOptions& opts) {
+  BcdGapResult out;
+  if (inst.n() == 0) {
+    out.feasible = true;
+    out.schedule = Schedule(0);
+    return out;
+  }
+  bcd::BcdEngine<bcd::GapSeamPolicy> engine(inst, bcd::GapSeamPolicy{}, opts);
+  if (!engine.run()) {
+    out.error = engine.error();
+    out.schedule = Schedule(inst.n());
+    return out;
+  }
+  out.feasible = engine.feasible();
+  out.states = engine.states();
+  out.entries = engine.entries_kept();
+  if (out.feasible) {
+    // Internal cost counts interior gaps; on one processor each busy block
+    // is one sleep->active transition, so blocks = interior gaps + 1.
+    out.transitions = engine.cost() + 1;
+    out.schedule = engine.extract_schedule();
+  } else {
+    out.schedule = Schedule(inst.n());
+  }
+  return out;
+}
+
+BcdGapResult solve_bcd_gap(const Instance& inst) {
+  return solve_bcd_gap(inst, bcd::BcdOptions{});
+}
+
+}  // namespace gapsched

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "gapsched/baptiste/baptiste.hpp"
+#include "gapsched/bcd/bcd.hpp"
 #include "gapsched/dp/dp_common.hpp"
 #include "gapsched/dp/gap_dp.hpp"
 #include "gapsched/dp/power_dp.hpp"
@@ -120,14 +121,44 @@ class GapDpSolver final : public BuiltinSolver {
   }
 };
 
+class BcdPolyGapSolver final : public BuiltinSolver {
+ public:
+  BcdPolyGapSolver()
+      : BuiltinSolver({.name = "bcd_poly_gap",
+                       .objective = Objective::kGaps,
+                       .summary = "polynomial single-processor gap DP "
+                                  "(release-class decomposition)",
+                       .paper_ref = "[BCD07] arXiv:0908.3505",
+                       .complexity = "poly: O(n^3) states, reachability-"
+                                     "driven",
+                       .exact = true,
+                       .requires_one_interval = true,
+                       .max_processors = 1}) {}
+
+  SolveResult do_solve(const SolveRequest& req) const override {
+    BcdGapResult r = solve_bcd_gap(req.instance);
+    // Shape guard or state/entry budget valve: an honest rejection, never a
+    // partial answer.
+    if (!r.error.empty()) return SolveResult::rejected(std::move(r.error));
+    SolveResult out = gap_result(r.feasible, r.transitions,
+                                 std::move(r.schedule));
+    out.stats.states = r.states;
+    out.stats.nodes = r.entries;
+    return out;
+  }
+};
+
 class BaptisteSolver final : public BuiltinSolver {
  public:
   BaptisteSolver()
       : BuiltinSolver({.name = "baptiste",
                        .objective = Objective::kGaps,
-                       .summary = "exact single-processor gap DP [Bap06]",
-                       .paper_ref = "baseline of Theorem 1 (Section 1)",
-                       .complexity = "O(n^7)",
+                       .summary = "alias of bcd_poly_gap: polynomial "
+                                  "single-processor gap DP [Bap06 problem]",
+                       .paper_ref = "[BCD07] arXiv:0908.3505 (baseline of "
+                                    "Theorem 1, Section 1)",
+                       .complexity = "poly: O(n^3) states, reachability-"
+                                     "driven",
                        .exact = true,
                        .requires_one_interval = true,
                        .max_processors = 1}) {}
@@ -231,6 +262,31 @@ class OnlineEdfSolver final : public BuiltinSolver {
 };
 
 // --------------------------------------------------------- power solvers --
+
+class BcdPolyPowerSolver final : public BuiltinSolver {
+ public:
+  BcdPolyPowerSolver()
+      : BuiltinSolver({.name = "bcd_poly_power",
+                       .objective = Objective::kPower,
+                       .summary = "polynomial single-processor min-energy DP "
+                                  "(release-class decomposition)",
+                       .paper_ref = "[BCD07] arXiv:0908.3505",
+                       .complexity = "poly: O(n^3) states, reachability-"
+                                     "driven",
+                       .exact = true,
+                       .requires_one_interval = true,
+                       .max_processors = 1,
+                       .params = kUsesAlpha}) {}
+
+  SolveResult do_solve(const SolveRequest& req) const override {
+    BcdPowerResult r = solve_bcd_power(req.instance, req.params.alpha);
+    if (!r.error.empty()) return SolveResult::rejected(std::move(r.error));
+    SolveResult out = power_result(r.feasible, r.power, std::move(r.schedule));
+    out.stats.states = r.states;
+    out.stats.nodes = r.entries;
+    return out;
+  }
+};
 
 class PowerDpSolver final : public BuiltinSolver {
  public:
@@ -353,6 +409,8 @@ class RestartGreedySolver final : public BuiltinSolver {
 
 void register_builtin_solvers(SolverRegistry& registry) {
   registry.add(std::make_unique<GapDpSolver>());
+  registry.add(std::make_unique<BcdPolyGapSolver>());
+  registry.add(std::make_unique<BcdPolyPowerSolver>());
   registry.add(std::make_unique<BaptisteSolver>());
   registry.add(std::make_unique<BruteForceSolver>());
   registry.add(std::make_unique<SpanSearchSolver>());

@@ -1,11 +1,14 @@
 #pragma once
-// Baptiste's algorithm [Bap06]: exact single-processor gap scheduling for
+// Baptiste's problem [Bap06]: exact single-processor gap scheduling for
 // one-interval unit jobs — the baseline the paper builds Theorem 1 on.
 //
-// The paper's multiprocessor DP instantiated at p = 1 *is* Baptiste's
-// dynamic program (the q / l1 / l2 indices collapse to {0, 1}); this module
-// is the single-processor entry point with the interface downstream users
-// expect (spans / interior gaps rather than multiprocessor transitions).
+// Historically this module forwarded to the exponential Theorem 1 window DP
+// restricted to p = 1. It now runs the polynomial Baptiste-Chrobak-Durr
+// algorithm (src/bcd, [BCD07] arXiv:0908.3505) — same answers wherever both
+// are in range, but live at n in the thousands — and keeps the interface
+// downstream users expect (spans / interior gaps rather than multiprocessor
+// transitions). The registry's `baptiste` family is an alias of
+// `bcd_poly_gap` through this entry point.
 
 #include <cstdint>
 #include <string>
@@ -21,8 +24,8 @@ struct BaptisteResult {
   /// Interior gaps between spans: spans - 1 (0 when infeasible/empty).
   std::int64_t gaps = 0;
   Schedule schedule;
-  /// Non-empty when the underlying DP rejected the instance over its
-  /// packed-state key limits; `feasible` is then meaningless.
+  /// Non-empty when the underlying DP refused the instance (shape guard or
+  /// state/entry budget valve); `feasible` is then meaningless.
   std::string error;
 };
 

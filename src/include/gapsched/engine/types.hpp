@@ -98,9 +98,11 @@ struct BatchJob {
 struct SolveStats {
   /// Wall time of the underlying solver call (excludes request validation).
   double wall_ms = 0.0;
-  /// Memoized DP states (Theorem 1/2 DPs) — the F1 scaling measurement.
+  /// Memoized DP states (Theorem 1/2 DPs; bcd_poly_* subproblem count) —
+  /// the F1 scaling measurement.
   std::size_t states = 0;
-  /// Search nodes expanded (span search).
+  /// Search nodes expanded (span search); Pareto table cells kept
+  /// (bcd_poly_* families).
   std::size_t nodes = 0;
   /// Jobs scheduled. Equals n for complete schedules; the objective value
   /// for the (partial-schedule) throughput solvers.

@@ -81,13 +81,30 @@ inline constexpr Time kStretchMinRun = 4;
 /// catalog family.
 inline constexpr Time kMaxStretchFactor = 1'000'000;
 
+/// Largest `poly_scale:<n>` / `poly_wide:<n>` job count. Big enough for
+/// the n = 2000 crossover studies with headroom, small enough that a
+/// mistyped name cannot allocate absurd instances.
+inline constexpr std::size_t kMaxPolyScaleJobs = 5000;
+
 /// Convenience: draw catalog scenario `name` with `seed`; nullopt when the
-/// name is unknown. Beyond the static catalog, the dynamic wrapper
-/// "stretched:<k>:<base>" (k >= 1) draws `base` and dilates every interior
-/// dead run of length >= kStretchMinRun by k — the time-dilation families
-/// the capped power compression must be invariant against. Wrappers
-/// compose with seeds everywhere a scenario name is accepted, e.g.
-/// `solver_cli power_dp scenario:stretched:8:power_longhaul:7`.
+/// name is unknown. Beyond the static catalog, two dynamic forms are
+/// accepted:
+///   * "stretched:<k>:<base>" (k >= 1) draws `base` and dilates every
+///     interior dead run of length >= kStretchMinRun by k — the
+///     time-dilation families the capped power compression must be
+///     invariant against;
+///   * "poly_scale:<n>" (1 <= n <= kMaxPolyScaleJobs) draws the poly_chain
+///     shape at size n — the scaling axis for the polynomial bcd solvers,
+///     kept out of the static catalog so catalog-wide sweeps never feed
+///     thousand-job draws to the exponential families;
+///   * "poly_wide:<n>" (same bounds) draws the wide-window companion: one
+///     connected run of usable time ~600 slots per job, so by n = 2000 the
+///     distinct candidate-time mass overflows the exponential window DPs'
+///     2^20 theta limit (a genuine envelope rejection) while the bcd
+///     segment frontiers stay width-independent.
+/// Wrappers compose with seeds everywhere a scenario name is accepted, e.g.
+/// `solver_cli power_dp scenario:stretched:8:power_longhaul:7` or
+/// `solver_cli bcd_poly_gap scenario:poly_scale:2000:7`.
 std::optional<Instance> make_scenario(std::string_view name,
                                       std::uint64_t seed);
 

@@ -212,6 +212,72 @@ Instance make_mega_mixed(std::uint64_t seed) {
   return Instance::one_interval(windows);
 }
 
+/// Scaling chain for the polynomial bcd solvers: anchors march right in
+/// mostly unit steps with occasional sleep-worthy holes (> typical alpha),
+/// windows widen a little on both sides so releases collide into shared
+/// classes and deadlines locally invert — the shapes that exercise the
+/// bcd release-class splits. Feasible by construction (job j at its anchor;
+/// anchors are strictly increasing). Used both by the small static
+/// `poly_chain` family and the dynamic `poly_scale:<n>` names that address
+/// sizes far beyond the exponential DPs' envelopes.
+Instance make_poly_scale(std::size_t n, std::uint64_t seed) {
+  Prng rng(mix(seed, 43));
+  Instance inst;
+  inst.processors = 1;
+  Time t = rng.uniform(0, 3);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Time lead = rng.uniform(0, 2);
+    const Time tail = 1 + rng.uniform(0, 3);
+    inst.jobs.push_back(
+        Job{TimeSet::window(std::max<Time>(0, t - lead), t + tail)});
+    t += rng.uniform(0, 9) == 0 ? 5 + rng.uniform(0, 4) : 1;
+  }
+  return inst;
+}
+
+/// Wide-window companion to make_poly_scale: anchors march in kWideStride
+/// steps and every window spans at least two strides, so the union of
+/// windows is one connected run of usable time with no dead run anywhere —
+/// nothing for the prep compression to shrink or the decomposition to cut.
+/// The covered mass is ~n * kWideStride distinct candidate times: by
+/// n = 2000 that overflows the exponential window DPs' 2^20 packed-key
+/// theta axis, while the bcd families' segment frontiers never see the
+/// width at all. Feasible by construction (job j at its anchor; anchors
+/// strictly increase by more than the jitter).
+Instance make_poly_wide(std::size_t n, std::uint64_t seed) {
+  constexpr Time kWideStride = 600;
+  Prng rng(mix(seed, 47));
+  Instance inst;
+  inst.processors = 1;
+  for (std::size_t j = 0; j < n; ++j) {
+    const Time anchor =
+        static_cast<Time>(j) * kWideStride + rng.uniform(0, kWideStride / 2);
+    const Time lead = rng.uniform(0, kWideStride / 2);
+    const Time tail = 2 * kWideStride + rng.uniform(0, kWideStride / 4);
+    inst.jobs.push_back(Job{
+        TimeSet::window(std::max<Time>(0, anchor - lead), anchor + tail)});
+  }
+  return inst;
+}
+
+/// Parses "<prefix><n>" (1 <= n <= kMaxPolyScaleJobs) for the dynamically
+/// sized families. Returns true and fills n on a well-formed name.
+bool parse_sized_family(std::string_view name, std::string_view prefix,
+                        std::size_t* n) {
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  const std::string_view digits = name.substr(prefix.size());
+  if (digits.empty()) return false;
+  std::size_t jobs = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    jobs = jobs * 10 + static_cast<std::size_t>(c - '0');
+    if (jobs > kMaxPolyScaleJobs) return false;
+  }
+  if (jobs < 1) return false;
+  *n = jobs;
+  return true;
+}
+
 /// Parses one "stretched:<k>:" layer off the front of `name`. Returns true
 /// and fills k/base on a well-formed layer.
 bool parse_stretched(std::string_view name, Time* k, std::string_view* base) {
@@ -358,6 +424,13 @@ ScenarioCatalog::ScenarioCatalog() {
            "(mixed feasible/infeasible mega-batches)",
            make_mega_mixed);
   add(std::move(s));
+
+  s = wrap("poly_chain",
+           "small draw of the poly_scale chain (shared release classes, "
+           "local deadline inversions); scales via poly_scale:<n>",
+           [](std::uint64_t seed) { return make_poly_scale(12, seed); });
+  s.always_feasible = true;
+  add(std::move(s));
 }
 
 const ScenarioCatalog& ScenarioCatalog::instance() {
@@ -411,6 +484,18 @@ std::optional<Instance> make_scenario(std::string_view name,
     std::optional<Instance> inner = make_scenario(spec, seed);
     if (!inner.has_value()) return std::nullopt;
     return stretch_dead_time(*inner, combined, kStretchMinRun);
+  }
+  // The dynamic scaling families: "poly_scale:<n>" draws the poly_chain
+  // shape and "poly_wide:<n>" its wide-window companion at any size up to
+  // kMaxPolyScaleJobs. Deliberately NOT in the static catalog: catalog-wide
+  // sweeps run every registered family, and at these sizes the exponential
+  // exact solvers would hang (poly_scale) or reject (poly_wide) rather
+  // than answer.
+  if (std::size_t jobs = 0; parse_sized_family(name, "poly_scale:", &jobs)) {
+    return make_poly_scale(jobs, seed);
+  }
+  if (std::size_t jobs = 0; parse_sized_family(name, "poly_wide:", &jobs)) {
+    return make_poly_wide(jobs, seed);
   }
   const Scenario* s = ScenarioCatalog::instance().find(name);
   if (s == nullptr) return std::nullopt;

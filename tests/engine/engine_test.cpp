@@ -58,6 +58,7 @@ TEST(Registry, ListsEveryFamily) {
   const std::set<std::string> got(names.begin(), names.end());
   const std::set<std::string> want = {
       "gap_dp",      "power_dp",         "baptiste",
+      "bcd_poly_gap", "bcd_poly_power",
       "brute_force", "power_brute_force", "span_search",
       "fhkn_greedy", "lazy",             "powermin_approx",
       "restart_greedy", "online_edf",    "online_powerdown"};

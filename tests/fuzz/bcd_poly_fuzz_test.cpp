@@ -1,0 +1,242 @@
+// Fuzz families for the polynomial bcd solvers ([BCD07]): randomized
+// differential against the exponential window DPs wherever those are in
+// range, and oracle-anchored self-consistency on chain draws far past the
+// window DPs' envelope (n into the thousands, wide-window mixes).
+//
+//   * in-range: bcd_poly_gap/bcd_poly_power must agree with
+//     solve_gap_dp/solve_power_dp on feasibility and the exact optimum, on
+//     both narrow uniform draws (mixed feasibility) and wide-window chains
+//     (the segment-frontier coalescing paths),
+//   * poly-only: feasible-by-construction chains at n in the hundreds to
+//     thousands, where the invariants are the independent oracle audit
+//     (validity, completeness, exact transition/power accounting) and the
+//     cross-objective bounds n + alpha <= power <= n + alpha * B_gap.
+//
+// A failing draw is shrunk to a locally minimal repro by job bisection and
+// reported with the serialized instance and the seed that replays it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gapsched/bcd/bcd.hpp"
+#include "gapsched/dp/dp_common.hpp"
+#include "gapsched/dp/gap_dp.hpp"
+#include "gapsched/dp/power_dp.hpp"
+#include "gapsched/gen/generators.hpp"
+#include "gapsched/io/serialize.hpp"
+#include "gapsched/oracle/oracle.hpp"
+#include "gapsched/util/prng.hpp"
+#include "fuzz_support.hpp"
+
+namespace gapsched {
+namespace {
+
+constexpr double kAlpha = 2.5;
+
+bool power_close(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * (1.0 + std::abs(a) + std::abs(b));
+}
+
+/// In-range differential: the polynomial families vs the exponential window
+/// DPs, plus the oracle on every bcd schedule. "" when all agree.
+std::string check_bcd_vs_window_dps(const Instance& inst) {
+  if (!dp::DpContext(inst).limit_violation().empty()) {
+    return "";  // outside the window DPs' envelope: no reference here
+  }
+  const GapDpResult ref = solve_gap_dp(inst);
+  const BcdGapResult got = solve_bcd_gap(inst);
+  if (!got.error.empty()) return "bcd gap refused the draw: " + got.error;
+  if (got.feasible != ref.feasible) return "bcd gap flipped feasibility";
+  if (ref.feasible) {
+    if (got.transitions != ref.transitions) {
+      return "bcd gap optimum " + std::to_string(got.transitions) +
+             " != window DP " + std::to_string(ref.transitions);
+    }
+    const oracle::ScheduleAudit audit =
+        oracle::audit_schedule(inst, got.schedule);
+    if (!audit.valid || !audit.complete) {
+      return "oracle rejected the bcd gap schedule: " +
+             audit.violation_summary();
+    }
+    if (audit.transitions != got.transitions) {
+      return "oracle transition count " + std::to_string(audit.transitions) +
+             " != bcd claim " + std::to_string(got.transitions);
+    }
+  }
+
+  const PowerDpResult pref = solve_power_dp(inst, kAlpha);
+  const BcdPowerResult ppoly = solve_bcd_power(inst, kAlpha);
+  if (!ppoly.error.empty()) return "bcd power refused the draw: " + ppoly.error;
+  if (ppoly.feasible != pref.feasible) return "bcd power flipped feasibility";
+  if (pref.feasible) {
+    if (!power_close(ppoly.power, pref.power)) {
+      return "bcd power optimum " + std::to_string(ppoly.power) +
+             " != window DP " + std::to_string(pref.power);
+    }
+    const oracle::ScheduleAudit audit =
+        oracle::audit_schedule(inst, ppoly.schedule);
+    if (!audit.valid || !audit.complete) {
+      return "oracle rejected the bcd power schedule: " +
+             audit.violation_summary();
+    }
+    const double floor = oracle::min_power(audit, kAlpha);
+    if (!power_close(floor, ppoly.power)) {
+      return "oracle floor " + std::to_string(floor) +
+             " disagrees with bcd power " + std::to_string(ppoly.power);
+    }
+  }
+  return "";
+}
+
+/// Poly-only invariant for draws past the window DPs' practical range:
+/// oracle-audited answers with exact cost accounting and the
+/// cross-objective sandwich. Every family below draws feasible instances
+/// (and stays feasible under the shrinker's job drops), so a "feasible"
+/// verdict is also required.
+std::string check_poly_only(const Instance& inst) {
+  const BcdGapResult g = solve_bcd_gap(inst);
+  if (!g.error.empty()) return "bcd gap refused the draw: " + g.error;
+  if (!g.feasible) return "bcd gap called a feasible chain infeasible";
+  const oracle::ScheduleAudit ga = oracle::audit_schedule(inst, g.schedule);
+  if (!ga.valid || !ga.complete) {
+    return "oracle rejected the bcd gap schedule: " + ga.violation_summary();
+  }
+  if (ga.transitions != g.transitions) {
+    return "oracle transition count " + std::to_string(ga.transitions) +
+           " != bcd claim " + std::to_string(g.transitions);
+  }
+
+  const BcdPowerResult p = solve_bcd_power(inst, kAlpha);
+  if (!p.error.empty()) return "bcd power refused the draw: " + p.error;
+  if (!p.feasible) return "bcd power called a feasible chain infeasible";
+  const oracle::ScheduleAudit pa = oracle::audit_schedule(inst, p.schedule);
+  if (!pa.valid || !pa.complete) {
+    return "oracle rejected the bcd power schedule: " +
+           pa.violation_summary();
+  }
+  const double floor = oracle::min_power(pa, kAlpha);
+  if (!power_close(floor, p.power)) {
+    return "oracle floor " + std::to_string(floor) +
+           " disagrees with bcd power " + std::to_string(p.power);
+  }
+  // No schedule wakes up fewer than the gap optimum's B times, and every
+  // interior seam of the gap-optimal schedule costs at most alpha.
+  if (pa.transitions < g.transitions) {
+    return "power schedule undercuts the gap optimum's block count";
+  }
+  const double n = static_cast<double>(inst.n());
+  if (p.power < n + kAlpha - 1e-9 ||
+      p.power > n + kAlpha * static_cast<double>(g.transitions) + 1e-9) {
+    return "power optimum " + std::to_string(p.power) +
+           " escaped the [n + a, n + a*B_gap] sandwich";
+  }
+  return "";
+}
+
+// --------------------------------------------------------------- families --
+
+/// Narrow uniform one-interval draws, mixed feasibility.
+Instance draw_uniform_small(Prng& rng) {
+  const std::size_t n = 3 + rng.index(38);
+  const Time horizon = static_cast<Time>(n) + 2 + static_cast<Time>(rng.index(12));
+  return gen_uniform_one_interval(rng, n, horizon, 6, 1);
+}
+
+/// Wide-window chains still inside the window DPs' envelope: strides of
+/// tens of slots, windows spanning 2-3 strides — the shapes whose usable
+/// mass is orders of magnitude above n, exercising the segment frontiers'
+/// flat-run coalescing against the per-slot reference DP.
+Instance draw_wide_small(Prng& rng) {
+  const std::size_t n = 4 + rng.index(12);
+  const Time stride = 20 + static_cast<Time>(rng.index(40));
+  Instance inst;
+  inst.processors = 1;
+  for (std::size_t j = 0; j < n; ++j) {
+    const Time anchor =
+        static_cast<Time>(j) * stride + static_cast<Time>(rng.index(
+            static_cast<std::size_t>(stride) / 2));
+    const Time lead = static_cast<Time>(rng.index(
+        static_cast<std::size_t>(stride) / 2));
+    const Time tail = 2 * stride + static_cast<Time>(rng.index(
+        static_cast<std::size_t>(stride)));
+    inst.jobs.push_back(Job{
+        TimeSet::window(std::max<Time>(0, anchor - lead), anchor + tail)});
+  }
+  return inst;
+}
+
+/// Feasible chains at poly-only sizes: anchors strictly increase, windows
+/// mix tight (a few slots) with occasional wider ones plus sleep-worthy
+/// holes — the poly_scale/poly_wide shapes with randomized proportions.
+/// Deadline inversions stay LOCAL (tails are bounded well below the
+/// anchor drift): chains with deep inversions at every scale multiply the
+/// release-band state space and are the budget valve's job to refuse, not
+/// this family's to draw. Dropping any job subset preserves feasibility.
+Instance draw_poly_large(Prng& rng) {
+  const std::size_t n = 400 + rng.index(1601);
+  Instance inst;
+  inst.processors = 1;
+  Time t = 2 + static_cast<Time>(rng.index(3));
+  for (std::size_t j = 0; j < n; ++j) {
+    if (rng.index(12) == 0) {
+      const Time lead = static_cast<Time>(rng.index(6));
+      const Time tail = 12 + static_cast<Time>(rng.index(20));
+      inst.jobs.push_back(
+          Job{TimeSet::window(std::max<Time>(0, t - lead), t + tail)});
+    } else {
+      const Time lead = static_cast<Time>(rng.index(2));
+      const Time tail = 1 + static_cast<Time>(rng.index(3));
+      inst.jobs.push_back(
+          Job{TimeSet::window(std::max<Time>(0, t - lead), t + tail)});
+    }
+    t += rng.index(9) == 0 ? 4 + static_cast<Time>(rng.index(6))
+                           : 1 + static_cast<Time>(rng.index(2));
+  }
+  return inst;
+}
+
+void sweep(const char* family, Instance (*draw)(Prng&),
+           const fuzz::Checker& check, int stream, std::size_t draws) {
+  for (std::size_t i = 0; i < draws; ++i) {
+    const std::uint64_t seed = testing::seed_for(
+        static_cast<std::uint64_t>(stream) * 1000 + i);
+    GAPSCHED_TRACE_SEED(seed);
+    SCOPED_TRACE(std::string(family) + " draw " + std::to_string(i));
+    Prng rng(seed);
+    const Instance inst = draw(rng);
+    const std::string diag = check(inst);
+    if (!diag.empty()) {
+      const Instance shrunk = fuzz::shrink_by_bisecting_jobs(inst, check);
+      FAIL() << diag << "\nseed " << seed << "\nshrunk repro (n = "
+             << shrunk.n() << "):\n" << instance_to_string(shrunk);
+    }
+  }
+}
+
+/// Large-draw budget, mirroring the dense DP suite's scaling.
+std::size_t big_draws() {
+  const std::size_t scaled = fuzz::iterations() / 20;
+  return scaled < 8 ? 8 : scaled;
+}
+
+TEST(BcdPolyFuzz, UniformSmallMatchesWindowDps) {
+  sweep("bcd_uniform_small", draw_uniform_small, check_bcd_vs_window_dps, 91,
+        fuzz::iterations());
+}
+
+TEST(BcdPolyFuzz, WideWindowsMatchWindowDps) {
+  // Each draw runs the per-slot window DPs over hundreds of candidate
+  // times; big-draw budget.
+  sweep("bcd_wide_small", draw_wide_small, check_bcd_vs_window_dps, 92,
+        big_draws());
+}
+
+TEST(BcdPolyFuzz, LargeChainsSurviveOracleAudit) {
+  sweep("bcd_poly_large", draw_poly_large, check_poly_only, 93, big_draws());
+}
+
+}  // namespace
+}  // namespace gapsched

@@ -27,7 +27,7 @@ TEST(ScenarioCatalog, HasTheExpectedFamilies) {
         "multi_interval_decoys", "unit_points", "online_adversarial",
         "nested_windows", "sparse_spread", "power_longhaul", "hall_critical",
         "staircase_multiproc", "infeasible_by_one", "overloaded_point",
-        "straddled_clusters", "mega_mixed"}) {
+        "straddled_clusters", "mega_mixed", "poly_chain"}) {
     EXPECT_TRUE(got.count(required)) << required;
   }
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
@@ -139,6 +139,106 @@ TEST(ScenarioCatalog, StretchedWrapperDilatesDeadRunsOnly) {
   const auto one = make_scenario("stretched:1:sparse_spread", 7);
   ASSERT_TRUE(one.has_value());
   EXPECT_EQ(instance_to_string(*one), instance_to_string(*base));
+}
+
+TEST(ScenarioCatalog, PolyScaleIsDynamicAndMatchesPolyChainShape) {
+  // Dynamic name only: the static catalog must never feed thousand-job
+  // draws to registry-wide sweeps that include the exponential solvers.
+  EXPECT_EQ(ScenarioCatalog::instance().find("poly_scale:100"), nullptr);
+
+  for (const std::size_t n : {std::size_t{1}, std::size_t{100},
+                              std::size_t{500}, std::size_t{2000}}) {
+    const auto inst = make_scenario("poly_scale:" + std::to_string(n), 7);
+    ASSERT_TRUE(inst.has_value()) << n;
+    EXPECT_EQ(inst->n(), n);
+    EXPECT_EQ(inst->processors, 1);
+    EXPECT_EQ(inst->validate(), "");
+    EXPECT_TRUE(inst->is_one_interval());
+  }
+  // Feasible by construction at every size and seed (anchors strictly
+  // increase); spot-check with the matching oracle at a bench-able size.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto inst = make_scenario("poly_scale:100", seed);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(is_feasible(*inst)) << "seed " << seed;
+  }
+  // The static poly_chain family is the same generator pinned at n = 12.
+  const auto chain = make_scenario("poly_chain", 7);
+  const auto scaled = make_scenario("poly_scale:12", 7);
+  ASSERT_TRUE(chain.has_value() && scaled.has_value());
+  EXPECT_EQ(instance_to_string(*chain), instance_to_string(*scaled));
+
+  // Deterministic per (name, seed); distinct across seeds.
+  const auto again = make_scenario("poly_scale:500", 3);
+  const auto same = make_scenario("poly_scale:500", 3);
+  ASSERT_TRUE(again.has_value() && same.has_value());
+  EXPECT_EQ(instance_to_string(*again), instance_to_string(*same));
+
+  // Malformed or out-of-range sizes are unknown names, not crashes.
+  EXPECT_FALSE(make_scenario("poly_scale:", 7).has_value());
+  EXPECT_FALSE(make_scenario("poly_scale:0", 7).has_value());
+  EXPECT_FALSE(make_scenario("poly_scale:x", 7).has_value());
+  EXPECT_FALSE(make_scenario("poly_scale:5001", 7).has_value());
+  EXPECT_FALSE(make_scenario("poly_scale:99999999999999999999", 7)
+                   .has_value());
+
+  // Composes under the stretch wrapper like any base family.
+  const auto stretched = make_scenario("stretched:3:poly_scale:50", 7);
+  ASSERT_TRUE(stretched.has_value());
+  EXPECT_EQ(stretched->n(), 50u);
+}
+
+TEST(ScenarioCatalog, PolyWideIsOneConnectedWideRun) {
+  // Dynamic-only, like poly_scale (never in catalog-wide sweeps).
+  EXPECT_EQ(ScenarioCatalog::instance().find("poly_wide:100"), nullptr);
+
+  for (const std::size_t n : {std::size_t{1}, std::size_t{20},
+                              std::size_t{2000}}) {
+    const auto inst = make_scenario("poly_wide:" + std::to_string(n), 7);
+    ASSERT_TRUE(inst.has_value()) << n;
+    EXPECT_EQ(inst->n(), n);
+    EXPECT_EQ(inst->processors, 1);
+    EXPECT_EQ(inst->validate(), "");
+    EXPECT_TRUE(inst->is_one_interval());
+  }
+
+  // The family's whole point: windows chain into ONE connected usable run
+  // (no dead run for the prep pipeline to compress or cut) whose length
+  // grows ~600 slots per job — past n ~ 1750 that alone overflows the
+  // exponential DPs' 2^20 candidate-time axis.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto inst = make_scenario("poly_wide:2000", seed);
+    ASSERT_TRUE(inst.has_value());
+    std::vector<std::pair<Time, Time>> windows;
+    for (const Job& job : inst->jobs) {
+      windows.push_back({job.release(), job.deadline()});
+    }
+    std::sort(windows.begin(), windows.end());
+    Time covered_hi = windows.front().second;
+    Time mass = 0;
+    for (const auto& [lo, hi] : windows) {
+      ASSERT_LE(lo, covered_hi + 1) << "hole before " << lo;
+      covered_hi = std::max(covered_hi, hi);
+      mass = covered_hi - windows.front().first + 1;
+    }
+    EXPECT_GT(mass, Time{1} << 20) << "seed " << seed;
+  }
+
+  // Feasible by construction at every seed; spot-check in range.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto inst = make_scenario("poly_wide:40", seed);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(is_feasible(*inst)) << "seed " << seed;
+  }
+
+  // Deterministic per (name, seed); malformed sizes are unknown names.
+  const auto a = make_scenario("poly_wide:50", 3);
+  const auto b = make_scenario("poly_wide:50", 3);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(instance_to_string(*a), instance_to_string(*b));
+  EXPECT_FALSE(make_scenario("poly_wide:", 7).has_value());
+  EXPECT_FALSE(make_scenario("poly_wide:0", 7).has_value());
+  EXPECT_FALSE(make_scenario("poly_wide:5001", 7).has_value());
 }
 
 }  // namespace
