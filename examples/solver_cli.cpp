@@ -67,7 +67,18 @@ int usage() {
             << "  --json           emit the result as the io/json.hpp JSON\n"
             << "                   response document (machine-readable)\n"
             << "  --cache-stats    print the engine's solve-cache tallies\n"
-            << "                   to stderr at exit\n"
+            << "                   and the per-stage pipeline counters\n"
+            << "                   (runs/skips/wall time per stage) to\n"
+            << "                   stderr at exit\n"
+            << "exit codes:\n"
+            << "  0  solved\n"
+            << "  1  infeasible (or the instance could not be loaded)\n"
+            << "  2  bad usage, unknown solver, or the engine rejected the\n"
+            << "     request (outside the solver's envelope)\n"
+            << "  3  the independent oracle REFUTED the answer under\n"
+            << "     --validate (a solver bug, not a bad request)\n"
+            << "  4  the solve exceeded --time-limit; the printed answer\n"
+            << "     is advisory\n"
             << "run 'solver_cli --list' for the registered solvers and\n"
             << "'solver_cli --scenarios' for the named workload families\n";
   return 2;
@@ -166,6 +177,16 @@ void print_cache_stats(const engine::Engine& eng) {
   std::cerr << "cache: " << s.hits << " hit(s) / " << s.misses
             << " miss(es), " << s.entries << " entrie(s), " << s.insertions
             << " insertion(s), " << s.evictions << " eviction(s)\n";
+  // Per-stage view of the same requests: which parts of the solve pipeline
+  // actually ran, and where the wall time went.
+  const engine::pipeline::PipelineStats p = eng.pipeline_stats();
+  std::cerr << "pipeline: " << p.requests << " request(s)\n";
+  for (std::size_t i = 0; i < engine::kPipelineStageCount; ++i) {
+    const engine::pipeline::StageTally& t = p.stages[i];
+    std::cerr << "  " << engine::to_string(static_cast<engine::PipelineStage>(i))
+              << ": " << t.runs << " run(s), " << t.skips << " skip(s), "
+              << t.total_ms << " ms\n";
+  }
 }
 
 }  // namespace

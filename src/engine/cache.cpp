@@ -86,6 +86,7 @@ void SolveCache::insert(const CacheKey& key, const SolveResult& result) {
   stored->stats.cache_hit = false;
   stored->stats.component_cache_hits = 0;
   stored->stats.components_deduped = 0;
+  stored->stats.stages = {};
   stored->timed_out = false;
   stored->audited = false;
   stored->audit_error.clear();

@@ -35,51 +35,29 @@ Engine::Engine(EngineOptions options)
       registry_(SolverRegistry::create_with_builtins()),
       cache_(options.cache
                  ? std::make_unique<SolveCache>(options.cache_capacity)
-                 : nullptr) {}
+                 : nullptr),
+      session_(std::make_unique<Session>(*registry_, cache_.get(),
+                                         options.threads)) {}
 
 Engine::~Engine() = default;
 
 SolveResult Engine::solve(std::string_view solver,
                           const SolveRequest& request) {
-  const Solver* s = registry_->find(solver);
-  if (s == nullptr) {
-    return SolveResult::rejected("unknown solver '" + std::string(solver) +
-                                 "'");
-  }
-  return solve(*s, request);
+  return session_->solve(solver, request);
 }
 
 SolveResult Engine::solve(const Solver& solver, const SolveRequest& request) {
-  return solver.solve(request, SolveHooks{cache_.get()});
+  return session_->solve(solver, request);
 }
 
 std::vector<SolveResult> Engine::solve_batch(
     const std::vector<BatchJob>& jobs) {
-  return solve_stream(jobs, nullptr);
+  return session_->solve_batch(jobs);
 }
 
 std::vector<SolveResult> Engine::solve_stream(
     const std::vector<BatchJob>& jobs, const StreamCallback& on_result) {
-  std::vector<SolveResult> results(jobs.size());
-  // Resolve solver names up front so every entry hits the registry once and
-  // worker threads only touch immutable Solver objects.
-  std::vector<const Solver*> solvers(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    solvers[i] = registry_->find(jobs[i].solver);
-  }
-  const SolveHooks hooks{cache_.get()};
-  std::mutex callback_mu;
-  parallel_for(batch_pool(), jobs.size(), [&](std::size_t i) {
-    results[i] = solvers[i] != nullptr
-                     ? solvers[i]->solve(jobs[i].request, hooks)
-                     : SolveResult::rejected("unknown solver '" +
-                                             jobs[i].solver + "'");
-    if (on_result) {
-      std::lock_guard<std::mutex> lk(callback_mu);
-      on_result(i, results[i]);
-    }
-  });
-  return results;
+  return session_->solve_stream(jobs, on_result);
 }
 
 CacheStats Engine::cache_stats() const {
@@ -88,14 +66,6 @@ CacheStats Engine::cache_stats() const {
 
 void Engine::clear_cache() {
   if (cache_ != nullptr) cache_->clear();
-}
-
-ThreadPool& Engine::batch_pool() {
-  std::lock_guard<std::mutex> lk(pool_mu_);
-  if (pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(options_.threads);
-  }
-  return *pool_;
 }
 
 }  // namespace gapsched::engine

@@ -1,146 +1,11 @@
 #include "gapsched/engine/solver.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <map>
-#include <optional>
-#include <string_view>
+#include <string>
 #include <utility>
-#include <vector>
 
-#include "gapsched/core/transforms.hpp"
-#include "gapsched/engine/cache.hpp"
-#include "gapsched/oracle/oracle.hpp"
-#include "gapsched/parallel/thread_pool.hpp"
-#include "gapsched/prep/prep.hpp"
-#include "gapsched/util/stopwatch.hpp"
+#include "gapsched/engine/pipeline.hpp"
 
 namespace gapsched::engine {
-
-namespace {
-
-/// Components are fanned over the shared ThreadPool only when the largest
-/// one is at least this many jobs: dispatch overhead exceeds an entire
-/// small-cluster DP solve, so small decompositions run inline.
-constexpr std::size_t kParallelFanoutMinComponentJobs = 16;
-
-constexpr std::size_t kNoDup = static_cast<std::size_t>(-1);
-
-/// Shared fan-out pool, lazily constructed on the first large
-/// decomposition and reused for every later solve. A per-solve pool would
-/// pay thread spawn inside the timed solve and nest a fresh pool under
-/// every batch worker. Component tasks never submit back into this pool,
-/// so concurrent solves sharing it cannot deadlock — parallel_for's global
-/// wait_idle only makes them wait out each other's tasks.
-ThreadPool& fanout_pool() {
-  static ThreadPool pool;
-  return pool;
-}
-
-/// Decomposition is sound exactly for the families whose reported objective
-/// is provably additive across far-apart components: the exact gap and
-/// power solvers. Heuristics may legally return different (still valid)
-/// answers per component, and the throughput objective shares one global
-/// span budget across components, so both keep the undecomposed path.
-bool wants_decomposition(const SolverInfo& info, const SolveRequest& request) {
-  return request.params.decompose && info.exact &&
-         request.objective != Objective::kThroughput &&
-         request.instance.n() >= 2;
-}
-
-/// Cut threshold: separation > n keeps the Prop 2.1 candidate
-/// neighbourhoods of distinct components disjoint and makes gap optima
-/// additive; power additionally needs the dead run to be >= alpha so that
-/// bridging a processor across the cut is never cheaper than the fresh
-/// wake-up the right component already prices (see prep.hpp).
-Time cut_threshold(const SolveRequest& request) {
-  Time threshold = static_cast<Time>(request.instance.n());
-  if (request.objective == Objective::kPower) {
-    const double alpha_ceil = std::ceil(request.params.alpha);
-    // check() only guarantees alpha >= 0; an enormous (or infinite) alpha
-    // must disable cutting rather than overflow the Time cast.
-    if (!(alpha_ceil <
-          static_cast<double>(std::numeric_limits<Time>::max() / 2))) {
-      return std::numeric_limits<Time>::max();
-    }
-    threshold = std::max(threshold, static_cast<Time>(alpha_ceil));
-  }
-  return threshold;
-}
-
-/// Pipeline solves run on dead-time-compressed components
-/// (core/transforms), which cuts the Prop 2.1 candidate axis and makes
-/// canonical cache keys independent of interior dead-run lengths. The cap
-/// is length-aware per objective: gap components shrink every run no job
-/// can use to one unit (busy-time adjacency is all that matters), while
-/// power components keep min(run, ceil(alpha) + 1) units so that every
-/// idle-bridging term min(gap, alpha) is preserved exactly — a truncated
-/// run alone is already longer than alpha, so any gap it shortens sits on
-/// the min's alpha plateau before and after the map. Returns 0 when the
-/// request must not be compressed (throughput's span budget is global, an
-/// unrepresentable ceil(alpha) must disable truncation rather than
-/// overflow, and params.compress opts out).
-Time compression_cap(const SolveRequest& request) {
-  if (!request.params.compress) return 0;
-  switch (request.objective) {
-    case Objective::kGaps:
-      return 1;
-    case Objective::kPower: {
-      const double alpha_ceil = std::ceil(request.params.alpha);
-      if (!(alpha_ceil <
-            static_cast<double>(std::numeric_limits<Time>::max() / 2))) {
-        return 0;
-      }
-      return static_cast<Time>(alpha_ceil) + 1;
-    }
-    case Objective::kThroughput:
-      return 0;
-  }
-  return 0;
-}
-
-/// Maps a schedule produced on a compressed instance back to the
-/// uncompressed time axis (job order is unchanged by compression).
-Schedule decompress_times(const Schedule& in, const CompressedInstance& ci) {
-  Schedule out(in.size());
-  for (std::size_t j = 0; j < in.size(); ++j) {
-    const std::optional<Placement>& slot = in.at(j);
-    if (slot.has_value()) {
-      out.place(j, ci.to_original(slot->time), slot->processor);
-    }
-  }
-  return out;
-}
-
-/// Maps a schedule of the canonicalized instance back to the original job
-/// indices and time origin.
-Schedule uncanonicalize(const Schedule& in, const prep::Canonical& canon) {
-  Schedule out(in.size());
-  for (std::size_t j = 0; j < in.size(); ++j) {
-    const std::optional<Placement>& slot = in.at(j);
-    if (slot.has_value()) {
-      out.place(canon.order[j], slot->time + canon.shift, slot->processor);
-    }
-  }
-  return out;
-}
-
-/// Inverse of uncanonicalize: rewrites an original-coordinate schedule in
-/// canonical job order and origin, the form cache entries are stored in.
-Schedule canonicalize_schedule(const Schedule& in,
-                               const prep::Canonical& canon) {
-  Schedule out(in.size());
-  for (std::size_t j = 0; j < in.size(); ++j) {
-    const std::optional<Placement>& slot = in.at(canon.order[j]);
-    if (slot.has_value()) {
-      out.place(j, slot->time - canon.shift, slot->processor);
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string Solver::check(const SolveRequest& request) const {
   const SolverInfo& meta = info();
@@ -193,209 +58,7 @@ SolveResult Solver::solve(const SolveRequest& request,
   if (std::string diag = check(request); !diag.empty()) {
     return SolveResult::rejected(std::move(diag));
   }
-  Stopwatch sw;
-  SolveResult result;
-  if (wants_decomposition(info(), request)) {
-    result = solve_decomposed(request, hooks);
-  } else if (hooks.cache != nullptr) {
-    result = solve_whole_cached(request, *hooks.cache);
-  } else {
-    result = do_solve(request);
-  }
-  result.stats.wall_ms = sw.millis();
-  const double limit = request.params.time_limit_s;
-  result.timed_out = limit > 0.0 && result.stats.wall_ms > limit * 1e3;
-  if (request.params.validate && result.ok) {
-    result.audited = true;
-    result.audit_error = oracle::check_result(request, result, info().exact);
-  }
-  return result;
-}
-
-SolveResult Solver::solve_whole_cached(const SolveRequest& request,
-                                       SolveCache& cache) const {
-  const prep::Canonical canon = prep::canonicalize(request.instance);
-  const CacheKey key =
-      make_cache_key(info(), request.objective, request.params, canon.instance);
-  if (std::shared_ptr<const SolveResult> hit = cache.lookup(key)) {
-    SolveResult result = *hit;  // entry is shared; copy outside the lock
-    result.stats.cache_hit = true;
-    result.schedule = uncanonicalize(result.schedule, canon);
-    return result;
-  }
-  // Miss: solve the ORIGINAL instance — heuristic families are job-order
-  // sensitive, so a cold solve must behave exactly like the stateless path
-  // — and store the result rewritten in canonical coordinates, the form
-  // that serves every time-shifted or job-permuted copy of this workload.
-  SolveRequest sub;
-  sub.instance = request.instance;
-  sub.objective = request.objective;
-  sub.params = request.params;
-  sub.params.validate = false;
-  sub.params.time_limit_s = 0.0;
-  SolveResult result = do_solve(sub);
-  if (result.ok) {
-    SolveResult canonical = result;
-    canonical.schedule = canonicalize_schedule(result.schedule, canon);
-    cache.insert(key, canonical);
-  }
-  return result;
-}
-
-SolveResult Solver::solve_decomposed(const SolveRequest& request,
-                                     const SolveHooks& hooks) const {
-  prep::Decomposition dec =
-      prep::decompose(request.instance, cut_threshold(request));
-  const Time cap = compression_cap(request);
-  const bool compress = cap > 0;
-  if (dec.components.size() <= 1 && hooks.cache == nullptr && !compress) {
-    SolveResult result = do_solve(request);
-    result.stats.components = 1;
-    return result;
-  }
-
-  // Per-component solve form: the decompose() components are already
-  // canonical (sorted jobs, origin 0); components are additionally
-  // dead-time compressed at the objective's length-aware cap, which is
-  // also the form their cache key hashes — two components differing only
-  // in interior dead-run lengths (beyond the cap) share an entry.
-  const std::size_t m = dec.components.size();
-  std::vector<CompressedInstance> compressed(compress ? m : 0);
-  std::vector<Instance*> solve_inst(m);
-  SolveStats agg;
-  for (std::size_t c = 0; c < m; ++c) {
-    if (compress) {
-      compressed[c] = compress_dead_time_capped(dec.components[c].instance, cap);
-      solve_inst[c] = &compressed[c].instance;
-      agg.dead_time_removed += compressed[c].dead_time_removed();
-    } else {
-      solve_inst[c] = &dec.components[c].instance;
-    }
-  }
-
-  std::vector<SolveResult> parts(m);
-  agg.components = m;
-
-  // With a cache: deduplicate identical components within this request and
-  // consult the cross-request cache, leaving only genuinely new components
-  // to solve. Without one, solve everything (the stateless path).
-  std::vector<std::size_t> to_solve;
-  std::vector<std::size_t> hit_components;
-  std::vector<std::size_t> dup_of(m, kNoDup);
-  std::vector<CacheKey> keys;
-  if (hooks.cache != nullptr) {
-    keys.reserve(m);
-    for (std::size_t c = 0; c < m; ++c) {
-      keys.push_back(make_cache_key(info(), request.objective, request.params,
-                                    *solve_inst[c]));
-    }
-    std::map<std::string_view, std::size_t> first_with_key;
-    for (std::size_t c = 0; c < m; ++c) {
-      const auto [it, inserted] = first_with_key.try_emplace(keys[c].text, c);
-      if (!inserted) {
-        dup_of[c] = it->second;
-        ++agg.components_deduped;
-        continue;
-      }
-      if (std::shared_ptr<const SolveResult> hit =
-              hooks.cache->lookup(keys[c])) {
-        parts[c] = *hit;  // entry is shared; copy outside the lock
-        hit_components.push_back(c);
-        ++agg.component_cache_hits;
-      } else {
-        to_solve.push_back(c);
-      }
-    }
-  } else {
-    to_solve.resize(m);
-    for (std::size_t c = 0; c < m; ++c) to_solve[c] = c;
-  }
-  agg.cache_hit = hooks.cache != nullptr && to_solve.empty() &&
-                  agg.component_cache_hits > 0;
-
-  // Component requests inherit the caller's parameters; the oracle audit
-  // and the wall-clock budget apply to the recombined whole, not the parts.
-  std::size_t largest = 0;
-  for (std::size_t c : to_solve) {
-    largest = std::max(largest, solve_inst[c]->n());
-  }
-  const auto solve_component = [&](std::size_t i) {
-    const std::size_t c = to_solve[i];
-    SolveRequest sub;
-    // Safe to move: cache keys were built above, recombine() reads only
-    // the components' job maps and shifts, and decompress_times() reads
-    // only the interval maps — nothing needs the instance afterwards.
-    sub.instance = std::move(*solve_inst[c]);
-    sub.objective = request.objective;
-    sub.params = request.params;
-    sub.params.validate = false;
-    sub.params.time_limit_s = 0.0;
-    parts[c] = do_solve(sub);
-  };
-  if (largest >= kParallelFanoutMinComponentJobs) {
-    parallel_for(fanout_pool(), to_solve.size(), solve_component);
-  } else {
-    for (std::size_t i = 0; i < to_solve.size(); ++i) solve_component(i);
-  }
-  if (hooks.cache != nullptr) {
-    for (std::size_t c : to_solve) {
-      if (parts[c].ok) hooks.cache->insert(keys[c], parts[c]);
-    }
-    for (std::size_t c = 0; c < m; ++c) {
-      if (dup_of[c] != kNoDup) parts[c] = parts[dup_of[c]];
-    }
-  }
-
-  SolveResult out;
-  out.ok = true;
-  out.feasible = true;
-  out.stats = agg;
-  for (std::size_t c = 0; c < m; ++c) {
-    const SolveResult& part = parts[c];
-    if (!part.ok) {
-      // A component the family itself cannot handle (e.g. a single cluster
-      // over the DP's packed-key limits) rejects the whole request; the
-      // component counter survives so callers can see how far prep got.
-      SolveResult rejected = SolveResult::rejected(
-          "component " + std::to_string(c) + " of " + std::to_string(m) +
-          ": " + part.error);
-      rejected.stats = agg;
-      return rejected;
-    }
-    out.feasible = out.feasible && part.feasible;
-  }
-  // states/nodes sum the solver work embodied in the answer's unique
-  // components: fresh solves plus the work that originally produced each
-  // cached entry (matching the whole-instance hit path); deduplicated
-  // copies reuse a counted representative and contribute nothing.
-  for (const std::vector<std::size_t>* group : {&to_solve, &hit_components}) {
-    for (std::size_t c : *group) {
-      out.stats.states += parts[c].stats.states;
-      out.stats.nodes += parts[c].stats.nodes;
-      out.stats.memo_arena_solves += parts[c].stats.memo_arena_solves;
-      out.stats.memo_hash_solves += parts[c].stats.memo_hash_solves;
-      out.stats.memo_parallel_solves += parts[c].stats.memo_parallel_solves;
-      out.stats.memo_find_calls += parts[c].stats.memo_find_calls;
-      out.stats.memo_probe_steps += parts[c].stats.memo_probe_steps;
-      out.stats.memo_pruned += parts[c].stats.memo_pruned;
-    }
-  }
-  if (!out.feasible) return out;
-
-  // Components are separated by more than the cut threshold, so transitions
-  // and costs are additive (see prep.hpp for the two objectives' arguments).
-  std::vector<Schedule> schedules(m);
-  for (std::size_t c = 0; c < m; ++c) {
-    out.cost += parts[c].cost;
-    out.transitions += parts[c].transitions;
-    // Deduplicated components share a compressed-coordinate schedule but
-    // map back through their own dead-run lengths.
-    schedules[c] = compress ? decompress_times(parts[c].schedule, compressed[c])
-                            : std::move(parts[c].schedule);
-  }
-  out.schedule = prep::recombine(dec, schedules, request.instance.n());
-  out.stats.scheduled = out.schedule.scheduled_count();
-  return out;
+  return pipeline::Pipeline::run(*this, request, hooks);
 }
 
 }  // namespace gapsched::engine

@@ -21,4 +21,32 @@ std::optional<Objective> objective_from_string(std::string_view name) {
   return std::nullopt;
 }
 
+std::string_view to_string(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kCanonicalize:
+      return "canonicalize";
+    case PipelineStage::kDecompose:
+      return "decompose";
+    case PipelineStage::kCompress:
+      return "compress";
+    case PipelineStage::kCacheLookup:
+      return "cache_lookup";
+    case PipelineStage::kDispatch:
+      return "dispatch";
+    case PipelineStage::kRecombine:
+      return "recombine";
+    case PipelineStage::kAudit:
+      return "audit";
+  }
+  return "unknown";
+}
+
+std::optional<PipelineStage> pipeline_stage_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kPipelineStageCount; ++i) {
+    const auto stage = static_cast<PipelineStage>(i);
+    if (name == to_string(stage)) return stage;
+  }
+  return std::nullopt;
+}
+
 }  // namespace gapsched::engine

@@ -8,8 +8,10 @@
 //
 //   * its solver registry (every built-in family pre-registered; add() more
 //     per engine without touching the process-wide instance()),
-//   * a shared worker pool for the batch entry points, lazily spawned on
-//     the first batch and reused for every later one,
+//   * an execution Session (engine/session.hpp): the single seam
+//     solve/solve_batch/solve_stream go through, owning the pipeline's
+//     SolveHooks environment, the lazily-spawned batch worker pool, and
+//     the lifetime per-stage PipelineStats roll-up (pipeline_stats()),
 //   * a content-addressed solve cache (engine/cache.hpp): requests are
 //     keyed by the canonical form of (prep-canonicalized — and, for gap
 //     components, dead-time-compressed — instance, objective, the
@@ -43,18 +45,16 @@
 // through an Engine.
 
 #include <cstddef>
-#include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "gapsched/engine/cache.hpp"
 #include "gapsched/engine/registry.hpp"
+#include "gapsched/engine/session.hpp"
 #include "gapsched/engine/solver.hpp"
 #include "gapsched/engine/types.hpp"
-#include "gapsched/parallel/thread_pool.hpp"
 
 namespace gapsched::engine {
 
@@ -119,8 +119,7 @@ class Engine {
   /// Called once per completed entry with its request index. Invocations
   /// are serialized (no locking needed inside), but arrive in completion
   /// order, not request order; the returned vector restores request order.
-  using StreamCallback =
-      std::function<void(std::size_t index, const SolveResult& result)>;
+  using StreamCallback = Session::StreamCallback;
 
   /// Streaming batch: like solve_batch, delivering each result through
   /// `on_result` the moment it completes. A null callback degenerates to
@@ -128,18 +127,25 @@ class Engine {
   std::vector<SolveResult> solve_stream(const std::vector<BatchJob>& jobs,
                                         const StreamCallback& on_result);
 
+  /// This engine's execution session — the seam a server front end would
+  /// hold directly (one per tenant around a shared registry and cache).
+  Session& session() { return *session_; }
+
+  /// Per-stage pipeline roll-up (runs/skips/summed wall time, indexed by
+  /// PipelineStage) across every request this engine served.
+  pipeline::PipelineStats pipeline_stats() const {
+    return session_->pipeline_stats();
+  }
+
   /// Hit/miss/eviction counters of the solve cache (zeros when disabled).
   CacheStats cache_stats() const;
   void clear_cache();
 
  private:
-  ThreadPool& batch_pool();
-
   EngineOptions options_;
   std::unique_ptr<SolverRegistry> registry_;
   std::unique_ptr<SolveCache> cache_;  // null when options_.cache is false
-  std::mutex pool_mu_;
-  std::unique_ptr<ThreadPool> pool_;  // lazily spawned by batch_pool()
+  std::unique_ptr<Session> session_;   // owns batch pool + pipeline stats
 };
 
 }  // namespace gapsched::engine

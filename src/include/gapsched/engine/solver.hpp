@@ -1,28 +1,43 @@
 #pragma once
 // The Solver interface: one virtual seam between the engine and every
 // algorithm family. Concrete adapters live in src/engine/builtin_solvers.cpp
-// and register themselves with the SolverRegistry.
+// and register themselves with the SolverRegistry. The solve path itself is
+// the staged request pipeline in engine/pipeline.hpp; this header only owns
+// the family seam and the pipeline's environment (SolveHooks).
 
 #include <cstddef>
 #include <string>
 
 #include "gapsched/engine/types.hpp"
 
+namespace gapsched {
+class ThreadPool;
+}  // namespace gapsched
+
 namespace gapsched::engine {
 
 class SolveCache;
 
-/// Cross-request state threaded through one solve by a stateful front end
-/// (gapsched::engine::Engine). The default-constructed form shares nothing
-/// across calls (the cache-off Engine configuration).
+namespace pipeline {
+class Pipeline;
+}  // namespace pipeline
+
+/// The pipeline's environment: every piece of cross-request state a
+/// stateful front end (Engine / Session) threads through one solve. The
+/// default-constructed form shares nothing across calls — that is the
+/// stateless path, and the cache-off Engine configuration.
 struct SolveHooks {
-  /// Content-addressed solve cache. When set, the pipeline canonicalizes
-  /// the instance before solving, looks whole solves and decomposition
-  /// components up by canonical form, deduplicates identical components
-  /// within one request, and inserts fresh results. When null, nothing is
-  /// canonicalized outside the decomposition path and no state is shared
-  /// across calls.
+  /// Content-addressed solve cache. When set, the CacheLookup stage keys
+  /// whole solves and decomposition components by canonical form,
+  /// deduplicates identical components within one request, and Dispatch
+  /// publishes fresh results back. When null, CacheLookup is skipped and
+  /// nothing is shared across calls.
   SolveCache* cache = nullptr;
+  /// Worker pool the Dispatch stage fans large decompositions over; null
+  /// selects the process-wide shared fan-out pool. A server front end can
+  /// pin a session-owned pool here to isolate tenants. Component tasks
+  /// must never submit back into this pool (fan-out would deadlock).
+  ThreadPool* fanout = nullptr;
 };
 
 /// Which SolveParams fields a family reads. Front ends use this to reject
@@ -70,13 +85,15 @@ class Solver {
   virtual const SolverInfo& info() const = 0;
 
   /// Validates the request against info() and the instance's own
-  /// well-formedness, then dispatches; fills stats.wall_ms and timed_out.
-  /// Never throws: rejections come back as SolveResult::rejected.
+  /// well-formedness, then walks the staged pipeline (engine/pipeline.hpp)
+  /// with an empty environment; fills stats.wall_ms, stats.stages, and
+  /// timed_out. Never throws: rejections come back as
+  /// SolveResult::rejected.
   SolveResult solve(const SolveRequest& request) const;
 
-  /// Stateful variant: same pipeline, threaded through the Engine-owned
-  /// cross-request state in `hooks` (see SolveHooks). solve(request) is
-  /// exactly solve(request, {}).
+  /// Stateful variant: same pipeline, threaded through the front-end-owned
+  /// environment in `hooks` (see SolveHooks). solve(request) is exactly
+  /// solve(request, {}).
   SolveResult solve(const SolveRequest& request,
                     const SolveHooks& hooks) const;
 
@@ -85,31 +102,15 @@ class Solver {
   std::string check(const SolveRequest& request) const;
 
  protected:
-  /// The family-specific adapter. Called only with requests that passed
-  /// check(); must fill ok/feasible/cost/transitions/schedule/stats fields
-  /// other than wall_ms.
+  /// The family-specific adapter, invoked by the pipeline's Dispatch
+  /// stage. Called only with requests that passed check(); must fill
+  /// ok/feasible/cost/transitions/schedule/stats fields other than
+  /// wall_ms.
   virtual SolveResult do_solve(const SolveRequest& request) const = 0;
 
  private:
-  /// The gapsched::prep pipeline: decompose the instance into independent
-  /// far-apart components (components are additionally dead-time
-  /// compressed at the objective's length-aware cap — one unit for gaps,
-  /// ceil(alpha) + 1 for power; see core/transforms), solve each through
-  /// do_solve (fanned over a ThreadPool for large instances; with a cache
-  /// in `hooks`, identical components are deduplicated and looked up
-  /// cross-request), and recombine schedule, cost, and stats. Called
-  /// instead of a plain do_solve when the request opts in
-  /// (params.decompose) and the family is exact on a decomposable
-  /// objective.
-  SolveResult solve_decomposed(const SolveRequest& request,
-                               const SolveHooks& hooks) const;
-
-  /// Cache path for solves outside the decomposition pipeline: key the
-  /// prep-canonicalized instance, serve hits by mapping the cached
-  /// schedule back to the request's job order and time origin, and insert
-  /// fresh results in canonical coordinates.
-  SolveResult solve_whole_cached(const SolveRequest& request,
-                                 SolveCache& cache) const;
+  /// The Dispatch stage is the only caller of do_solve outside this class.
+  friend class pipeline::Pipeline;
 };
 
 }  // namespace gapsched::engine

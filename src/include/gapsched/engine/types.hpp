@@ -9,6 +9,8 @@
 // uniformly (the solver-shootout / heuristic-ladder methodology of
 // Baptiste-Chrobak-Durr and related minimum-energy scheduling work).
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -31,6 +33,36 @@ enum class Objective {
 
 std::string_view to_string(Objective objective);
 std::optional<Objective> objective_from_string(std::string_view name);
+
+/// The named stages of the engine's solve pipeline
+/// (gapsched::engine::pipeline), in execution order. Every solve walks the
+/// same sequence; stages that do not apply to a request are skipped and
+/// say so in their StageStats entry.
+enum class PipelineStage : std::size_t {
+  kCanonicalize = 0,  // canonical form + cache key of a whole-instance solve
+  kDecompose,         // split far-apart job clusters (prep::decompose)
+  kCompress,          // length-aware dead-time compression per component
+  kCacheLookup,       // content-addressed lookup + intra-request dedup
+  kDispatch,          // the family adapter (do_solve), fanned out per component
+  kRecombine,         // merge parts, map schedules back, aggregate stats
+  kAudit,             // independent oracle re-derivation (params.validate)
+};
+
+inline constexpr std::size_t kPipelineStageCount = 7;
+
+std::string_view to_string(PipelineStage stage);
+std::optional<PipelineStage> pipeline_stage_from_string(std::string_view name);
+
+/// Per-request accounting of one pipeline stage.
+struct StageStats {
+  /// Wall time spent inside the stage for this request.
+  double ms = 0.0;
+  /// True when the stage did real work for this request; false when the
+  /// pipeline skipped it (e.g. CacheLookup on a cache-off engine, Dispatch
+  /// when every component was served from the cache, Audit without
+  /// params.validate).
+  bool ran = false;
+};
 
 /// Solver-family parameters beyond the instance itself. Unused fields are
 /// ignored by solvers that do not consume them.
@@ -128,10 +160,16 @@ struct SolveStats {
   /// or found nothing to truncate).
   std::int64_t dead_time_removed = 0;
 
+  /// Per-stage wall time and ran/skipped verdicts of the solve pipeline,
+  /// indexed by PipelineStage. Every request reports all seven stages; a
+  /// stage the request never needed has ran = false and ms ~ 0. Summed
+  /// across a Session's lifetime in PipelineStats.
+  std::array<StageStats, kPipelineStageCount> stages{};
+
   // DP memo-layer diagnostics (Theorem 1/2 execution layer), summed over
-  // components. Process-local only: deliberately NOT serialized on the
-  // io/json wire — they describe how this process computed the answer,
-  // not the answer itself.
+  // components. Serialized on the io/json wire alongside the stage
+  // timings: a server front end reports how an answer was computed, not
+  // just what it is.
   /// Component solves whose state box was dense enough for the flat arena
   /// memo / that fell back to the packed-key hash table.
   std::size_t memo_arena_solves = 0;

@@ -26,11 +26,20 @@
 //     "stats": { "wall_ms": ..., "states": ..., "nodes": ...,
 //                "scheduled": ..., "components": ..., "cache_hit": false,
 //                "component_cache_hits": 0, "components_deduped": 0,
-//                "dead_time_removed": 0 },
+//                "dead_time_removed": 0,
+//                "memo_arena_solves": 0, "memo_hash_solves": 0,
+//                "memo_parallel_solves": 0, "memo_find_calls": 0,
+//                "memo_probe_steps": 0, "memo_pruned": 0,
+//                "stages": { "canonicalize": { "ran": false, "ms": 0 },
+//                            ... one entry per pipeline stage, in order:
+//                            canonicalize, decompose, compress,
+//                            cache_lookup, dispatch, recombine, audit } },
 //     "schedule": { "jobs": 5,
 //                   "slots": [ { "job": 0, "time": 10, "processor": -1 } ] }
 //   }
-// (slots list only scheduled jobs; processor -1 means profile form).
+// (slots list only scheduled jobs; processor -1 means profile form; the
+// stats object always reports all seven stages with their ran/skip verdict
+// and per-request wall time — see engine::PipelineStage).
 //
 // The readers accept any standard JSON document with these fields (extra
 // fields are ignored) and return nullopt with *error set on malformed

@@ -534,6 +534,26 @@ std::string result_to_json(const engine::SolveResult& result) {
          std::to_string(s.components_deduped);
   out += ",\n    \"dead_time_removed\": " +
          std::to_string(s.dead_time_removed);
+  out += ",\n    \"memo_arena_solves\": " + std::to_string(s.memo_arena_solves);
+  out += ",\n    \"memo_hash_solves\": " + std::to_string(s.memo_hash_solves);
+  out += ",\n    \"memo_parallel_solves\": " +
+         std::to_string(s.memo_parallel_solves);
+  out += ",\n    \"memo_find_calls\": " + std::to_string(s.memo_find_calls);
+  out += ",\n    \"memo_probe_steps\": " + std::to_string(s.memo_probe_steps);
+  out += ",\n    \"memo_pruned\": " + std::to_string(s.memo_pruned);
+  out += ",\n    \"stages\": {";
+  for (std::size_t i = 0; i < engine::kPipelineStageCount; ++i) {
+    const engine::StageStats& st = s.stages[i];
+    out += i == 0 ? "\n      \"" : ",\n      \"";
+    out += std::string(
+        engine::to_string(static_cast<engine::PipelineStage>(i)));
+    out += "\": { \"ran\": ";
+    append_bool(out, st.ran);
+    out += ", \"ms\": ";
+    append_double(out, st.ms);
+    out += " }";
+  }
+  out += "\n    }";
   out += "\n  },\n  \"schedule\": {\n    \"jobs\": " +
          std::to_string(result.schedule.size());
   out += ",\n    \"slots\": [";
@@ -580,6 +600,8 @@ std::optional<engine::SolveResult> result_from_json(std::string_view text,
       s != nullptr && s->kind == JsonValue::Kind::kObject) {
     std::int64_t states = 0, nodes = 0, scheduled = 0, components = 0;
     std::int64_t comp_hits = 0, deduped = 0;
+    std::int64_t memo_arena = 0, memo_hash = 0, memo_parallel = 0;
+    std::int64_t memo_finds = 0, memo_probes = 0, memo_pruned = 0;
     if (!get_double(*s, "wall_ms", &result.stats.wall_ms) ||
         !get_int(*s, "states", &states) || !get_int(*s, "nodes", &nodes) ||
         !get_int(*s, "scheduled", &scheduled) ||
@@ -587,7 +609,13 @@ std::optional<engine::SolveResult> result_from_json(std::string_view text,
         !get_bool(*s, "cache_hit", &result.stats.cache_hit) ||
         !get_int(*s, "component_cache_hits", &comp_hits) ||
         !get_int(*s, "components_deduped", &deduped) ||
-        !get_int(*s, "dead_time_removed", &result.stats.dead_time_removed)) {
+        !get_int(*s, "dead_time_removed", &result.stats.dead_time_removed) ||
+        !get_int(*s, "memo_arena_solves", &memo_arena) ||
+        !get_int(*s, "memo_hash_solves", &memo_hash) ||
+        !get_int(*s, "memo_parallel_solves", &memo_parallel) ||
+        !get_int(*s, "memo_find_calls", &memo_finds) ||
+        !get_int(*s, "memo_probe_steps", &memo_probes) ||
+        !get_int(*s, "memo_pruned", &memo_pruned)) {
       if (error != nullptr) *error = "malformed 'stats' field";
       return std::nullopt;
     }
@@ -597,6 +625,38 @@ std::optional<engine::SolveResult> result_from_json(std::string_view text,
     result.stats.components = static_cast<std::size_t>(components);
     result.stats.component_cache_hits = static_cast<std::size_t>(comp_hits);
     result.stats.components_deduped = static_cast<std::size_t>(deduped);
+    result.stats.memo_arena_solves = static_cast<std::size_t>(memo_arena);
+    result.stats.memo_hash_solves = static_cast<std::size_t>(memo_hash);
+    result.stats.memo_parallel_solves =
+        static_cast<std::size_t>(memo_parallel);
+    result.stats.memo_find_calls = static_cast<std::uint64_t>(memo_finds);
+    result.stats.memo_probe_steps = static_cast<std::uint64_t>(memo_probes);
+    result.stats.memo_pruned = static_cast<std::uint64_t>(memo_pruned);
+    if (const JsonValue* stages = s->find("stages"); stages != nullptr) {
+      if (stages->kind != JsonValue::Kind::kObject) {
+        if (error != nullptr) *error = "'stats.stages' must be an object";
+        return std::nullopt;
+      }
+      for (const auto& [name, entry] : stages->members) {
+        const auto stage = engine::pipeline_stage_from_string(name);
+        if (!stage.has_value()) {
+          if (error != nullptr) {
+            *error = "unknown pipeline stage '" + name + "'";
+          }
+          return std::nullopt;
+        }
+        engine::StageStats& st =
+            result.stats.stages[static_cast<std::size_t>(*stage)];
+        if (entry.kind != JsonValue::Kind::kObject ||
+            !get_bool(entry, "ran", &st.ran) ||
+            !get_double(entry, "ms", &st.ms)) {
+          if (error != nullptr) {
+            *error = "malformed stage entry '" + name + "'";
+          }
+          return std::nullopt;
+        }
+      }
+    }
   }
   if (const JsonValue* sched = doc->find("schedule");
       sched != nullptr && sched->kind == JsonValue::Kind::kObject) {

@@ -87,6 +87,79 @@ TEST(JsonCodec, ResultRoundTripsIncludingTheSchedule) {
   EXPECT_EQ(parsed->schedule, solved.schedule);
 }
 
+TEST(JsonCodec, EverySolveStatsFieldRoundTrips) {
+  // Hand-fill every field of the stats struct with a distinct value so a
+  // writer or reader that drops one is caught here, not by a consumer.
+  SolveResult r;
+  r.ok = true;
+  r.feasible = true;
+  r.cost = 7.5;
+  r.transitions = 3;
+  r.stats.wall_ms = 12.25;
+  r.stats.states = 101;
+  r.stats.nodes = 102;
+  r.stats.scheduled = 103;
+  r.stats.components = 104;
+  r.stats.cache_hit = true;
+  r.stats.component_cache_hits = 105;
+  r.stats.components_deduped = 106;
+  r.stats.dead_time_removed = -107;
+  r.stats.memo_arena_solves = 108;
+  r.stats.memo_hash_solves = 109;
+  r.stats.memo_parallel_solves = 110;
+  r.stats.memo_find_calls = 111;
+  r.stats.memo_probe_steps = 112;
+  r.stats.memo_pruned = 113;
+  for (std::size_t i = 0; i < engine::kPipelineStageCount; ++i) {
+    r.stats.stages[i].ran = (i % 2) == 0;
+    r.stats.stages[i].ms = 0.5 * static_cast<double>(i + 1);
+  }
+
+  std::string error;
+  const auto parsed = result_from_json(result_to_json(r), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const engine::SolveStats& s = parsed->stats;
+  EXPECT_DOUBLE_EQ(s.wall_ms, 12.25);
+  EXPECT_EQ(s.states, 101u);
+  EXPECT_EQ(s.nodes, 102u);
+  EXPECT_EQ(s.scheduled, 103u);
+  EXPECT_EQ(s.components, 104u);
+  EXPECT_TRUE(s.cache_hit);
+  EXPECT_EQ(s.component_cache_hits, 105u);
+  EXPECT_EQ(s.components_deduped, 106u);
+  EXPECT_EQ(s.dead_time_removed, -107);
+  EXPECT_EQ(s.memo_arena_solves, 108u);
+  EXPECT_EQ(s.memo_hash_solves, 109u);
+  EXPECT_EQ(s.memo_parallel_solves, 110u);
+  EXPECT_EQ(s.memo_find_calls, 111u);
+  EXPECT_EQ(s.memo_probe_steps, 112u);
+  EXPECT_EQ(s.memo_pruned, 113u);
+  for (std::size_t i = 0; i < engine::kPipelineStageCount; ++i) {
+    EXPECT_EQ(s.stages[i].ran, (i % 2) == 0) << "stage " << i;
+    EXPECT_DOUBLE_EQ(s.stages[i].ms, 0.5 * static_cast<double>(i + 1))
+        << "stage " << i;
+  }
+}
+
+TEST(JsonCodec, MalformedStageEntriesAreRejected) {
+  std::string error;
+  // Unknown stage names and non-object entries are diagnostics, not
+  // silently dropped keys.
+  EXPECT_FALSE(result_from_json(
+                   R"({"ok": true,
+                       "stats": {"stages": {"warp": {"ran": true, "ms": 1}}}})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("warp"), std::string::npos) << error;
+  EXPECT_FALSE(result_from_json(
+                   R"({"ok": true, "stats": {"stages": {"dispatch": 3}}})",
+                   &error)
+                   .has_value());
+  EXPECT_FALSE(
+      result_from_json(R"({"ok": true, "stats": {"stages": []}})", &error)
+          .has_value());
+}
+
 TEST(JsonCodec, RejectedAndInfeasibleResultsRoundTrip) {
   SolveResult rejected = SolveResult::rejected("out of envelope");
   std::string error;
