@@ -1,0 +1,173 @@
+// gapsched_loadgen — client-side load generator for gapsched_serve
+// (serve/loadgen.hpp): opens N connections, drives a mixed scenario burst
+// with a sliding window per connection, verifies the reorder contract
+// (results stream in completion order; the client restores request order
+// by id), and fails loudly.
+//
+//   $ ./gapsched_loadgen --connect 127.0.0.1:7421 --requests 600 --seed 7
+//
+// Exit codes: 0 every request got exactly one response and nothing was
+// refuted; 1 dropped/refuted/duplicated responses or a server error frame;
+// 5 transport failure (connection refused, early close, malformed frame).
+//
+// The default mix exercises all three serving axes: mega_mixed
+// (decomposition + component dedup), poly_scale (the polynomial bcd
+// family at size), and stretched power_longhaul (compression-normalized
+// cache keys). Every request carries params.validate, so each response
+// was independently re-derived by the server-side oracle before it
+// counted as ok.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gapsched/serve/loadgen.hpp"
+#include "gapsched/serve/protocol.hpp"
+#include "gapsched/util/table.hpp"
+
+using namespace gapsched;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: gapsched_loadgen --connect <host:port> [options]\n"
+      << "  --requests <n>     total burst size, dealt across the mix\n"
+      << "                     (default 600)\n"
+      << "  --connections <n>  concurrent client connections (default 4)\n"
+      << "  --window <n>       in-flight requests per connection\n"
+      << "                     (default 16)\n"
+      << "  --seed <s>         base seed of every family (default 1)\n"
+      << "  --no-validate      skip the server-side oracle audit\n"
+      << "exit codes: 0 clean; 1 dropped/refuted/error responses;\n"
+      << "5 transport failure\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::LoadOptions options;
+  std::string connect_spec;
+  std::size_t total_requests = 600;
+  std::uint64_t seed = 1;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> const std::string* {
+      return i + 1 < args.size() ? &args[++i] : nullptr;
+    };
+    try {
+      if (arg == "--connect") {
+        const std::string* v = value();
+        if (v == nullptr) return usage();
+        connect_spec = *v;
+      } else if (arg == "--requests") {
+        const std::string* v = value();
+        if (v == nullptr) return usage();
+        total_requests = std::stoul(*v);
+      } else if (arg == "--connections") {
+        const std::string* v = value();
+        if (v == nullptr) return usage();
+        options.connections = std::stoul(*v);
+      } else if (arg == "--window") {
+        const std::string* v = value();
+        if (v == nullptr) return usage();
+        options.window = std::stoul(*v);
+      } else if (arg == "--seed") {
+        const std::string* v = value();
+        if (v == nullptr) return usage();
+        seed = std::stoull(*v);
+      } else if (arg == "--no-validate") {
+        options.validate = false;
+      } else {
+        std::cerr << "unknown option '" << arg << "'\n";
+        return usage();
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad numeric argument near '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (connect_spec.empty() ||
+      !serve::parse_host_port(connect_spec, &options.host, &options.port)) {
+    std::cerr << "--connect <host:port> is required\n";
+    return usage();
+  }
+  if (total_requests == 0) {
+    std::cerr << "--requests must be >= 1\n";
+    return 2;
+  }
+
+  // The canonical mix: 50% mega_mixed/gap_dp with every 4th request a
+  // canonical duplicate (shard+cache dedup), 25% poly_scale/bcd_poly_gap,
+  // 25% stretched power_longhaul/power_dp.
+  std::vector<serve::LoadSpec> specs(3);
+  specs[0].scenario = "mega_mixed";
+  specs[0].solver = "gap_dp";
+  specs[0].objective = engine::Objective::kGaps;
+  specs[0].requests = total_requests / 2;
+  specs[0].seed_base = seed;
+  specs[0].duplicate_every = 4;
+  specs[1].scenario = "poly_scale:300";
+  specs[1].solver = "bcd_poly_gap";
+  specs[1].objective = engine::Objective::kGaps;
+  specs[1].requests = total_requests / 4;
+  specs[1].seed_base = seed + 1000;
+  specs[1].duplicate_every = 5;
+  specs[2].scenario = "stretched:16:power_longhaul";
+  specs[2].solver = "power_dp";
+  specs[2].objective = engine::Objective::kPower;
+  specs[2].params.alpha = 2.5;
+  specs[2].requests =
+      total_requests - specs[0].requests - specs[1].requests;
+  specs[2].seed_base = seed + 2000;
+  specs[2].duplicate_every = 4;
+
+  const serve::LoadReport report = serve::run_load(options, specs);
+
+  Table table({"family", "sent", "recv", "ok", "hit-p50ms", "p95ms", "p99ms",
+               "timeout", "refuted", "errors"});
+  for (const serve::FamilyReport& fam : report.families) {
+    table.row()
+        .add(fam.label)
+        .add(fam.sent)
+        .add(fam.received)
+        .add(fam.ok)
+        .add(fam.latency.p50_ms)
+        .add(fam.latency.p95_ms)
+        .add(fam.latency.p99_ms)
+        .add(fam.timed_out)
+        .add(fam.refuted)
+        .add(fam.error_frames);
+  }
+  table.print(std::cout);
+  std::cout << "\nburst: " << report.sent << " sent, " << report.received
+            << " received, " << report.dropped << " dropped, "
+            << report.refuted << " refuted, " << report.out_of_order
+            << " out-of-order arrival(s) reordered by id\n"
+            << "throughput: " << report.throughput_rps << " req/s over "
+            << report.wall_s << " s\n";
+  if (report.server_stats_ok) {
+    std::uint64_t shard_requests = 0;
+    for (const auto& shard : report.server_stats.shards) {
+      shard_requests += shard.requests;
+    }
+    std::cout << "server: " << shard_requests << " request(s) across "
+              << report.server_stats.shards.size() << " shard(s), "
+              << report.server_stats.cache.hits << " cache hit(s) / "
+              << report.server_stats.cache.misses << " miss(es)\n";
+  }
+
+  if (!report.error.empty()) {
+    std::cerr << "loadgen error: " << report.error << "\n";
+    const bool transport = report.error.rfind("connect:", 0) == 0 ||
+                           report.error.rfind("send:", 0) == 0 ||
+                           report.error.rfind("recv:", 0) == 0 ||
+                           report.error.rfind("stats fetch:", 0) == 0 ||
+                           report.error == "connection closed early";
+    return transport ? 5 : 1;
+  }
+  return report.ok ? 0 : 1;
+}

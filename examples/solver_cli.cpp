@@ -19,9 +19,16 @@
 // stdout carries only the JSON). --cache-stats prints the engine's solve-
 // cache hit/miss tallies to stderr at exit.
 //
+// With --connect host:port the request is not solved in-process: it is
+// framed through serve/protocol.hpp, sent to a running gapsched_serve, and
+// the streamed result frame is rendered exactly like a local solve. In that
+// mode --cache-stats prints the SERVER's stats frame (same codec).
+//
 // Exit codes: 0 solved; 1 infeasible; 2 bad usage / rejected request;
 // 3 oracle refuted the answer (--validate); 4 the solve exceeded
-// --time-limit (the answer is printed but must be treated as advisory).
+// --time-limit (the answer is printed but must be treated as advisory);
+// 5 client transport failure under --connect (connection refused, server
+// closed early, or a malformed frame — the request's outcome is unknown).
 
 #include <fstream>
 #include <iostream>
@@ -34,6 +41,7 @@
 #include "gapsched/io/render.hpp"
 #include "gapsched/io/serialize.hpp"
 #include "gapsched/scenarios/scenarios.hpp"
+#include "gapsched/serve/protocol.hpp"
 #include "gapsched/util/table.hpp"
 
 using namespace gapsched;
@@ -67,9 +75,15 @@ int usage() {
             << "  --json           emit the result as the io/json.hpp JSON\n"
             << "                   response document (machine-readable)\n"
             << "  --cache-stats    print the engine's solve-cache tallies\n"
-            << "                   and the per-stage pipeline counters\n"
-            << "                   (runs/skips/wall time per stage) to\n"
-            << "                   stderr at exit\n"
+            << "                   and the per-stage pipeline counters as\n"
+            << "                   io/json.hpp stats documents on stderr\n"
+            << "                   (the same codec as the server's stats\n"
+            << "                   frame); under --connect, prints the\n"
+            << "                   server's stats frame instead\n"
+            << "  --connect <h:p>  do not solve locally: send the request\n"
+            << "                   to a running gapsched_serve at host:port\n"
+            << "                   over the NDJSON frame protocol and\n"
+            << "                   render its streamed result frame\n"
             << "exit codes:\n"
             << "  0  solved\n"
             << "  1  infeasible (or the instance could not be loaded)\n"
@@ -79,6 +93,9 @@ int usage() {
             << "     --validate (a solver bug, not a bad request)\n"
             << "  4  the solve exceeded --time-limit; the printed answer\n"
             << "     is advisory\n"
+            << "  5  --connect transport failure: connection refused, the\n"
+            << "     server closed before answering, or a malformed frame\n"
+            << "     arrived (the request's outcome is unknown)\n"
             << "run 'solver_cli --list' for the registered solvers and\n"
             << "'solver_cli --scenarios' for the named workload families\n";
   return 2;
@@ -173,20 +190,84 @@ std::optional<Instance> load(const std::string& path) {
 }
 
 void print_cache_stats(const engine::Engine& eng) {
-  const engine::CacheStats s = eng.cache_stats();
-  std::cerr << "cache: " << s.hits << " hit(s) / " << s.misses
-            << " miss(es), " << s.entries << " entrie(s), " << s.insertions
-            << " insertion(s), " << s.evictions << " eviction(s)\n";
-  // Per-stage view of the same requests: which parts of the solve pipeline
-  // actually ran, and where the wall time went.
-  const engine::pipeline::PipelineStats p = eng.pipeline_stats();
-  std::cerr << "pipeline: " << p.requests << " request(s)\n";
-  for (std::size_t i = 0; i < engine::kPipelineStageCount; ++i) {
-    const engine::pipeline::StageTally& t = p.stages[i];
-    std::cerr << "  " << engine::to_string(static_cast<engine::PipelineStage>(i))
-              << ": " << t.runs << " run(s), " << t.skips << " skip(s), "
-              << t.total_ms << " ms\n";
+  // The same stats codec the server's `stats` frame uses: a cache_stats
+  // document and a pipeline_stats document (per-stage runs/skips/wall
+  // time), both from io/json.hpp.
+  std::cerr << io::cache_stats_to_json(eng.cache_stats()) << "\n"
+            << io::pipeline_stats_to_json(eng.pipeline_stats()) << "\n";
+}
+
+/// Solves over the wire against a running gapsched_serve. Returns 0 with
+/// *result filled from the server's result frame, 2 when the server
+/// answered with an error frame (rejection), or 5 on transport failure —
+/// connection refused, early close, or a malformed frame.
+int remote_solve(const std::string& spec, const std::string& solver,
+                 const engine::SolveRequest& request, bool want_stats,
+                 engine::SolveResult* result) {
+  std::string host;
+  int port = 0;
+  if (!serve::parse_host_port(spec, &host, &port)) {
+    std::cerr << "--connect expects host:port, got '" << spec << "'\n";
+    return 2;
   }
+  std::string error;
+  auto channel = serve::ClientChannel::dial(host, port, &error);
+  if (!channel.has_value()) {
+    std::cerr << "connect to " << spec << " failed: " << error
+              << " (is gapsched_serve running there?)\n";
+    return 5;
+  }
+  constexpr std::int64_t kId = 1;
+  if (!channel->send(serve::request_frame(kId, solver, request), &error)) {
+    std::cerr << "send to " << spec << " failed: " << error << "\n";
+    return 5;
+  }
+  if (want_stats && !channel->send(serve::stats_request_frame(), &error)) {
+    std::cerr << "send to " << spec << " failed: " << error << "\n";
+    return 5;
+  }
+  bool have_result = false;
+  bool have_stats = !want_stats;
+  while (!have_result || !have_stats) {
+    const auto line = channel->next_frame(&error);
+    if (!line.has_value()) {
+      std::cerr << (error.empty()
+                        ? "server closed the connection before answering"
+                        : "recv from " + spec + " failed: " + error)
+                << "\n";
+      return 5;
+    }
+    std::string parse_error;
+    const auto head = io::frame_head_from_json(*line, &parse_error);
+    if (!head.has_value()) {
+      std::cerr << "malformed frame from server: " << parse_error << "\n";
+      return 5;
+    }
+    if (head->frame == "hello") continue;
+    if (head->frame == "error") {
+      std::cerr << "server rejected the request: " << head->message << "\n";
+      return 2;
+    }
+    if (head->frame == "result" && head->id == kId) {
+      auto parsed = io::result_from_json(*line, &parse_error);
+      if (!parsed.has_value()) {
+        std::cerr << "malformed result frame: " << parse_error << "\n";
+        return 5;
+      }
+      *result = std::move(*parsed);
+      have_result = true;
+      continue;
+    }
+    if (head->frame == "stats") {
+      // Relay the server's stats frame body verbatim — one codec both ways.
+      std::cerr << *line << "\n";
+      have_stats = true;
+      continue;
+    }
+    std::cerr << "unexpected frame '" << head->frame << "' from server\n";
+    return 5;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -214,6 +295,7 @@ int main(int argc, char** argv) {
   request.objective = solver->info().objective;
   bool emit_json = false;
   bool cache_stats = false;
+  std::string connect_spec;
   // Flags may appear anywhere; non-flag arguments are collected and
   // resolved afterwards so the legacy "power <alpha> <file>" and
   // "throughput <k> <file>" spellings still work.
@@ -265,6 +347,10 @@ int main(int argc, char** argv) {
         emit_json = true;
       } else if (arg == "--cache-stats") {
         cache_stats = true;
+      } else if (arg == "--connect") {
+        auto v = value();
+        if (!v) return usage();
+        connect_spec = *v;
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "unknown option '" << arg << "'\n";
         return usage();
@@ -282,7 +368,7 @@ int main(int argc, char** argv) {
   for (const std::string& flag : flags_seen) {
     bool applies = false;
     if (flag == "--validate" || flag == "--json" || flag == "--cache-stats" ||
-        flag == "--time-limit") {
+        flag == "--time-limit" || flag == "--connect") {
       applies = true;  // engine-level concerns, meaningful for every family
     } else if (flag == "--no-decompose" || flag == "--no-compress") {
       // Only the exact gap/power families consume these flags, but clearing
@@ -330,11 +416,18 @@ int main(int argc, char** argv) {
   if (!inst) return 1;
   request.instance = std::move(*inst);
 
-  const engine::SolveResult result = eng.solve(*solver, request);
+  engine::SolveResult result;
+  if (connect_spec.empty()) {
+    result = eng.solve(*solver, request);
+    if (cache_stats) print_cache_stats(eng);
+  } else {
+    const int rc = remote_solve(connect_spec, name, request, cache_stats,
+                                &result);
+    if (rc != 0) return rc;
+  }
 
   // Machine-readable mode: the response document is the whole stdout.
   if (emit_json) std::cout << io::result_to_json(result) << "\n";
-  if (cache_stats) print_cache_stats(eng);
 
   if (!result.ok) {
     std::cerr << "rejected: " << result.error << "\n";

@@ -46,13 +46,25 @@
 // input. Non-finite doubles degrade to null on write, matching
 // bench/json_report.hpp.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "gapsched/engine/cache.hpp"
+#include "gapsched/engine/pipeline.hpp"
 #include "gapsched/engine/types.hpp"
 
 namespace gapsched::io {
+
+/// Deepest accepted nesting of any document on the wire. The parser reads
+/// untrusted socket bytes (serve/protocol.hpp), so recursion depth is a
+/// resource limit, not a style choice: a document nested deeper than this
+/// is rejected with a clean parse error instead of recursing toward a
+/// stack overflow. Engine documents nest 6 levels; 64 leaves an order of
+/// magnitude of headroom.
+inline constexpr int kMaxParseDepth = 64;
 
 /// Serializes a named engine request.
 std::string request_to_json(std::string_view solver,
@@ -68,5 +80,76 @@ std::string result_to_json(const engine::SolveResult& result);
 /// Parses a result document.
 std::optional<engine::SolveResult> result_from_json(
     std::string_view text, std::string* error = nullptr);
+
+// ----------------------------------------------------- stats documents --
+// One codec for every tally the engine exposes: the server's `stats`
+// frame, `solver_cli --cache-stats`, and the benches all read and write
+// these documents instead of ad-hoc printing. Readers are tolerant to
+// missing fields (they keep their defaults, like the result codec's
+// `stages` object) but reject wrong types and unknown stage names.
+
+/// Serializes SolveCache tallies:
+///   {"gapsched": "cache_stats", "hits": 0, "misses": 0, "insertions": 0,
+///    "evictions": 0, "entries": 0, "capacity": 0}
+std::string cache_stats_to_json(const engine::CacheStats& stats);
+std::optional<engine::CacheStats> cache_stats_from_json(
+    std::string_view text, std::string* error = nullptr);
+
+/// Serializes a Session's per-stage pipeline roll-up:
+///   {"gapsched": "pipeline_stats", "requests": 0,
+///    "stages": {"canonicalize": {"runs": 0, "skips": 0, "total_ms": 0},
+///               ... one entry per PipelineStage ...}}
+std::string pipeline_stats_to_json(
+    const engine::pipeline::PipelineStats& stats);
+std::optional<engine::pipeline::PipelineStats> pipeline_stats_from_json(
+    std::string_view text, std::string* error = nullptr);
+
+/// One worker shard's roll-up on the wire (serve/shard.hpp fills it).
+struct ShardStatsWire {
+  std::int64_t shard = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t refuted = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t component_cache_hits = 0;
+  engine::pipeline::PipelineStats pipeline;
+};
+
+/// The server `stats` frame body: the shared cache's tallies, the
+/// aggregate pipeline roll-up, and one entry per worker shard.
+struct ServerStatsWire {
+  engine::CacheStats cache;
+  engine::pipeline::PipelineStats pipeline;
+  std::vector<ShardStatsWire> shards;
+};
+
+std::string server_stats_to_json(const ServerStatsWire& stats);
+std::optional<ServerStatsWire> server_stats_from_json(
+    std::string_view text, std::string* error = nullptr);
+
+// ------------------------------------------------------- frame headers --
+// serve/protocol.hpp frames are ordinary documents of this codec with a
+// routing header spliced in ("frame", "id", "deadline_ms", "message").
+// The header is parsed here so the server and every client agree on one
+// reader; the frame body (request/result/stats fields at the same top
+// level) goes through the matching *_from_json above, which ignores the
+// header fields like any other extras.
+
+struct FrameHead {
+  /// Frame type: "hello", "request", "result", "stats", "drain", "error".
+  std::string frame;
+  /// Request/response correlation id; -1 when the frame carries none.
+  std::int64_t id = -1;
+  /// Per-request deadline in milliseconds from receipt; 0 disables it.
+  double deadline_ms = 0.0;
+  /// Human-readable diagnostic of an "error" frame.
+  std::string message;
+};
+
+/// Parses the routing header of one frame. Fails on documents without a
+/// string "frame" field, negative deadlines, or non-integer ids.
+std::optional<FrameHead> frame_head_from_json(std::string_view text,
+                                              std::string* error = nullptr);
 
 }  // namespace gapsched::io

@@ -1,0 +1,120 @@
+#pragma once
+// gapsched::serve load generator — the client half of the serving stack.
+//
+// run_load() opens N concurrent connections to a gapsched_serve endpoint
+// and drives a mixed scenario burst through them, each connection running
+// a sliding window of in-flight requests (send until the window is full,
+// then block on the next response). Every response is matched back to its
+// request id — the reorder contract: the server streams results in
+// *completion* order, the client is the one that restores request order —
+// and per-family latency is summarized as p50/p95/p99.
+//
+// The report is strict by construction: a request without a matching
+// response is a drop, a response with an unknown id is a protocol error,
+// and a server-side oracle refutation (params.validate is on by default)
+// is counted and fails the run. bench/tab11_serve_load exits non-zero on
+// any of them.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gapsched/engine/types.hpp"
+#include "gapsched/io/json.hpp"
+
+namespace gapsched::serve {
+
+/// One scenario family of the burst: `requests` draws of `scenario`,
+/// solved by `solver` under `objective`.
+struct LoadSpec {
+  /// Catalog or dynamic scenario name ("mega_mixed", "poly_scale:600",
+  /// "stretched:16:power_longhaul", ...).
+  std::string scenario;
+  std::string solver;
+  engine::Objective objective = engine::Objective::kGaps;
+  engine::SolveParams params;  // validate defaults true via run_load
+  std::size_t requests = 0;
+  /// Seeds are seed_base, seed_base+1, ... except every
+  /// `duplicate_every`-th request reuses seed_base — canonical-identical
+  /// traffic that must dedup on one shard (0 disables duplicates).
+  std::uint64_t seed_base = 1;
+  std::size_t duplicate_every = 0;
+  /// Per-request deadline on the wire; 0 sends none.
+  double deadline_ms = 0.0;
+};
+
+/// Order statistics of one family's response latencies.
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Destructively summarizes a latency sample (sorts in place).
+LatencySummary summarize_latencies(std::vector<double>& latencies_ms);
+
+/// Per-family outcome tallies.
+struct FamilyReport {
+  std::string label;  // "<scenario>/<solver>"
+  LatencySummary latency;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t refuted = 0;
+  std::uint64_t error_frames = 0;
+};
+
+/// The whole-burst verdict.
+struct LoadReport {
+  bool ok = false;          // every check below passed
+  std::string error;        // first fatal problem (transport, protocol)
+  std::vector<FamilyReport> families;
+
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t dropped = 0;         // sent - received (must be 0)
+  std::uint64_t refuted = 0;         // server-audited oracle refutations
+  std::uint64_t error_frames = 0;    // error frames answering requests
+  std::uint64_t duplicate_ids = 0;   // same id answered twice (must be 0)
+  std::uint64_t unknown_ids = 0;     // response id never sent (must be 0)
+
+  /// Responses observed arriving out of submission order — evidence the
+  /// completion-order stream really is unordered and the id-based reorder
+  /// on the client is doing work. Informational, not a failure.
+  std::uint64_t out_of_order = 0;
+
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+
+  /// The server's `stats` frame fetched after the burst.
+  bool server_stats_ok = false;
+  io::ServerStatsWire server_stats;
+};
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Concurrent client connections; the burst is dealt round-robin.
+  std::size_t connections = 4;
+  /// Max in-flight requests per connection (sliding window).
+  std::size_t window = 16;
+  /// Fetch a `stats` frame after the burst completes.
+  bool fetch_stats = true;
+  /// Force params.validate on every request (server-side oracle audit).
+  bool validate = true;
+};
+
+/// Runs the burst and returns the verdict. report.ok is true iff every
+/// request got exactly one response, nothing was refuted, and no error
+/// frame answered a well-formed request.
+LoadReport run_load(const LoadOptions& options,
+                    const std::vector<LoadSpec>& specs);
+
+}  // namespace gapsched::serve

@@ -101,7 +101,6 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 64;
 
   std::string at(std::string msg) {
     return msg + " (at byte " + std::to_string(pos_) + ")";
@@ -127,7 +126,10 @@ class Parser {
   }
 
   bool value(JsonValue& out, int depth) {
-    if (depth > kMaxDepth) return fail("document nested too deeply");
+    // depth counts nesting levels already entered, so the value being
+    // parsed sits at nesting level depth + 1: reject exactly the
+    // documents nested deeper than kMaxParseDepth.
+    if (depth >= kMaxParseDepth) return fail("document nested too deeply");
     skip_ws();
     if (pos_ >= text_.size()) return fail("unexpected end of document");
     const char c = text_[pos_];
@@ -419,6 +421,97 @@ bool parse_instance(const JsonValue& obj, Instance* inst, std::string* why) {
   return true;
 }
 
+// ------------------------------------------------- stats sub-documents --
+// Bare (untagged) writers/readers shared by the standalone documents and
+// the nested copies inside a server_stats document.
+
+void append_cache_stats(std::string& out, const engine::CacheStats& s) {
+  out += "{ \"hits\": " + std::to_string(s.hits);
+  out += ", \"misses\": " + std::to_string(s.misses);
+  out += ", \"insertions\": " + std::to_string(s.insertions);
+  out += ", \"evictions\": " + std::to_string(s.evictions);
+  out += ", \"entries\": " + std::to_string(s.entries);
+  out += ", \"capacity\": " + std::to_string(s.capacity);
+  out += " }";
+}
+
+bool read_cache_stats(const JsonValue& obj, engine::CacheStats* out,
+                      std::string* why) {
+  std::int64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  std::int64_t entries = 0, capacity = 0;
+  if (!get_int(obj, "hits", &hits) || !get_int(obj, "misses", &misses) ||
+      !get_int(obj, "insertions", &insertions) ||
+      !get_int(obj, "evictions", &evictions) ||
+      !get_int(obj, "entries", &entries) ||
+      !get_int(obj, "capacity", &capacity) || hits < 0 || misses < 0 ||
+      insertions < 0 || evictions < 0 || entries < 0 || capacity < 0) {
+    *why = "malformed cache stats field";
+    return false;
+  }
+  out->hits = static_cast<std::size_t>(hits);
+  out->misses = static_cast<std::size_t>(misses);
+  out->insertions = static_cast<std::size_t>(insertions);
+  out->evictions = static_cast<std::size_t>(evictions);
+  out->entries = static_cast<std::size_t>(entries);
+  out->capacity = static_cast<std::size_t>(capacity);
+  return true;
+}
+
+void append_pipeline_stats(std::string& out,
+                           const engine::pipeline::PipelineStats& p) {
+  out += "{ \"requests\": " + std::to_string(p.requests);
+  out += ", \"stages\": {";
+  for (std::size_t i = 0; i < engine::kPipelineStageCount; ++i) {
+    const engine::pipeline::StageTally& t = p.stages[i];
+    out += i == 0 ? " \"" : ", \"";
+    out += std::string(
+        engine::to_string(static_cast<engine::PipelineStage>(i)));
+    out += "\": { \"runs\": " + std::to_string(t.runs);
+    out += ", \"skips\": " + std::to_string(t.skips);
+    out += ", \"total_ms\": ";
+    append_double(out, t.total_ms);
+    out += " }";
+  }
+  out += " } }";
+}
+
+bool read_pipeline_stats(const JsonValue& obj,
+                         engine::pipeline::PipelineStats* out,
+                         std::string* why) {
+  std::int64_t requests = 0;
+  if (!get_int(obj, "requests", &requests) || requests < 0) {
+    *why = "malformed 'requests' field";
+    return false;
+  }
+  out->requests = static_cast<std::uint64_t>(requests);
+  const JsonValue* stages = obj.find("stages");
+  if (stages == nullptr) return true;  // tolerated: tallies stay zero
+  if (stages->kind != JsonValue::Kind::kObject) {
+    *why = "'stages' must be an object";
+    return false;
+  }
+  for (const auto& [name, entry] : stages->members) {
+    const auto stage = engine::pipeline_stage_from_string(name);
+    if (!stage.has_value()) {
+      *why = "unknown pipeline stage '" + name + "'";
+      return false;
+    }
+    engine::pipeline::StageTally& t =
+        out->stages[static_cast<std::size_t>(*stage)];
+    std::int64_t runs = 0, skips = 0;
+    if (entry.kind != JsonValue::Kind::kObject ||
+        !get_int(entry, "runs", &runs) || !get_int(entry, "skips", &skips) ||
+        !get_double(entry, "total_ms", &t.total_ms) || runs < 0 ||
+        skips < 0) {
+      *why = "malformed stage tally '" + name + "'";
+      return false;
+    }
+    t.runs = static_cast<std::uint64_t>(runs);
+    t.skips = static_cast<std::uint64_t>(skips);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string request_to_json(std::string_view solver,
@@ -688,6 +781,168 @@ std::optional<engine::SolveResult> result_from_json(std::string_view text,
     result.schedule = std::move(schedule);
   }
   return result;
+}
+
+std::string cache_stats_to_json(const engine::CacheStats& stats) {
+  std::string out = "{ \"gapsched\": \"cache_stats\", ";
+  std::string body;
+  append_cache_stats(body, stats);
+  out += body.substr(2);  // splice past the bare writer's "{ "
+  return out;
+}
+
+std::optional<engine::CacheStats> cache_stats_from_json(std::string_view text,
+                                                        std::string* error) {
+  Parser parser(text);
+  std::optional<JsonValue> doc = parser.parse(error);
+  if (!doc.has_value()) return std::nullopt;
+  std::string why = "cache stats document must be an object";
+  engine::CacheStats stats;
+  if (doc->kind == JsonValue::Kind::kObject &&
+      read_cache_stats(*doc, &stats, &why)) {
+    return stats;
+  }
+  if (error != nullptr) *error = why;
+  return std::nullopt;
+}
+
+std::string pipeline_stats_to_json(
+    const engine::pipeline::PipelineStats& stats) {
+  std::string out = "{ \"gapsched\": \"pipeline_stats\", ";
+  std::string body;
+  append_pipeline_stats(body, stats);
+  out += body.substr(2);
+  return out;
+}
+
+std::optional<engine::pipeline::PipelineStats> pipeline_stats_from_json(
+    std::string_view text, std::string* error) {
+  Parser parser(text);
+  std::optional<JsonValue> doc = parser.parse(error);
+  if (!doc.has_value()) return std::nullopt;
+  std::string why = "pipeline stats document must be an object";
+  engine::pipeline::PipelineStats stats;
+  if (doc->kind == JsonValue::Kind::kObject &&
+      read_pipeline_stats(*doc, &stats, &why)) {
+    return stats;
+  }
+  if (error != nullptr) *error = why;
+  return std::nullopt;
+}
+
+std::string server_stats_to_json(const ServerStatsWire& stats) {
+  std::string out = "{ \"gapsched\": \"server_stats\", \"cache\": ";
+  append_cache_stats(out, stats.cache);
+  out += ", \"pipeline\": ";
+  append_pipeline_stats(out, stats.pipeline);
+  out += ", \"shards\": [";
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const ShardStatsWire& s = stats.shards[i];
+    out += i == 0 ? " " : ", ";
+    out += "{ \"shard\": " + std::to_string(s.shard);
+    out += ", \"requests\": " + std::to_string(s.requests);
+    out += ", \"rejected\": " + std::to_string(s.rejected);
+    out += ", \"timed_out\": " + std::to_string(s.timed_out);
+    out += ", \"refuted\": " + std::to_string(s.refuted);
+    out += ", \"cache_hits\": " + std::to_string(s.cache_hits);
+    out += ", \"component_cache_hits\": " +
+           std::to_string(s.component_cache_hits);
+    out += ", \"pipeline\": ";
+    append_pipeline_stats(out, s.pipeline);
+    out += " }";
+  }
+  out += stats.shards.empty() ? "] }" : " ] }";
+  return out;
+}
+
+std::optional<ServerStatsWire> server_stats_from_json(std::string_view text,
+                                                      std::string* error) {
+  Parser parser(text);
+  std::optional<JsonValue> doc = parser.parse(error);
+  if (!doc.has_value()) return std::nullopt;
+  if (doc->kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "server stats document must be an object";
+    return std::nullopt;
+  }
+  ServerStatsWire stats;
+  std::string why;
+  if (const JsonValue* cache = doc->find("cache"); cache != nullptr) {
+    if (cache->kind != JsonValue::Kind::kObject ||
+        !read_cache_stats(*cache, &stats.cache, &why)) {
+      if (error != nullptr) *error = "malformed 'cache' object";
+      return std::nullopt;
+    }
+  }
+  if (const JsonValue* pipe = doc->find("pipeline"); pipe != nullptr) {
+    if (pipe->kind != JsonValue::Kind::kObject ||
+        !read_pipeline_stats(*pipe, &stats.pipeline, &why)) {
+      if (error != nullptr) *error = "malformed 'pipeline' object: " + why;
+      return std::nullopt;
+    }
+  }
+  const JsonValue* shards = doc->find("shards");
+  if (shards == nullptr) return stats;  // tolerated: no per-shard view
+  if (shards->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "'shards' must be an array";
+    return std::nullopt;
+  }
+  for (const JsonValue& entry : shards->elements) {
+    ShardStatsWire s;
+    std::int64_t requests = 0, rejected = 0, timed_out = 0, refuted = 0;
+    std::int64_t cache_hits = 0, component_hits = 0;
+    if (entry.kind != JsonValue::Kind::kObject ||
+        !get_int(entry, "shard", &s.shard) ||
+        !get_int(entry, "requests", &requests) ||
+        !get_int(entry, "rejected", &rejected) ||
+        !get_int(entry, "timed_out", &timed_out) ||
+        !get_int(entry, "refuted", &refuted) ||
+        !get_int(entry, "cache_hits", &cache_hits) ||
+        !get_int(entry, "component_cache_hits", &component_hits) ||
+        s.shard < 0 || requests < 0 || rejected < 0 || timed_out < 0 ||
+        refuted < 0 || cache_hits < 0 || component_hits < 0) {
+      if (error != nullptr) *error = "malformed shard entry";
+      return std::nullopt;
+    }
+    s.requests = static_cast<std::uint64_t>(requests);
+    s.rejected = static_cast<std::uint64_t>(rejected);
+    s.timed_out = static_cast<std::uint64_t>(timed_out);
+    s.refuted = static_cast<std::uint64_t>(refuted);
+    s.cache_hits = static_cast<std::uint64_t>(cache_hits);
+    s.component_cache_hits = static_cast<std::uint64_t>(component_hits);
+    if (const JsonValue* pipe = entry.find("pipeline"); pipe != nullptr) {
+      if (pipe->kind != JsonValue::Kind::kObject ||
+          !read_pipeline_stats(*pipe, &s.pipeline, &why)) {
+        if (error != nullptr) *error = "malformed shard pipeline: " + why;
+        return std::nullopt;
+      }
+    }
+    stats.shards.push_back(std::move(s));
+  }
+  return stats;
+}
+
+std::optional<FrameHead> frame_head_from_json(std::string_view text,
+                                              std::string* error) {
+  Parser parser(text);
+  std::optional<JsonValue> doc = parser.parse(error);
+  if (!doc.has_value()) return std::nullopt;
+  if (doc->kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "frame must be an object";
+    return std::nullopt;
+  }
+  FrameHead head;
+  if (!get_string(*doc, "frame", &head.frame) || head.frame.empty()) {
+    if (error != nullptr) *error = "missing 'frame' field";
+    return std::nullopt;
+  }
+  if (!get_int(*doc, "id", &head.id) ||
+      !get_double(*doc, "deadline_ms", &head.deadline_ms) ||
+      !get_string(*doc, "message", &head.message) || head.deadline_ms < 0.0 ||
+      !std::isfinite(head.deadline_ms)) {
+    if (error != nullptr) *error = "malformed frame header field";
+    return std::nullopt;
+  }
+  return head;
 }
 
 }  // namespace gapsched::io

@@ -1,0 +1,311 @@
+#include "gapsched/serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "gapsched/scenarios/scenarios.hpp"
+#include "gapsched/serve/protocol.hpp"
+
+namespace gapsched::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One pre-serialized request frame awaiting its slot in the window.
+struct Prepared {
+  std::size_t family = 0;
+  std::int64_t id = 0;
+  std::string frame;
+};
+
+/// Everything one connection learned; merged under a mutex at the end.
+struct ConnOutcome {
+  std::string error;  // first transport/protocol failure, if any
+  std::uint64_t received = 0;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t duplicate_ids = 0;
+  std::uint64_t unknown_ids = 0;
+  std::uint64_t bad_error_frames = 0;  // error frames without a known id
+  /// (family, latency_ms) samples for summarize_latencies.
+  std::vector<std::pair<std::size_t, double>> latencies;
+  std::vector<FamilyReport> families;  // tallies only, labels added later
+};
+
+struct InFlight {
+  std::size_t family = 0;
+  Clock::time_point sent_at;
+};
+
+void drive_connection(const LoadOptions& options,
+                      const std::vector<Prepared>& items,
+                      std::size_t family_count, ConnOutcome* out) {
+  out->families.resize(family_count);
+  std::string error;
+  auto channel = ClientChannel::dial(options.host, options.port, &error);
+  if (!channel.has_value()) {
+    out->error = "connect: " + error;
+    return;
+  }
+
+  std::unordered_map<std::int64_t, InFlight> outstanding;
+  std::deque<std::int64_t> send_order;  // for reorder observation
+  std::size_t next = 0;
+
+  const auto absorb_result = [&](std::int64_t id, const std::string& line) {
+    const auto it = outstanding.find(id);
+    if (it == outstanding.end()) {
+      ++out->unknown_ids;
+      return;
+    }
+    const InFlight flight = it->second;
+    outstanding.erase(it);
+    if (!send_order.empty() && send_order.front() != id) ++out->out_of_order;
+    send_order.erase(std::find(send_order.begin(), send_order.end(), id));
+
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - flight.sent_at)
+            .count();
+    out->latencies.emplace_back(flight.family, ms);
+    ++out->received;
+    FamilyReport& fam = out->families[flight.family];
+    ++fam.received;
+
+    std::string parse_error;
+    const auto result = io::result_from_json(line, &parse_error);
+    if (!result.has_value()) {
+      if (out->error.empty()) {
+        out->error = "unparseable result frame: " + parse_error;
+      }
+      return;
+    }
+    if (result->ok) {
+      ++fam.ok;
+      if (!result->feasible) ++fam.infeasible;
+    } else {
+      ++fam.rejected;
+    }
+    if (result->timed_out) ++fam.timed_out;
+    if (result->audited && !result->audit_error.empty()) ++fam.refuted;
+  };
+
+  const auto absorb_error_frame = [&](const FrameHead& head) {
+    const auto it = outstanding.find(head.id);
+    if (it == outstanding.end()) {
+      ++out->bad_error_frames;
+      if (out->error.empty()) {
+        out->error = "server error frame: " + head.message;
+      }
+      return;
+    }
+    const InFlight flight = it->second;
+    outstanding.erase(it);
+    send_order.erase(
+        std::find(send_order.begin(), send_order.end(), head.id));
+    ++out->received;
+    FamilyReport& fam = out->families[flight.family];
+    ++fam.received;
+    ++fam.error_frames;
+  };
+
+  while (next < items.size() || !outstanding.empty()) {
+    if (next < items.size() && outstanding.size() < options.window) {
+      const Prepared& item = items[next];
+      if (!channel->send(item.frame, &error)) {
+        out->error = "send: " + error;
+        return;
+      }
+      if (outstanding.count(item.id) != 0) ++out->duplicate_ids;
+      outstanding[item.id] = InFlight{item.family, Clock::now()};
+      send_order.push_back(item.id);
+      ++next;
+      continue;
+    }
+    const auto line = channel->next_frame(&error);
+    if (!line.has_value()) {
+      out->error = error.empty() ? std::string("connection closed early")
+                                 : "recv: " + error;
+      return;
+    }
+    std::string parse_error;
+    const auto head = io::frame_head_from_json(*line, &parse_error);
+    if (!head.has_value()) {
+      out->error = "unparseable frame: " + parse_error;
+      return;
+    }
+    if (head->frame == "hello" || head->frame == "stats" ||
+        head->frame == "drain") {
+      continue;  // control chatter, not a response
+    }
+    if (head->frame == "result") {
+      absorb_result(head->id, *line);
+    } else if (head->frame == "error") {
+      absorb_error_frame(*head);
+    } else if (out->error.empty()) {
+      out->error = "unexpected frame type '" + head->frame + "'";
+    }
+  }
+}
+
+bool fetch_server_stats(const LoadOptions& options, io::ServerStatsWire* wire,
+                        std::string* error) {
+  auto channel = ClientChannel::dial(options.host, options.port, error);
+  if (!channel.has_value()) return false;
+  if (!channel->send(stats_request_frame(), error)) return false;
+  for (;;) {
+    const auto line = channel->next_frame(error);
+    if (!line.has_value()) {
+      if (error != nullptr && error->empty()) *error = "closed before stats";
+      return false;
+    }
+    const auto head = io::frame_head_from_json(*line, error);
+    if (!head.has_value()) return false;
+    if (head->frame != "stats") continue;  // skip the hello
+    const auto parsed = io::server_stats_from_json(*line, error);
+    if (!parsed.has_value()) return false;
+    *wire = *parsed;
+    return true;
+  }
+}
+
+}  // namespace
+
+LatencySummary summarize_latencies(std::vector<double>& latencies_ms) {
+  LatencySummary s;
+  s.count = latencies_ms.size();
+  if (latencies_ms.empty()) return s;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(latencies_ms.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, latencies_ms.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return latencies_ms[lo] * (1.0 - frac) + latencies_ms[hi] * frac;
+  };
+  s.p50_ms = at(0.50);
+  s.p95_ms = at(0.95);
+  s.p99_ms = at(0.99);
+  s.max_ms = latencies_ms.back();
+  double sum = 0.0;
+  for (double v : latencies_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(latencies_ms.size());
+  return s;
+}
+
+LoadReport run_load(const LoadOptions& options,
+                    const std::vector<LoadSpec>& specs) {
+  LoadReport report;
+  report.families.resize(specs.size());
+
+  // Materialize the whole burst up front so generation cost never pollutes
+  // the latency sample, then deal it round-robin across connections: each
+  // connection sees an interleaved mix of families.
+  std::vector<Prepared> burst;
+  std::int64_t next_id = 1;
+  for (std::size_t f = 0; f < specs.size(); ++f) {
+    const LoadSpec& spec = specs[f];
+    report.families[f].label = spec.scenario + "/" + spec.solver;
+    for (std::size_t i = 0; i < spec.requests; ++i) {
+      const bool duplicate =
+          spec.duplicate_every != 0 && i != 0 && i % spec.duplicate_every == 0;
+      const std::uint64_t seed =
+          duplicate ? spec.seed_base
+                    : spec.seed_base + static_cast<std::uint64_t>(i);
+      auto instance = scenarios::make_scenario(spec.scenario, seed);
+      if (!instance.has_value()) {
+        report.error = "unknown scenario '" + spec.scenario + "'";
+        return report;
+      }
+      engine::SolveRequest request;
+      request.instance = std::move(*instance);
+      request.objective = spec.objective;
+      request.params = spec.params;
+      if (options.validate) request.params.validate = true;
+      Prepared item;
+      item.family = f;
+      item.id = next_id++;
+      item.frame =
+          request_frame(item.id, spec.solver, request, spec.deadline_ms);
+      burst.push_back(std::move(item));
+    }
+  }
+  report.sent = burst.size();
+  for (const Prepared& item : burst) ++report.families[item.family].sent;
+
+  const std::size_t conns = std::max<std::size_t>(1, options.connections);
+  std::vector<std::vector<Prepared>> slices(conns);
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    slices[i % conns].push_back(std::move(burst[i]));
+  }
+
+  std::vector<ConnOutcome> outcomes(conns);
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> drivers;
+    drivers.reserve(conns);
+    for (std::size_t c = 0; c < conns; ++c) {
+      drivers.emplace_back([&, c] {
+        drive_connection(options, slices[c], specs.size(), &outcomes[c]);
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+  }
+  report.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<std::vector<double>> family_latencies(specs.size());
+  for (ConnOutcome& out : outcomes) {
+    if (!out.error.empty() && report.error.empty()) report.error = out.error;
+    report.received += out.received;
+    report.out_of_order += out.out_of_order;
+    report.duplicate_ids += out.duplicate_ids;
+    report.unknown_ids += out.unknown_ids;
+    report.error_frames += out.bad_error_frames;
+    for (const auto& [family, ms] : out.latencies) {
+      family_latencies[family].push_back(ms);
+    }
+    for (std::size_t f = 0; f < specs.size(); ++f) {
+      FamilyReport& into = report.families[f];
+      const FamilyReport& from = out.families[f];
+      into.received += from.received;
+      into.ok += from.ok;
+      into.infeasible += from.infeasible;
+      into.rejected += from.rejected;
+      into.timed_out += from.timed_out;
+      into.refuted += from.refuted;
+      into.error_frames += from.error_frames;
+    }
+  }
+  for (std::size_t f = 0; f < specs.size(); ++f) {
+    report.families[f].latency = summarize_latencies(family_latencies[f]);
+    report.refuted += report.families[f].refuted;
+    report.error_frames += report.families[f].error_frames;
+  }
+  report.dropped = report.sent - report.received;
+  report.throughput_rps =
+      report.wall_s > 0.0
+          ? static_cast<double>(report.received) / report.wall_s
+          : 0.0;
+
+  if (options.fetch_stats) {
+    std::string error;
+    report.server_stats_ok =
+        fetch_server_stats(options, &report.server_stats, &error);
+    if (!report.server_stats_ok && report.error.empty()) {
+      report.error = "stats fetch: " + error;
+    }
+  }
+
+  report.ok = report.error.empty() && report.dropped == 0 &&
+              report.refuted == 0 && report.error_frames == 0 &&
+              report.duplicate_ids == 0 && report.unknown_ids == 0 &&
+              (!options.fetch_stats || report.server_stats_ok);
+  return report;
+}
+
+}  // namespace gapsched::serve

@@ -97,5 +97,35 @@ TEST(JsonCodecFuzz, DeepNestingIsRejectedNotOverflowed) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(JsonCodecFuzz, DepthLimitBoundaryIsExactlyKMaxParseDepth) {
+  // Regression for the serving protocol's parse bound: nesting deeper than
+  // kMaxParseDepth (64) is rejected AS a depth error, nesting exactly at
+  // the limit is not. The boundary used to sit one past the documented
+  // limit (65 levels slipped through).
+  const auto nested = [](int levels) {
+    return std::string(static_cast<std::size_t>(levels), '[') +
+           std::string(static_cast<std::size_t>(levels), ']');
+  };
+  std::string error;
+  // 64 levels: parses as a value (the later "not a response document"
+  // rejection is a type error, not a depth error).
+  EXPECT_FALSE(result_from_json(nested(kMaxParseDepth), &error).has_value());
+  EXPECT_EQ(error.find("nested too deeply"), std::string::npos) << error;
+  // 65 levels: the depth bound itself fires.
+  EXPECT_FALSE(
+      result_from_json(nested(kMaxParseDepth + 1), &error).has_value());
+  EXPECT_NE(error.find("nested too deeply"), std::string::npos) << error;
+  // The same boundary holds for nesting buried inside an ignored field of
+  // an otherwise valid document: 63 inner levels under the root object
+  // (total 64) parse, 64 (total 65) do not.
+  const auto wrap = [&](int levels) {
+    return "{\"ok\": true, \"junk\": " + nested(levels) + "}";
+  };
+  EXPECT_TRUE(result_from_json(wrap(kMaxParseDepth - 1), &error).has_value())
+      << error;
+  EXPECT_FALSE(result_from_json(wrap(kMaxParseDepth), &error).has_value());
+  EXPECT_NE(error.find("nested too deeply"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace gapsched::io

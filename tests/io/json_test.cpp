@@ -318,5 +318,147 @@ TEST(JsonCodec, StringEscapesSurvive) {
   EXPECT_EQ(parsed->error, "line\none\t\"quoted\" \\ back");
 }
 
+TEST(JsonCodec, CacheStatsRoundTrip) {
+  engine::CacheStats stats;
+  stats.hits = 101;
+  stats.misses = 17;
+  stats.insertions = 15;
+  stats.evictions = 2;
+  stats.entries = 13;
+  stats.capacity = 64;
+  std::string error;
+  const auto parsed = cache_stats_from_json(cache_stats_to_json(stats), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->hits, 101u);
+  EXPECT_EQ(parsed->misses, 17u);
+  EXPECT_EQ(parsed->insertions, 15u);
+  EXPECT_EQ(parsed->evictions, 2u);
+  EXPECT_EQ(parsed->entries, 13u);
+  EXPECT_EQ(parsed->capacity, 64u);
+}
+
+TEST(JsonCodec, CacheStatsToleratesMissingFields) {
+  // Forward compatibility: a stats document from an older writer (or a
+  // trimmed stats frame) parses with the absent tallies at zero.
+  std::string error;
+  const auto parsed =
+      cache_stats_from_json(R"({"gapsched": "cache_stats", "hits": 3})",
+                            &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->hits, 3u);
+  EXPECT_EQ(parsed->misses, 0u);
+  EXPECT_EQ(parsed->capacity, 0u);
+  // A mistyped tally is still an error, not a silent zero.
+  EXPECT_FALSE(
+      cache_stats_from_json(R"({"hits": "three"})", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonCodec, PipelineStatsRoundTripPerStage) {
+  engine::pipeline::PipelineStats stats;
+  stats.requests = 42;
+  for (std::size_t i = 0; i < engine::kPipelineStageCount; ++i) {
+    stats.stages[i].runs = 10 * i + 1;
+    stats.stages[i].skips = i;
+    stats.stages[i].total_ms = 0.25 * static_cast<double>(i);
+  }
+  std::string error;
+  const auto parsed =
+      pipeline_stats_from_json(pipeline_stats_to_json(stats), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->requests, 42u);
+  for (std::size_t i = 0; i < engine::kPipelineStageCount; ++i) {
+    EXPECT_EQ(parsed->stages[i].runs, stats.stages[i].runs) << i;
+    EXPECT_EQ(parsed->stages[i].skips, stats.stages[i].skips) << i;
+    EXPECT_DOUBLE_EQ(parsed->stages[i].total_ms, stats.stages[i].total_ms)
+        << i;
+  }
+}
+
+TEST(JsonCodec, PipelineStatsToleratesMissingStagesAndRejectsUnknownOnes) {
+  std::string error;
+  const auto bare = pipeline_stats_from_json(R"({"requests": 7})", &error);
+  ASSERT_TRUE(bare.has_value()) << error;
+  EXPECT_EQ(bare->requests, 7u);
+  for (std::size_t i = 0; i < engine::kPipelineStageCount; ++i) {
+    EXPECT_EQ(bare->stages[i].runs, 0u);
+  }
+  // A subset of stages is fine (missing ones stay zero)…
+  const auto partial = pipeline_stats_from_json(
+      R"({"requests": 7,
+          "stages": {"dispatch": {"runs": 5, "skips": 2, "total_ms": 1.5}}})",
+      &error);
+  ASSERT_TRUE(partial.has_value()) << error;
+  EXPECT_EQ(
+      partial->stages[static_cast<std::size_t>(
+                          engine::PipelineStage::kDispatch)]
+          .runs,
+      5u);
+  // …but a stage name the enum does not know is a hard error: it means a
+  // writer/reader version skew the tallies cannot absorb silently.
+  EXPECT_FALSE(pipeline_stats_from_json(
+                   R"({"stages": {"warp_drive": {"runs": 1}}})", &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonCodec, ServerStatsRoundTripWithShards) {
+  ServerStatsWire wire;
+  wire.cache.hits = 9;
+  wire.cache.misses = 4;
+  wire.pipeline.requests = 13;
+  for (std::int64_t s = 0; s < 3; ++s) {
+    ShardStatsWire shard;
+    shard.shard = s;
+    shard.requests = 10 + static_cast<std::uint64_t>(s);
+    shard.rejected = 1;
+    shard.timed_out = 2;
+    shard.refuted = 0;
+    shard.cache_hits = 5;
+    shard.component_cache_hits = 7;
+    shard.pipeline.requests = shard.requests;
+    wire.shards.push_back(shard);
+  }
+  std::string error;
+  const auto parsed = server_stats_from_json(server_stats_to_json(wire),
+                                             &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->cache.hits, 9u);
+  EXPECT_EQ(parsed->pipeline.requests, 13u);
+  ASSERT_EQ(parsed->shards.size(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(parsed->shards[s].shard, static_cast<std::int64_t>(s));
+    EXPECT_EQ(parsed->shards[s].requests, 10 + s);
+    EXPECT_EQ(parsed->shards[s].timed_out, 2u);
+    EXPECT_EQ(parsed->shards[s].component_cache_hits, 7u);
+    EXPECT_EQ(parsed->shards[s].pipeline.requests, 10 + s);
+  }
+}
+
+TEST(JsonCodec, FrameHeadParsesHeaderFieldsAndIgnoresTheBody) {
+  std::string error;
+  const auto head = frame_head_from_json(
+      R"({"frame": "request", "id": 12, "deadline_ms": 250.5,
+          "solver": "gap_dp", "instance": {"jobs": [[[0, 4]]]}})",
+      &error);
+  ASSERT_TRUE(head.has_value()) << error;
+  EXPECT_EQ(head->frame, "request");
+  EXPECT_EQ(head->id, 12);
+  EXPECT_DOUBLE_EQ(head->deadline_ms, 250.5);
+  // Defaults when absent: id -1, no deadline, empty message.
+  const auto bare = frame_head_from_json(R"({"frame": "drain"})", &error);
+  ASSERT_TRUE(bare.has_value()) << error;
+  EXPECT_EQ(bare->id, -1);
+  EXPECT_DOUBLE_EQ(bare->deadline_ms, 0.0);
+  EXPECT_TRUE(bare->message.empty());
+  // No "frame" discriminator → not a frame.
+  EXPECT_FALSE(frame_head_from_json(R"({"id": 3})", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  // A negative deadline is malformed, not a free pass.
+  EXPECT_FALSE(frame_head_from_json(
+                   R"({"frame": "request", "deadline_ms": -5})", &error)
+                   .has_value());
+}
+
 }  // namespace
 }  // namespace gapsched::io
