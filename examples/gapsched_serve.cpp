@@ -37,6 +37,13 @@ int usage() {
       << "                       (default 256)\n"
       << "  --cache-capacity <n> shared solve-cache entry cap\n"
       << "                       (default 65536)\n"
+      << "  --store <path>       persistent on-disk solve store shared by\n"
+      << "                       all shards, CLI sessions, and restarts\n"
+      << "                       (created if missing; loads oracle-gated)\n"
+      << "  --spill-min-ms <x>   only persist solves that took >= x ms\n"
+      << "                       (default 0.1)\n"
+      << "  --store-max-bytes <n> store size budget; compaction keeps the\n"
+      << "                       most expensive entries (default unbounded)\n"
       << "protocol: newline-delimited JSON frames (request/result/stats/\n"
       << "drain/error); results stream in completion order, clients\n"
       << "reorder by id. SIGTERM or a drain frame triggers a graceful\n"
@@ -79,6 +86,18 @@ int main(int argc, char** argv) {
         const std::string* v = value();
         if (v == nullptr) return usage();
         options.cache_capacity = std::stoul(*v);
+      } else if (arg == "--store") {
+        const std::string* v = value();
+        if (v == nullptr) return usage();
+        options.store_path = *v;
+      } else if (arg == "--spill-min-ms") {
+        const std::string* v = value();
+        if (v == nullptr) return usage();
+        options.store_spill_min_ms = std::stod(*v);
+      } else if (arg == "--store-max-bytes") {
+        const std::string* v = value();
+        if (v == nullptr) return usage();
+        options.store_max_bytes = std::stoul(*v);
       } else {
         std::cerr << "unknown option '" << arg << "'\n";
         return usage();
@@ -92,15 +111,18 @@ int main(int argc, char** argv) {
   gapsched::serve::Server server(options);
   std::string error;
   if (!server.start(&error)) {
-    std::cerr << "cannot listen on " << options.host << ":" << options.port
-              << ": " << error << "\n";
+    std::cerr << "cannot start server on " << options.host << ":"
+              << options.port << ": " << error << "\n";
     return 1;
   }
   // The READY line is the startup contract scripts wait on (the ephemeral
   // port is only known here).
   std::cout << "gapsched_serve listening on " << options.host << ":"
             << server.port() << " (" << server.shards() << " shards, "
-            << server.registry().size() << " solvers)" << std::endl;
+            << server.registry().size() << " solvers"
+            << (options.store_path.empty() ? std::string()
+                                           : ", store " + options.store_path)
+            << ")" << std::endl;
 
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
@@ -126,6 +148,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "gapsched_serve drained: " << requests << " request(s), "
             << stats.cache.hits << " cache hit(s), " << refuted
-            << " refutation(s)" << std::endl;
+            << " refutation(s)";
+  if (!options.store_path.empty()) {
+    std::cout << ", " << stats.cache.spilled << " spilled, "
+              << stats.cache.disk_hits << " disk hit(s)";
+  }
+  std::cout << std::endl;
   return 0;
 }

@@ -80,6 +80,22 @@ int usage() {
             << "                   (the same codec as the server's stats\n"
             << "                   frame); under --connect, prints the\n"
             << "                   server's stats frame instead\n"
+            << "  --store <path>   persistent on-disk solve store (created\n"
+            << "                   if missing), shared with other CLI runs\n"
+            << "                   and gapsched_serve --store; every loaded\n"
+            << "                   entry is re-audited by the oracle before\n"
+            << "                   it may serve\n"
+            << "  --spill-min-ms <x> only persist solves that took >= x ms\n"
+            << "                   (default 0.1)\n"
+            << "  --store-max-bytes <n> store size budget; compaction keeps\n"
+            << "                   the most expensive entries\n"
+            << "  --warm <specs>   no single instance: pre-solve a comma-\n"
+            << "                   separated list of instance specs (files\n"
+            << "                   or scenario:<name>[:<seed>]; the word\n"
+            << "                   'catalog' expands to every static\n"
+            << "                   catalog scenario) into the --store,\n"
+            << "                   validating each answer; exit 3 if any\n"
+            << "                   is refuted\n"
             << "  --connect <h:p>  do not solve locally: send the request\n"
             << "                   to a running gapsched_serve at host:port\n"
             << "                   over the NDJSON frame protocol and\n"
@@ -270,32 +286,94 @@ int remote_solve(const std::string& spec, const std::string& solver,
   return 0;
 }
 
+/// Cache-warming mode: pre-solves a comma-separated list of instance specs
+/// into the engine's persistent store, oracle-validating every answer, and
+/// blocks until the write-behind spills are durable. A later process (CLI
+/// or server) opening the same store starts warm.
+int warm_store(engine::Engine& eng, const engine::Solver& solver,
+               const engine::SolveRequest& base, const std::string& spec_list) {
+  std::vector<std::string> specs;
+  std::size_t begin = 0;
+  while (begin <= spec_list.size()) {
+    const std::size_t comma = spec_list.find(',', begin);
+    const std::string token = spec_list.substr(
+        begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    begin = comma == std::string::npos ? spec_list.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+    if (token == "catalog") {
+      for (const scenarios::Scenario* s :
+           scenarios::ScenarioCatalog::instance().all()) {
+        specs.push_back("scenario:" + s->name);
+      }
+    } else {
+      specs.push_back(token);
+    }
+  }
+  if (specs.empty()) {
+    std::cerr << "--warm needs at least one instance spec\n";
+    return 2;
+  }
+  std::size_t feasible = 0;
+  std::size_t infeasible = 0;
+  std::size_t rejected = 0;
+  for (const std::string& spec : specs) {
+    auto inst = load(spec);
+    if (!inst) return 2;
+    engine::SolveRequest req = base;
+    req.instance = std::move(*inst);
+    req.params.validate = true;  // a warmed entry must enter oracle-clean
+    const engine::SolveResult result = eng.solve(solver, req);
+    if (result.audited && !result.audit_error.empty()) {
+      std::cerr << "warm " << spec
+                << ": oracle REFUTED the answer: " << result.audit_error
+                << "\n";
+      return 3;
+    }
+    if (!result.ok) {
+      // Outside this solver's envelope: skipped, not fatal — a catalog
+      // sweep legitimately crosses objectives and size limits.
+      ++rejected;
+      std::cout << "warm " << spec << ": rejected (" << result.error << ")\n";
+      continue;
+    }
+    if (result.feasible) {
+      ++feasible;
+    } else {
+      ++infeasible;
+    }
+    std::cout << "warm " << spec << ": "
+              << (result.feasible ? "cost " + std::to_string(result.cost)
+                                  : std::string("infeasible"))
+              << "  [" << result.stats.wall_ms << " ms]\n";
+  }
+  eng.flush_store();
+  const engine::CacheStats stats = eng.cache_stats();
+  std::cout << "warmed " << specs.size() << " spec(s): " << feasible
+            << " feasible, " << infeasible << " infeasible, " << rejected
+            << " rejected; " << stats.spilled << " spilled, "
+            << stats.disk_entries << " record(s) in the store\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  // One persistent engine for the whole invocation: registry, solve cache,
-  // and (for batched front ends built on this) the shared worker pool.
-  engine::Engine eng;
   if (args.empty()) return usage();
-  if (args[0] == "--list" || args[0] == "list") return list_solvers(eng);
+  if (args[0] == "--list" || args[0] == "list") {
+    return list_solvers(engine::Engine{});
+  }
   if (args[0] == "--scenarios" || args[0] == "scenarios") {
     return list_scenarios();
   }
   if (args.size() < 2) return usage();
 
-  const std::string name = canonical_name(args[0]);
-  const engine::Solver* solver = eng.registry().find(name);
-  if (solver == nullptr) {
-    std::cerr << "unknown solver '" << args[0] << "' (see solver_cli --list)\n";
-    return 2;
-  }
-
   engine::SolveRequest request;
-  request.objective = solver->info().objective;
+  engine::EngineOptions eng_options;
   bool emit_json = false;
   bool cache_stats = false;
   std::string connect_spec;
+  std::string warm_spec;
   // Flags may appear anywhere; non-flag arguments are collected and
   // resolved afterwards so the legacy "power <alpha> <file>" and
   // "throughput <k> <file>" spellings still work.
@@ -351,6 +429,22 @@ int main(int argc, char** argv) {
         auto v = value();
         if (!v) return usage();
         connect_spec = *v;
+      } else if (arg == "--store") {
+        auto v = value();
+        if (!v) return usage();
+        eng_options.store_path = *v;
+      } else if (arg == "--spill-min-ms") {
+        auto v = value();
+        if (!v) return usage();
+        eng_options.store_spill_min_ms = std::stod(*v);
+      } else if (arg == "--store-max-bytes") {
+        auto v = value();
+        if (!v) return usage();
+        eng_options.store_max_bytes = std::stoul(*v);
+      } else if (arg == "--warm") {
+        auto v = value();
+        if (!v) return usage();
+        warm_spec = *v;
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "unknown option '" << arg << "'\n";
         return usage();
@@ -362,13 +456,46 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // The store and warming are local-engine concerns; combining them with a
+  // remote solve would silently create and populate a file the remote
+  // server never sees. Checked before the Engine exists (constructing it
+  // would already create the store file).
+  if (!connect_spec.empty() &&
+      (!eng_options.store_path.empty() || !warm_spec.empty())) {
+    std::cerr << "--store/--warm are local; with --connect, start the server "
+                 "with gapsched_serve --store instead\n";
+    return 2;
+  }
+  if (!warm_spec.empty() && eng_options.store_path.empty()) {
+    std::cerr << "--warm populates a persistent store; add --store <path>\n";
+    return 2;
+  }
+
+  // One persistent engine for the whole invocation: registry, solve cache,
+  // worker pool, and (with --store) the persistent disk tier.
+  engine::Engine eng(eng_options);
+  if (!eng_options.store_path.empty() && eng.store() == nullptr) {
+    // A corrupt or foreign store file costs persistence, never the solve.
+    std::cerr << "warning: running without the store: " << eng.store_error()
+              << "\n";
+  }
+  const std::string name = canonical_name(args[0]);
+  const engine::Solver* solver = eng.registry().find(name);
+  if (solver == nullptr) {
+    std::cerr << "unknown solver '" << args[0] << "' (see solver_cli --list)\n";
+    return 2;
+  }
+  request.objective = solver->info().objective;
+
   // A flag the selected solver does not consume (per its SolverInfo::params
   // declaration) is an error, not a silent no-op.
   const unsigned consumed = solver->info().params;
   for (const std::string& flag : flags_seen) {
     bool applies = false;
     if (flag == "--validate" || flag == "--json" || flag == "--cache-stats" ||
-        flag == "--time-limit" || flag == "--connect") {
+        flag == "--time-limit" || flag == "--connect" || flag == "--store" ||
+        flag == "--spill-min-ms" || flag == "--store-max-bytes" ||
+        flag == "--warm") {
       applies = true;  // engine-level concerns, meaningful for every family
     } else if (flag == "--no-decompose" || flag == "--no-compress") {
       // Only the exact gap/power families consume these flags, but clearing
@@ -389,6 +516,17 @@ int main(int argc, char** argv) {
                 << name << "'\n";
       return usage();
     }
+  }
+  if (!warm_spec.empty()) {
+    if (!positionals.empty()) {
+      std::cerr << "--warm takes its instances from its own spec list; "
+                   "unexpected argument '"
+                << positionals.front() << "'\n";
+      return 2;
+    }
+    const int rc = warm_store(eng, *solver, request, warm_spec);
+    if (cache_stats) print_cache_stats(eng);
+    return rc;
   }
   if (positionals.empty() || positionals.size() > 2) return usage();
   const std::string file = positionals.back();
@@ -419,6 +557,9 @@ int main(int argc, char** argv) {
   engine::SolveResult result;
   if (connect_spec.empty()) {
     result = eng.solve(*solver, request);
+    // Make the write-behind spill durable before reporting stats (and
+    // before exit hands the store file to the next process).
+    eng.flush_store();
     if (cache_stats) print_cache_stats(eng);
   } else {
     const int rc = remote_solve(connect_spec, name, request, cache_stats,

@@ -1,9 +1,12 @@
 #include "gapsched/engine/cache.hpp"
 
 #include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "gapsched/core/hash.hpp"
+#include "gapsched/io/json.hpp"
+#include "gapsched/store/store.hpp"
 
 namespace gapsched::engine {
 
@@ -18,6 +21,21 @@ void append_double(std::string& out, double value) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", value);
   out += buf;
+}
+
+/// Request-independent normal form of a cached entry: the pipeline
+/// re-derives timing and audit for every request a hit serves.
+std::shared_ptr<SolveResult> normalize_entry(const SolveResult& result) {
+  auto stored = std::make_shared<SolveResult>(result);
+  stored->stats.wall_ms = 0.0;
+  stored->stats.cache_hit = false;
+  stored->stats.component_cache_hits = 0;
+  stored->stats.components_deduped = 0;
+  stored->stats.stages = {};
+  stored->timed_out = false;
+  stored->audited = false;
+  stored->audit_error.clear();
+  return stored;
 }
 
 }  // namespace
@@ -66,6 +84,23 @@ CacheKey make_cache_key(const SolverInfo& info, Objective objective,
 
 SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {}
 
+SolveCache::~SolveCache() {
+  {
+    std::lock_guard<std::mutex> lk(spill_mu_);
+    spill_stop_ = true;
+  }
+  spill_cv_.notify_all();
+  if (spill_thread_.joinable()) spill_thread_.join();
+}
+
+void SolveCache::attach_store(store::DiskStore* store, double spill_min_ms) {
+  store_ = store;
+  spill_min_ms_ = spill_min_ms;
+  if (store_ != nullptr && !spill_thread_.joinable()) {
+    spill_thread_ = std::thread([this] { spill_worker(); });
+  }
+}
+
 std::shared_ptr<const SolveResult> SolveCache::lookup(const CacheKey& key) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = map_.find(key);
@@ -78,33 +113,122 @@ std::shared_ptr<const SolveResult> SolveCache::lookup(const CacheKey& key) {
   return it->second.result;
 }
 
-void SolveCache::insert(const CacheKey& key, const SolveResult& result) {
-  // Request-independent normal form (built outside the lock): the
-  // pipeline re-derives timing and audit for every request a hit serves.
-  auto stored = std::make_shared<SolveResult>(result);
-  stored->stats.wall_ms = 0.0;
-  stored->stats.cache_hit = false;
-  stored->stats.component_cache_hits = 0;
-  stored->stats.components_deduped = 0;
-  stored->stats.stages = {};
-  stored->timed_out = false;
-  stored->audited = false;
-  stored->audit_error.clear();
+void SolveCache::insert(const CacheKey& key, const SolveResult& result,
+                        double solve_ms) {
+  // Normal form built outside the lock; this shared entry is also exactly
+  // what the spill worker serializes, so disk records carry no
+  // request-specific state either.
+  std::shared_ptr<SolveResult> stored = normalize_entry(result);
+  // Cost-weighted admission to the disk tier: only complete, feasible
+  // answers whose solve paid at least the threshold are worth a record.
+  // Rejections and infeasible verdicts are NEVER persisted — the oracle
+  // cannot independently confirm a no-schedule claim on load, and the
+  // disk tier admits nothing the oracle cannot re-check.
+  const bool spill = store_ != nullptr && solve_ms >= spill_min_ms_ &&
+                     result.ok && result.feasible && result.error.empty();
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      // Another worker solved the same canonical form first; keep its entry
+      // (deterministic solvers produce the same result) and refresh LRU.
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+    } else {
+      auto [pos, inserted] =
+          map_.emplace(key, Entry{stored, lru_.end()});
+      lru_.push_front(&pos->first);
+      pos->second.lru = lru_.begin();
+      ++insertions_;
+      fresh = inserted;
+      if (capacity_ > 0 && map_.size() > capacity_) evict_locked();
+    }
+  }
+  if (spill && fresh) {
+    {
+      std::lock_guard<std::mutex> lk(spill_mu_);
+      spill_queue_.push_back(
+          SpillItem{key.digest, key.text, std::move(stored), solve_ms});
+    }
+    spill_cv_.notify_one();
+  }
+}
 
+std::shared_ptr<const SolveResult> SolveCache::probe_disk(
+    const CacheKey& key) {
+  if (store_ == nullptr) return nullptr;
+  // The store re-verifies checksum + digest + full key text; anything that
+  // deserializes here still goes through the pipeline's oracle re-audit
+  // before admit_disk() lets it serve.
+  std::optional<std::string> payload = store_->load(key.digest, key.text);
+  if (!payload.has_value()) return nullptr;
+  std::optional<SolveResult> parsed = io::result_from_json(*payload);
+  if (!parsed.has_value()) {
+    store_->invalidate(key.digest);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++disk_rejects_;
+    return nullptr;
+  }
+  return std::make_shared<const SolveResult>(std::move(*parsed));
+}
+
+void SolveCache::admit_disk(const CacheKey& key, const SolveResult& result) {
+  std::shared_ptr<SolveResult> stored = normalize_entry(result);
   std::lock_guard<std::mutex> lk(mu_);
+  ++disk_hits_;
   auto it = map_.find(key);
   if (it != map_.end()) {
-    // Another worker solved the same canonical form first; keep its entry
-    // (deterministic solvers produce the same result) and refresh LRU.
     lru_.splice(lru_.begin(), lru_, it->second.lru);
     return;
   }
-  auto [pos, inserted] =
-      map_.emplace(key, Entry{std::move(stored), lru_.end()});
+  auto [pos, inserted] = map_.emplace(key, Entry{std::move(stored),
+                                                 lru_.end()});
   lru_.push_front(&pos->first);
   pos->second.lru = lru_.begin();
   ++insertions_;
   if (capacity_ > 0 && map_.size() > capacity_) evict_locked();
+}
+
+void SolveCache::reject_disk(const CacheKey& key) {
+  if (store_ != nullptr) store_->invalidate(key.digest);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++disk_rejects_;
+}
+
+void SolveCache::flush_spill() {
+  std::unique_lock<std::mutex> lk(spill_mu_);
+  if (!spill_thread_.joinable()) return;
+  spill_idle_cv_.wait(lk,
+                      [&] { return spill_queue_.empty() && !spill_busy_; });
+}
+
+void SolveCache::spill_worker() {
+  for (;;) {
+    SpillItem item;
+    {
+      std::unique_lock<std::mutex> lk(spill_mu_);
+      spill_cv_.wait(lk,
+                     [&] { return spill_stop_ || !spill_queue_.empty(); });
+      if (spill_queue_.empty()) break;  // stopping, and fully drained
+      item = std::move(spill_queue_.front());
+      spill_queue_.pop_front();
+      spill_busy_ = true;
+    }
+    // Serialize outside every lock; dedup against entries another handle
+    // (process, shard) already persisted.
+    if (!store_->contains(item.digest)) {
+      const std::string payload = io::result_to_json(*item.result);
+      if (store_->append(item.digest, item.key_text, payload, item.cost_ms)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++spilled_;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(spill_mu_);
+      spill_busy_ = false;
+      if (spill_queue_.empty()) spill_idle_cv_.notify_all();
+    }
+  }
 }
 
 void SolveCache::evict_locked() {
@@ -117,14 +241,27 @@ void SolveCache::evict_locked() {
 }
 
 CacheStats SolveCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
   CacheStats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.insertions = insertions_;
-  s.evictions = evictions_;
-  s.entries = map_.size();
-  s.capacity = capacity_;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s.hits = hits_;
+    s.misses = misses_;
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    s.entries = map_.size();
+    s.capacity = capacity_;
+    s.disk_hits = disk_hits_;
+    s.disk_rejects = disk_rejects_;
+    s.spilled = spilled_;
+  }
+  if (store_ != nullptr) {
+    const store::StoreStats disk = store_->stats();
+    // Rejections the store's own scans and loads counted (framing,
+    // checksum, identity) fold in with the cache-level deserialize/oracle
+    // refusals: one number answers "how many records could not serve".
+    s.disk_rejects += disk.rejected_records;
+    s.disk_entries = disk.entries;
+  }
   return s;
 }
 

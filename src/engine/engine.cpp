@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "gapsched/store/store.hpp"
+
 namespace gapsched::engine {
 
 BatchSummary summarize(const std::vector<SolveResult>& results) {
@@ -31,13 +33,24 @@ BatchSummary summarize(const std::vector<SolveResult>& results) {
 }
 
 Engine::Engine(EngineOptions options)
-    : options_(options),
+    : options_(std::move(options)),
       registry_(SolverRegistry::create_with_builtins()),
-      cache_(options.cache
-                 ? std::make_unique<SolveCache>(options.cache_capacity)
+      cache_(options_.cache
+                 ? std::make_unique<SolveCache>(options_.cache_capacity)
                  : nullptr),
       session_(std::make_unique<Session>(*registry_, cache_.get(),
-                                         options.threads)) {}
+                                         options_.threads)) {
+  if (cache_ != nullptr && !options_.store_path.empty()) {
+    store::StoreOptions sopt;
+    sopt.max_bytes = options_.store_max_bytes;
+    store_ = store::DiskStore::open(options_.store_path, sopt, &store_error_);
+    // Open failure leaves the engine memory-only: a corrupt or foreign
+    // store file degrades persistence, never a solve.
+    if (store_ != nullptr) {
+      cache_->attach_store(store_.get(), options_.store_spill_min_ms);
+    }
+  }
+}
 
 Engine::~Engine() = default;
 
@@ -66,6 +79,10 @@ CacheStats Engine::cache_stats() const {
 
 void Engine::clear_cache() {
   if (cache_ != nullptr) cache_->clear();
+}
+
+void Engine::flush_store() {
+  if (cache_ != nullptr) cache_->flush_spill();
 }
 
 }  // namespace gapsched::engine

@@ -145,6 +145,36 @@ StageStats& stage_of(SolveContext& ctx, PipelineStage stage) {
   return ctx.stages[static_cast<std::size_t>(stage)];
 }
 
+/// Disk tier of the CacheLookup stage. A record loaded from the persistent
+/// store is UNTRUSTED input: it must be a complete, feasible answer (the
+/// only kind the spill policy ever writes — an infeasibility verdict
+/// carries no schedule the oracle could re-check, so one arriving from
+/// disk is by definition doctored or stale) and it must survive a full
+/// oracle re-audit against `canonical`, the exact instance its key
+/// hashes. Anything less degrades to a cache miss and a fresh solve —
+/// never a wrong answer.
+std::shared_ptr<const SolveResult> disk_load(SolveContext& ctx,
+                                             const CacheKey& key,
+                                             const Instance& canonical) {
+  if (!ctx.env.cache->has_store()) return nullptr;
+  std::shared_ptr<const SolveResult> cand = ctx.env.cache->probe_disk(key);
+  if (cand == nullptr) return nullptr;
+  bool admit = cand->ok && cand->feasible && cand->error.empty();
+  if (admit) {
+    SolveRequest sub;
+    sub.instance = canonical;
+    sub.objective = ctx.request.objective;
+    sub.params = ctx.request.params;
+    admit = oracle::check_result(sub, *cand, ctx.solver.info().exact).empty();
+  }
+  if (!admit) {
+    ctx.env.cache->reject_disk(key);
+    return nullptr;
+  }
+  ctx.env.cache->admit_disk(key, *cand);
+  return cand;
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- stages --
@@ -219,6 +249,9 @@ void Pipeline::cache_lookup(SolveContext& ctx) {
   stage_of(ctx, PipelineStage::kCacheLookup).ran = true;
   if (!ctx.decomposing) {
     ctx.whole_hit = ctx.env.cache->lookup(ctx.whole_key);
+    if (ctx.whole_hit == nullptr) {
+      ctx.whole_hit = disk_load(ctx, ctx.whole_key, ctx.canonical->instance);
+    }
     return;
   }
   const std::size_t m = ctx.dec.components.size();
@@ -236,8 +269,14 @@ void Pipeline::cache_lookup(SolveContext& ctx) {
       ++ctx.agg.components_deduped;
       continue;
     }
-    if (std::shared_ptr<const SolveResult> hit =
-            ctx.env.cache->lookup(ctx.keys[c])) {
+    std::shared_ptr<const SolveResult> hit = ctx.env.cache->lookup(ctx.keys[c]);
+    if (hit == nullptr) {
+      // Component keys hash the instance Dispatch would solve (the
+      // compressed image when compressing), so the disk candidate is
+      // audited against exactly that form.
+      hit = disk_load(ctx, ctx.keys[c], *ctx.solve_inst[c]);
+    }
+    if (hit != nullptr) {
       ctx.parts[c] = *hit;  // entry is shared; copy outside the lock
       ctx.hit_components.push_back(c);
       ++ctx.agg.component_cache_hits;
@@ -269,12 +308,14 @@ void Pipeline::dispatch(SolveContext& ctx) {
       sub.params = ctx.request.params;
       sub.params.validate = false;
       sub.params.time_limit_s = 0.0;
+      Stopwatch solve_watch;
       ctx.result = ctx.solver.do_solve(sub);
+      const double solve_ms = solve_watch.millis();
       if (ctx.result.ok) {
         SolveResult canonical = ctx.result;
         canonical.schedule =
             canonicalize_schedule(ctx.result.schedule, *ctx.canonical);
-        ctx.env.cache->insert(ctx.whole_key, canonical);
+        ctx.env.cache->insert(ctx.whole_key, canonical, solve_ms);
       }
       return;
     }
@@ -291,7 +332,11 @@ void Pipeline::dispatch(SolveContext& ctx) {
   for (std::size_t c : ctx.to_solve) {
     largest = std::max(largest, ctx.solve_inst[c]->n());
   }
-  const auto solve_component = [&ctx](std::size_t i) {
+  // Per-component solve wall time, the disk tier's admission/compaction
+  // weight (parts carry no wall_ms of their own — the runner only stamps
+  // the recombined whole).
+  std::vector<double> solve_ms(ctx.parts.size(), 0.0);
+  const auto solve_component = [&ctx, &solve_ms](std::size_t i) {
     const std::size_t c = ctx.to_solve[i];
     SolveRequest sub;
     // Safe to move: cache keys were built by CacheLookup, recombine()
@@ -303,7 +348,9 @@ void Pipeline::dispatch(SolveContext& ctx) {
     sub.params = ctx.request.params;
     sub.params.validate = false;
     sub.params.time_limit_s = 0.0;
+    Stopwatch solve_watch;
     ctx.parts[c] = ctx.solver.do_solve(sub);
+    solve_ms[c] = solve_watch.millis();
   };
   if (largest >= kParallelFanoutMinComponentJobs) {
     ThreadPool& pool =
@@ -314,7 +361,9 @@ void Pipeline::dispatch(SolveContext& ctx) {
   }
   if (ctx.env.cache != nullptr) {
     for (std::size_t c : ctx.to_solve) {
-      if (ctx.parts[c].ok) ctx.env.cache->insert(ctx.keys[c], ctx.parts[c]);
+      if (ctx.parts[c].ok) {
+        ctx.env.cache->insert(ctx.keys[c], ctx.parts[c], solve_ms[c]);
+      }
     }
   }
 }

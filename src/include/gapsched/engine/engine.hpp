@@ -56,6 +56,10 @@
 #include "gapsched/engine/solver.hpp"
 #include "gapsched/engine/types.hpp"
 
+namespace gapsched::store {
+class DiskStore;
+}
+
 namespace gapsched::engine {
 
 struct EngineOptions {
@@ -65,6 +69,20 @@ struct EngineOptions {
   bool cache = true;
   /// Cache entry cap (LRU eviction); 0 = unbounded. Ignored when !cache.
   std::size_t cache_capacity = 4096;
+  /// Path of the persistent on-disk solve store (store/store.hpp), shared
+  /// across processes and restarts; empty keeps the cache memory-only.
+  /// Opened (created when missing) at construction; an open failure is
+  /// recorded in Engine::store_error() and the engine runs memory-only —
+  /// a broken store file can cost speed, never correctness or startup.
+  /// Requires cache.
+  std::string store_path = {};
+  /// Cost-weighted spill admission: only entries whose solve wall time was
+  /// at least this many ms are persisted (a cached 10 ms DP answer is
+  /// worth a disk record; a 10 us one is not).
+  double store_spill_min_ms = 0.1;
+  /// Store file size budget in bytes; exceeding appends trigger
+  /// keep-most-expensive compaction. 0 = unbounded.
+  std::size_t store_max_bytes = 0;
 };
 
 /// Roll-up of a batch's outcomes. `timed_out` results are counted
@@ -138,12 +156,27 @@ class Engine {
   }
 
   /// Hit/miss/eviction counters of the solve cache (zeros when disabled).
+  /// With a store attached this includes the disk tier: disk_hits,
+  /// disk_rejects, spilled, disk_entries.
   CacheStats cache_stats() const;
+  /// Drops the in-memory cache tier; the persistent store is untouched.
   void clear_cache();
+
+  /// The persistent store, if one was opened (null otherwise).
+  store::DiskStore* store() { return store_.get(); }
+  /// Why store_path could not be opened ("" when it was, or none was set).
+  const std::string& store_error() const { return store_error_; }
+  /// Blocks until every queued write-behind spill reached the store — the
+  /// barrier to call before handing the store file to another process.
+  void flush_store();
 
  private:
   EngineOptions options_;
   std::unique_ptr<SolverRegistry> registry_;
+  // Declared before cache_: the cache's spill worker must join (in
+  // ~SolveCache) while the store it appends to is still alive.
+  std::unique_ptr<store::DiskStore> store_;
+  std::string store_error_;
   std::unique_ptr<SolveCache> cache_;  // null when options_.cache is false
   std::unique_ptr<Session> session_;   // owns batch pool + pipeline stats
 };

@@ -47,6 +47,10 @@
 #include "gapsched/serve/protocol.hpp"
 #include "gapsched/serve/shard.hpp"
 
+namespace gapsched::store {
+class DiskStore;
+}
+
 namespace gapsched::serve {
 
 struct ServerOptions {
@@ -63,6 +67,15 @@ struct ServerOptions {
   std::size_t cache_capacity = 1u << 16;
   /// Hard per-frame byte bound; an over-long line closes the connection.
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Path of the persistent on-disk solve store shared by every shard
+  /// (and with CLI sessions and future restarts); empty = memory-only.
+  /// Opened at start(), which fails if the file is corrupt or foreign —
+  /// a server asked to persist must not silently run without it.
+  std::string store_path = {};
+  /// Cost-weighted spill admission threshold (ms of solve wall time).
+  double store_spill_min_ms = 0.1;
+  /// Store file size budget (keep-most-expensive compaction); 0 = unbounded.
+  std::size_t store_max_bytes = 0;
 };
 
 class Server {
@@ -121,6 +134,9 @@ class Server {
   int port_ = 0;
 
   std::unique_ptr<engine::SolverRegistry> registry_;
+  // Declared before cache_: ~SolveCache joins the spill worker that
+  // appends to this store.
+  std::unique_ptr<store::DiskStore> store_;
   std::unique_ptr<engine::SolveCache> cache_;
 
   /// One tally per shard; workers write their own entry, stats() snapshots

@@ -432,6 +432,10 @@ void append_cache_stats(std::string& out, const engine::CacheStats& s) {
   out += ", \"evictions\": " + std::to_string(s.evictions);
   out += ", \"entries\": " + std::to_string(s.entries);
   out += ", \"capacity\": " + std::to_string(s.capacity);
+  out += ", \"disk_hits\": " + std::to_string(s.disk_hits);
+  out += ", \"disk_rejects\": " + std::to_string(s.disk_rejects);
+  out += ", \"spilled\": " + std::to_string(s.spilled);
+  out += ", \"disk_entries\": " + std::to_string(s.disk_entries);
   out += " }";
 }
 
@@ -439,12 +443,19 @@ bool read_cache_stats(const JsonValue& obj, engine::CacheStats* out,
                       std::string* why) {
   std::int64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
   std::int64_t entries = 0, capacity = 0;
+  std::int64_t disk_hits = 0, disk_rejects = 0, spilled = 0, disk_entries = 0;
   if (!get_int(obj, "hits", &hits) || !get_int(obj, "misses", &misses) ||
       !get_int(obj, "insertions", &insertions) ||
       !get_int(obj, "evictions", &evictions) ||
       !get_int(obj, "entries", &entries) ||
-      !get_int(obj, "capacity", &capacity) || hits < 0 || misses < 0 ||
-      insertions < 0 || evictions < 0 || entries < 0 || capacity < 0) {
+      !get_int(obj, "capacity", &capacity) ||
+      !get_int(obj, "disk_hits", &disk_hits) ||
+      !get_int(obj, "disk_rejects", &disk_rejects) ||
+      !get_int(obj, "spilled", &spilled) ||
+      !get_int(obj, "disk_entries", &disk_entries) || hits < 0 ||
+      misses < 0 || insertions < 0 || evictions < 0 || entries < 0 ||
+      capacity < 0 || disk_hits < 0 || disk_rejects < 0 || spilled < 0 ||
+      disk_entries < 0) {
     *why = "malformed cache stats field";
     return false;
   }
@@ -454,6 +465,10 @@ bool read_cache_stats(const JsonValue& obj, engine::CacheStats* out,
   out->evictions = static_cast<std::size_t>(evictions);
   out->entries = static_cast<std::size_t>(entries);
   out->capacity = static_cast<std::size_t>(capacity);
+  out->disk_hits = static_cast<std::size_t>(disk_hits);
+  out->disk_rejects = static_cast<std::size_t>(disk_rejects);
+  out->spilled = static_cast<std::size_t>(spilled);
+  out->disk_entries = static_cast<std::size_t>(disk_entries);
   return true;
 }
 

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "gapsched/store/store.hpp"
+
 namespace gapsched::serve {
 
 using Clock = std::chrono::steady_clock;
@@ -63,6 +65,15 @@ Server::~Server() { drain(); }
 std::size_t Server::shards() const { return options_.shards; }
 
 bool Server::start(std::string* error) {
+  if (!options_.store_path.empty()) {
+    store::StoreOptions sopt;
+    sopt.max_bytes = options_.store_max_bytes;
+    store_ = store::DiskStore::open(options_.store_path, sopt, error);
+    if (store_ == nullptr) return false;
+    // Every shard shares the one cache, so one attach covers them all;
+    // loads are still oracle-gated per request in the pipeline.
+    cache_->attach_store(store_.get(), options_.store_spill_min_ms);
+  }
   auto listener = TcpListener::listen(options_.host, options_.port, error);
   if (!listener.has_value()) return false;
   listener_ = std::move(*listener);
@@ -290,14 +301,20 @@ void Server::drain() {
   //    writer is joined (everything flushed and FIN'd) is the read half
   //    forced down too, so a reader blocked in recv() on a lingering
   //    client exits instead of holding the drain hostage.
-  std::lock_guard<std::mutex> lk(conns_mu_);
-  for (ConnEntry& entry : conns_) entry.conn->outbound.close();
-  for (ConnEntry& entry : conns_) {
-    if (entry.writer.joinable()) entry.writer.join();
-    entry.conn->stream.shutdown_both();
-    if (entry.reader.joinable()) entry.reader.join();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (ConnEntry& entry : conns_) entry.conn->outbound.close();
+    for (ConnEntry& entry : conns_) {
+      if (entry.writer.joinable()) entry.writer.join();
+      entry.conn->stream.shutdown_both();
+      if (entry.reader.joinable()) entry.reader.join();
+    }
+    conns_.clear();
   }
-  conns_.clear();
+
+  // 4. Everything answered is answered; make it durable too. A drained
+  //    server must leave the store holding every qualifying solve it did.
+  cache_->flush_spill();
 }
 
 io::ServerStatsWire Server::stats() const {

@@ -326,6 +326,10 @@ TEST(JsonCodec, CacheStatsRoundTrip) {
   stats.evictions = 2;
   stats.entries = 13;
   stats.capacity = 64;
+  stats.disk_hits = 9;
+  stats.disk_rejects = 4;
+  stats.spilled = 21;
+  stats.disk_entries = 19;
   std::string error;
   const auto parsed = cache_stats_from_json(cache_stats_to_json(stats), &error);
   ASSERT_TRUE(parsed.has_value()) << error;
@@ -335,6 +339,10 @@ TEST(JsonCodec, CacheStatsRoundTrip) {
   EXPECT_EQ(parsed->evictions, 2u);
   EXPECT_EQ(parsed->entries, 13u);
   EXPECT_EQ(parsed->capacity, 64u);
+  EXPECT_EQ(parsed->disk_hits, 9u);
+  EXPECT_EQ(parsed->disk_rejects, 4u);
+  EXPECT_EQ(parsed->spilled, 21u);
+  EXPECT_EQ(parsed->disk_entries, 19u);
 }
 
 TEST(JsonCodec, CacheStatsToleratesMissingFields) {
